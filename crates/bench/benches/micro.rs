@@ -1,0 +1,117 @@
+//! Criterion microbenchmarks for the hot structures: the bypassing
+//! predictor, the T-SSBF, the cache model, the partial-word transform,
+//! the tracer, and a small end-to-end simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use nosq_core::predictor::{BypassingPredictor, PathHistory, PredictorConfig};
+use nosq_core::{bypass, simulate, SimConfig};
+use nosq_isa::{Extension, MemWidth};
+use nosq_trace::{synthesize, Profile, Tracer};
+use nosq_uarch::{Cache, CacheConfig, Ssn, Tssbf};
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.bench_function("predict_hit", |b| {
+        let mut p = BypassingPredictor::new(PredictorConfig::paper_default());
+        let h = PathHistory::new();
+        p.train_mispredict(0x400, &h, false, Some((3, 0)));
+        b.iter(|| black_box(p.predict(black_box(0x400), &h)));
+    });
+    g.bench_function("predict_miss", |b| {
+        let mut p = BypassingPredictor::new(PredictorConfig::paper_default());
+        let h = PathHistory::new();
+        b.iter(|| black_box(p.predict(black_box(0x999c), &h)));
+    });
+    g.bench_function("train_mispredict", |b| {
+        let mut p = BypassingPredictor::new(PredictorConfig::paper_default());
+        let h = PathHistory::new();
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0xffff;
+            p.train_mispredict(pc, &h, true, Some((1, 0)));
+        });
+    });
+    g.finish();
+}
+
+fn bench_tssbf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tssbf");
+    g.bench_function("record_store", |b| {
+        let mut f = Tssbf::new(128, 4);
+        let mut ssn = 0u64;
+        b.iter(|| {
+            ssn += 1;
+            f.record_store(black_box(ssn * 8), 8, Ssn(ssn));
+        });
+    });
+    g.bench_function("lookup", |b| {
+        let mut f = Tssbf::new(128, 4);
+        for i in 1..=64u64 {
+            f.record_store(i * 8, 8, Ssn(i));
+        }
+        b.iter(|| black_box(f.lookup(black_box(32 * 8), 8)));
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l1_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1d());
+        cache.access(0x1000);
+        b.iter(|| black_box(cache.access(black_box(0x1000))));
+    });
+}
+
+fn bench_bypass_value(c: &mut Criterion) {
+    c.bench_function("bypass/partial_word_transform", |b| {
+        b.iter(|| {
+            black_box(bypass::bypass_value(
+                black_box(0x1122_3344_5566_7788),
+                MemWidth::B8,
+                false,
+                4,
+                MemWidth::B2,
+                Extension::Sign,
+            ))
+        });
+    });
+}
+
+fn bench_tracer(c: &mut Criterion) {
+    let profile = Profile::by_name("gzip").unwrap();
+    let program = synthesize(profile, 42);
+    c.bench_function("tracer/10k_insts", |b| {
+        b.iter_batched(
+            || Tracer::new(&program, 10_000),
+            |t| black_box(t.count()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let profile = Profile::by_name("gsm.e").unwrap();
+    let program = synthesize(profile, 42);
+    let mut g = c.benchmark_group("simulate_10k");
+    g.sample_size(20);
+    g.bench_function("nosq", |b| {
+        b.iter(|| black_box(simulate(&program, SimConfig::nosq(10_000))));
+    });
+    g.bench_function("baseline", |b| {
+        b.iter(|| black_box(simulate(&program, SimConfig::baseline_storesets(10_000))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_predictor,
+    bench_tssbf,
+    bench_cache,
+    bench_bypass_value,
+    bench_tracer,
+    bench_end_to_end
+);
+criterion_main!(benches);

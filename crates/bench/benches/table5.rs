@@ -1,0 +1,106 @@
+//! Regenerates **Table 5**: store-load communication behaviour and
+//! bypassing-prediction accuracy for all 47 benchmarks.
+//!
+//! Left half (communication): measured from the workload trace with a
+//! 128-instruction window. Right half (mis-predictions per 10k loads, no
+//! delay vs delay, and % loads delayed): measured by simulating the NoSQ
+//! configurations. The paper's numbers are printed alongside.
+
+use nosq_bench::{all_profiles, dyn_insts, parallel_over_profiles, workload, SuiteTable};
+use nosq_core::{simulate, SimConfig};
+use nosq_trace::analyze_program;
+
+struct Row {
+    profile: &'static nosq_trace::Profile,
+    comm: f64,
+    partial: f64,
+    nd: f64,
+    d: f64,
+    delayed: f64,
+}
+
+fn main() {
+    let n = dyn_insts();
+    let profiles = all_profiles();
+    let rows: Vec<Row> = parallel_over_profiles(&profiles, |p| {
+        let program = workload(p);
+        let comm = analyze_program(&program, n, 128);
+        let nd = simulate(&program, SimConfig::nosq_no_delay(n));
+        let d = simulate(&program, SimConfig::nosq(n));
+        Row {
+            profile: p,
+            comm: comm.comm_pct(),
+            partial: comm.partial_pct(),
+            nd: nd.mispredicts_per_10k_loads(),
+            d: d.mispredicts_per_10k_loads(),
+            delayed: d.delayed_pct(),
+        }
+    });
+
+    let mut table = SuiteTable::new(format!(
+        "{:<9} | {:>6} {:>6} | {:>6} {:>6} | {:>7} {:>7} | {:>7} {:>7} | {:>6} {:>6}",
+        "Table 5",
+        "comm%",
+        "paper",
+        "part%",
+        "paper",
+        "mis-nd",
+        "paper",
+        "mis-d",
+        "paper",
+        "del%",
+        "paper"
+    ));
+    for r in &rows {
+        let p = r.profile;
+        table.row(
+            p.suite,
+            format!(
+                "{:<9} | {:>6.1} {:>6.1} | {:>6.1} {:>6.1} | {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {:>6.1} {:>6.1}",
+                p.name,
+                r.comm,
+                p.comm_pct,
+                r.partial,
+                p.partial_pct,
+                r.nd,
+                p.mispred_no_delay,
+                r.d,
+                p.mispred_delay,
+                r.delayed,
+                p.delayed_pct
+            ),
+        );
+    }
+    let summaries: Vec<_> = [
+        nosq_trace::Suite::MediaBench,
+        nosq_trace::Suite::SpecInt,
+        nosq_trace::Suite::SpecFp,
+    ]
+    .into_iter()
+    .map(|suite| {
+        let in_suite: Vec<&Row> = rows.iter().filter(|r| r.profile.suite == suite).collect();
+        let mean = |f: &dyn Fn(&Row) -> f64| {
+            in_suite.iter().map(|r| f(r)).sum::<f64>() / in_suite.len() as f64
+        };
+        (
+            suite,
+            format!(
+                "{:<9} | {:>6.1} {:>6} | {:>6.1} {:>6} | {:>7.1} {:>7} | {:>7.1} {:>7} | {:>6.1} {:>6}",
+                format!("{suite}.avg"),
+                mean(&|r| r.comm),
+                "",
+                mean(&|r| r.partial),
+                "",
+                mean(&|r| r.nd),
+                "",
+                mean(&|r| r.d),
+                "",
+                mean(&|r| r.delayed),
+                ""
+            ),
+        )
+    })
+    .collect();
+    table.print(&summaries);
+    println!("(measured at {n} dynamic instructions per run; paper columns from Table 5)");
+}

@@ -1,0 +1,195 @@
+//! # nosq-bench
+//!
+//! Harness utilities for regenerating the NoSQ paper's evaluation
+//! (Table 5 and Figures 2-5). Each `benches/` target is a standalone
+//! binary (`harness = false`) that prints the same rows/series the paper
+//! reports, with the paper's numbers alongside for comparison.
+//!
+//! The dynamic-instruction budget per run is controlled by the
+//! `NOSQ_DYN_INSTS` environment variable (default 150,000 — enough for
+//! the predictors to reach steady state while keeping `cargo bench
+//! --workspace` to a few minutes). Increase it for tighter numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nosq_core::{simulate, SimConfig, SimResult};
+use nosq_isa::Program;
+use nosq_trace::{synthesize, Profile, Suite};
+
+/// Workload seed shared by all harnesses (results are deterministic).
+pub const SEED: u64 = 42;
+
+/// Dynamic instructions per simulation (`NOSQ_DYN_INSTS`, default 150k).
+pub fn dyn_insts() -> u64 {
+    std::env::var("NOSQ_DYN_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150_000)
+}
+
+/// Synthesizes the calibrated workload for a profile.
+pub fn workload(profile: &Profile) -> Program {
+    synthesize(profile, SEED)
+}
+
+/// Runs one configuration over a profile's workload.
+pub fn run(profile: &Profile, cfg: SimConfig) -> SimResult {
+    let program = workload(profile);
+    simulate(&program, cfg)
+}
+
+/// Runs several configurations over one shared workload (cheaper than
+/// re-synthesizing per configuration).
+pub fn run_many(profile: &Profile, cfgs: Vec<SimConfig>) -> Vec<SimResult> {
+    let program = workload(profile);
+    cfgs.into_iter()
+        .map(|cfg| simulate(&program, cfg))
+        .collect()
+}
+
+/// Maps each profile through `f` in parallel (profiles are independent).
+pub fn parallel_over_profiles<T, F>(profiles: &[&'static Profile], f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&'static Profile) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(profiles.len().max(1));
+    if threads <= 1 {
+        return profiles.iter().map(|p| f(p)).collect();
+    }
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(profiles.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= profiles.len() {
+                    break;
+                }
+                let value = f(profiles[i]);
+                results_mutex.lock().expect("poisoned")[i] = Some(value);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|v| v.expect("every index filled"))
+        .collect()
+}
+
+/// All profiles, as static references.
+pub fn all_profiles() -> Vec<&'static Profile> {
+    Profile::all().iter().collect()
+}
+
+/// Formats a suite-grouped table: prints a separator and a per-suite
+/// aggregation row after each suite.
+pub struct SuiteTable {
+    header: String,
+    rows: Vec<(Suite, String)>,
+}
+
+impl SuiteTable {
+    /// Creates a table with the given header line.
+    pub fn new(header: impl Into<String>) -> SuiteTable {
+        SuiteTable {
+            header: header.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one benchmark row.
+    pub fn row(&mut self, suite: Suite, line: impl Into<String>) {
+        self.rows.push((suite, line.into()));
+    }
+
+    /// Prints the table with `summary` lines after each suite (keyed by
+    /// suite).
+    pub fn print(&self, summaries: &[(Suite, String)]) {
+        println!("{}", self.header);
+        println!("{}", "-".repeat(self.header.len().min(100)));
+        for suite in [Suite::MediaBench, Suite::SpecInt, Suite::SpecFp] {
+            let mut any = false;
+            for (s, line) in &self.rows {
+                if *s == suite {
+                    println!("{line}");
+                    any = true;
+                }
+            }
+            if any {
+                for (s, line) in summaries {
+                    if *s == suite {
+                        println!("{line}");
+                    }
+                }
+                println!();
+            }
+        }
+    }
+}
+
+/// Per-suite geometric means of (benchmark → value) pairs.
+pub fn suite_geomeans(values: &[(&'static Profile, f64)]) -> Vec<(Suite, f64)> {
+    [Suite::MediaBench, Suite::SpecInt, Suite::SpecFp]
+        .into_iter()
+        .map(|suite| {
+            let vals: Vec<f64> = values
+                .iter()
+                .filter(|(p, _)| p.suite == suite)
+                .map(|(_, v)| *v)
+                .collect();
+            (suite, nosq_core::geometric_mean(&vals))
+        })
+        .filter(|(_, g)| *g > 0.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyn_insts_has_sane_default() {
+        // Do not mutate the environment (other tests run in parallel);
+        // just check the default path when the var is absent.
+        if std::env::var("NOSQ_DYN_INSTS").is_err() {
+            assert_eq!(dyn_insts(), 150_000);
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let profiles = all_profiles();
+        let names = parallel_over_profiles(&profiles, |p| p.name.to_owned());
+        let expected: Vec<_> = profiles.iter().map(|p| p.name.to_owned()).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn run_produces_instructions() {
+        let p = Profile::by_name("gsm.e").unwrap();
+        let r = run(p, SimConfig::nosq(5_000));
+        assert!(r.insts > 4_000);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn suite_geomeans_group_correctly() {
+        let a = Profile::by_name("gzip").unwrap();
+        let b = Profile::by_name("applu").unwrap();
+        let g = suite_geomeans(&[(a, 2.0), (b, 8.0)]);
+        assert_eq!(g.len(), 2);
+        assert!(g
+            .iter()
+            .any(|(s, v)| *s == Suite::SpecInt && (*v - 2.0).abs() < 1e-12));
+        assert!(g
+            .iter()
+            .any(|(s, v)| *s == Suite::SpecFp && (*v - 8.0).abs() < 1e-12));
+    }
+}

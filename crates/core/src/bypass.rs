@@ -1,0 +1,171 @@
+//! Partial-word bypass value computation (paper §3.5).
+//!
+//! A partial-word store-load pair implicitly performs mask, shift,
+//! sign/zero-extend, and (for `sts`/`lds`) float-precision conversions on
+//! the value passed from DEF to USE. NoSQ mimics these with a speculative
+//! shift & mask instruction injected in place of the bypassed load: the
+//! store's size and type come non-speculatively from the SRQ; only the
+//! shift amount is predicted.
+
+use nosq_isa::exec::{load_extend, store_memory_bits};
+use nosq_isa::{Extension, MemWidth};
+
+/// Computes the value a bypassed load receives from the predicted store's
+/// data register.
+///
+/// * `store_data` — the store's data-register value (the short-circuited
+///   physical register's contents),
+/// * `store_width`/`store_float32` — the store's actual size and type
+///   (recorded in the SRQ, known non-speculatively),
+/// * `shift` — the *predicted* shift in bytes (load address − store
+///   address),
+/// * `load_width`/`load_ext` — the load's own size and extension
+///   (known from its opcode).
+///
+/// If the prediction is wrong (wrong store, wrong shift, or a multi-source
+/// load), the result is simply a wrong value — exactly what commit-stage
+/// value verification is for.
+pub fn bypass_value(
+    store_data: u64,
+    store_width: MemWidth,
+    store_float32: bool,
+    shift: u8,
+    load_width: MemWidth,
+    load_ext: Extension,
+) -> u64 {
+    // The bytes the store would put in memory...
+    let mem_bits = store_memory_bits(store_data, store_width, store_float32);
+    // ...shifted down to the load's position and masked to its width...
+    let shifted = if shift >= 8 {
+        0
+    } else {
+        mem_bits >> (8 * shift as u32)
+    };
+    let masked = match load_width {
+        MemWidth::B8 => shifted,
+        w => shifted & ((1u64 << (8 * w.bytes())) - 1),
+    };
+    // ...then widened exactly as the load would widen memory bytes.
+    load_extend(masked, load_width, load_ext)
+}
+
+/// Whether a bypass needs the injected shift & mask instruction (anything
+/// other than a full-word, shift-0, non-float pair is "difficult": it
+/// transforms the value in flight).
+pub fn needs_shift_mask(
+    store_width: MemWidth,
+    store_float32: bool,
+    shift: u8,
+    load_width: MemWidth,
+    load_ext: Extension,
+) -> bool {
+    store_width != MemWidth::B8
+        || store_float32
+        || shift != 0
+        || load_width != MemWidth::B8
+        || load_ext == Extension::Float32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_word_identity() {
+        let v = 0x1122_3344_5566_7788;
+        assert_eq!(
+            bypass_value(v, MemWidth::B8, false, 0, MemWidth::B8, Extension::Zero),
+            v
+        );
+        assert!(!needs_shift_mask(
+            MemWidth::B8,
+            false,
+            0,
+            MemWidth::B8,
+            Extension::Zero
+        ));
+    }
+
+    #[test]
+    fn narrow_load_of_wide_store_matches_memory_path() {
+        let v = 0x1122_3344_5566_7788u64;
+        // Load 2 bytes at +4: memory would hold 5566_7788,3344,1122... LE:
+        // bytes at offsets 4..5 are 0x3344.
+        let got = bypass_value(v, MemWidth::B8, false, 4, MemWidth::B2, Extension::Zero);
+        assert_eq!(got, 0x3344);
+        assert!(needs_shift_mask(
+            MemWidth::B8,
+            false,
+            4,
+            MemWidth::B2,
+            Extension::Zero
+        ));
+    }
+
+    #[test]
+    fn sign_extension_applied() {
+        let v = 0x0000_0000_0000_80FFu64;
+        let got = bypass_value(v, MemWidth::B2, false, 1, MemWidth::B1, Extension::Sign);
+        // Byte at offset 1 of the 2-byte store is 0x80 → sign-extends.
+        assert_eq!(got, 0xFFFF_FFFF_FFFF_FF80);
+    }
+
+    #[test]
+    fn float32_conversion_matches_memory_roundtrip() {
+        let f = 1.0f64 + 1e-12; // loses precision through f32
+        let got = bypass_value(
+            f.to_bits(),
+            MemWidth::B4,
+            true,
+            0,
+            MemWidth::B4,
+            Extension::Float32,
+        );
+        assert_eq!(f64::from_bits(got), f64::from(f as f32));
+        assert!(needs_shift_mask(
+            MemWidth::B4,
+            true,
+            0,
+            MemWidth::B4,
+            Extension::Float32
+        ));
+    }
+
+    #[test]
+    fn wrong_shift_gives_wrong_value() {
+        let v = 0x1122_3344_5566_7788u64;
+        let right = bypass_value(v, MemWidth::B8, false, 4, MemWidth::B2, Extension::Zero);
+        let wrong = bypass_value(v, MemWidth::B8, false, 2, MemWidth::B2, Extension::Zero);
+        assert_ne!(right, wrong);
+    }
+
+    #[test]
+    fn oversized_shift_yields_zero_bits() {
+        assert_eq!(
+            bypass_value(
+                u64::MAX,
+                MemWidth::B8,
+                false,
+                8,
+                MemWidth::B8,
+                Extension::Zero
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn narrow_store_masks_high_bytes() {
+        // A 1-byte store of 0xFFFF puts only 0xFF in memory; a 2-byte load
+        // at shift 0 sees 0x00FF (upper byte from elsewhere → zero here).
+        let got = bypass_value(
+            0xFFFF,
+            MemWidth::B1,
+            false,
+            0,
+            MemWidth::B2,
+            Extension::Zero,
+        );
+        assert_eq!(got, 0xFF);
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulation configuration: machine + load/store-unit model.
+
+use nosq_uarch::MachineConfig;
+
+use crate::predictor::PredictorConfig;
+
+/// Baseline load-scheduling policy (paper §4.3).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Oracle scheduling: loads wait exactly as long as needed, never
+    /// squash (the Figure 2 normalization baseline).
+    Perfect,
+    /// Realistic StoreSets-based scheduling.
+    StoreSets,
+}
+
+/// Which load/store unit the pipeline models.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LsuModel {
+    /// Conventional associative store queue with SVW-filtered
+    /// re-execution (the paper's baseline).
+    BaselineSq {
+        /// Load-scheduling policy.
+        scheduling: Scheduling,
+    },
+    /// NoSQ: exclusive speculative memory bypassing, no store queue,
+    /// stores execute in the commit pipeline.
+    Nosq {
+        /// Enable the confidence-based delay mechanism (paper §3.3).
+        delay: bool,
+    },
+    /// NoSQ with a perfect bypassing predictor and idealized partial-word
+    /// support (Figure 2's fourth bar).
+    NosqOracle,
+}
+
+impl LsuModel {
+    /// Whether this is a NoSQ variant (no store queue).
+    pub fn is_nosq(&self) -> bool {
+        !matches!(self, LsuModel::BaselineSq { .. })
+    }
+
+    /// Back-end commit-pipeline depth in stages: the baseline's 6 (setup,
+    /// SVW, 3× data cache, commit) vs NoSQ's 8 (setup, 2× register read,
+    /// agen/SVW, 3× data cache, commit) — paper §4.1.
+    pub fn backend_depth(&self) -> u64 {
+        if self.is_nosq() {
+            8
+        } else {
+            6
+        }
+    }
+}
+
+/// Complete configuration for one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Machine parameters (§4.1).
+    pub machine: MachineConfig,
+    /// Load/store-unit model.
+    pub lsu: LsuModel,
+    /// Bypassing-predictor sizing (NoSQ variants).
+    pub predictor: PredictorConfig,
+    /// Dynamic-instruction budget.
+    pub max_insts: u64,
+}
+
+impl SimConfig {
+    fn base(lsu: LsuModel, max_insts: u64) -> SimConfig {
+        SimConfig {
+            machine: MachineConfig::paper_default(),
+            lsu,
+            predictor: PredictorConfig::paper_default(),
+            max_insts,
+        }
+    }
+
+    /// The idealized baseline: associative SQ + perfect scheduling (the
+    /// denominator of every relative-execution-time figure).
+    pub fn baseline_perfect(max_insts: u64) -> SimConfig {
+        SimConfig::base(
+            LsuModel::BaselineSq {
+                scheduling: Scheduling::Perfect,
+            },
+            max_insts,
+        )
+    }
+
+    /// The realistic baseline: associative SQ + StoreSets scheduling.
+    pub fn baseline_storesets(max_insts: u64) -> SimConfig {
+        SimConfig::base(
+            LsuModel::BaselineSq {
+                scheduling: Scheduling::StoreSets,
+            },
+            max_insts,
+        )
+    }
+
+    /// NoSQ without delay (Figure 2's second bar).
+    pub fn nosq_no_delay(max_insts: u64) -> SimConfig {
+        SimConfig::base(LsuModel::Nosq { delay: false }, max_insts)
+    }
+
+    /// NoSQ with delay (Figure 2's third bar — the headline design).
+    pub fn nosq(max_insts: u64) -> SimConfig {
+        SimConfig::base(LsuModel::Nosq { delay: true }, max_insts)
+    }
+
+    /// Perfect SMB (Figure 2's fourth bar).
+    pub fn perfect_smb(max_insts: u64) -> SimConfig {
+        SimConfig::base(LsuModel::NosqOracle, max_insts)
+    }
+
+    /// Scales the machine to the 256-entry window of §4.4 (NoSQ's
+    /// bypassing predictor is intentionally *not* enlarged).
+    pub fn with_window256(mut self) -> SimConfig {
+        self.machine = MachineConfig::paper_window256();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_depths_match_paper() {
+        assert_eq!(
+            LsuModel::BaselineSq {
+                scheduling: Scheduling::Perfect
+            }
+            .backend_depth(),
+            6
+        );
+        assert_eq!(LsuModel::Nosq { delay: true }.backend_depth(), 8);
+        assert_eq!(LsuModel::NosqOracle.backend_depth(), 8);
+    }
+
+    #[test]
+    fn constructors_select_models() {
+        assert!(!SimConfig::baseline_storesets(1).lsu.is_nosq());
+        assert!(SimConfig::nosq(1).lsu.is_nosq());
+        assert!(SimConfig::perfect_smb(1).lsu.is_nosq());
+        let big = SimConfig::nosq(1).with_window256();
+        assert_eq!(big.machine.rob_size, 256);
+        assert_eq!(
+            big.predictor.entries_per_table,
+            PredictorConfig::paper_default().entries_per_table,
+            "bypassing predictor must not scale with the window"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # nosq-core
+//!
+//! A from-scratch reproduction of **NoSQ: Store-Load Communication
+//! without a Store Queue** (Tingting Sha, Milo M. K. Martin, Amir Roth;
+//! MICRO-39, 2006).
+//!
+//! NoSQ is a microarchitecture that performs *all* in-flight store-load
+//! communication through speculative memory bypassing (SMB): a
+//! decode-stage predictor classifies each load as bypassing or
+//! non-bypassing; bypassing loads skip the out-of-order engine entirely
+//! (their consumers are renamed onto the predicted store's data
+//! register), stores never execute out of order, and every load is
+//! verified by in-order re-execution filtered by an SMB-aware store
+//! vulnerability window.
+//!
+//! This crate supplies:
+//!
+//! * [`predictor`] — the hybrid path-sensitive, distance-based bypassing
+//!   predictor (paper §3.3),
+//! * [`srq`] — the store register queue (§3.2),
+//! * [`bypass`] — partial-word shift & mask value transforms (§3.5),
+//! * [`pipeline`] — a cycle-level simulator modelling the baseline
+//!   associative-store-queue design, NoSQ (± delay), and perfect SMB
+//!   (§4's configurations),
+//! * [`config`] / [`report`] — run configuration and result metrics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nosq_core::{simulate, SimConfig};
+//! use nosq_trace::{synthesize, Profile};
+//!
+//! let profile = Profile::by_name("gzip").unwrap();
+//! let program = synthesize(profile, 42);
+//! let nosq = simulate(&program, SimConfig::nosq(50_000));
+//! let base = simulate(&program, SimConfig::baseline_storesets(50_000));
+//! println!(
+//!     "gzip-like: NoSQ {:.2} IPC vs baseline {:.2} IPC",
+//!     nosq.ipc(),
+//!     base.ipc()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bypass;
+pub mod config;
+pub mod pipeline;
+pub mod predictor;
+pub mod report;
+pub mod srq;
+
+pub use config::{LsuModel, Scheduling, SimConfig};
+pub use pipeline::{simulate, Simulator};
+pub use predictor::{BypassingPredictor, PathHistory, Prediction, PredictorConfig};
+pub use report::{geometric_mean, SimResult};
+pub use srq::{StoreInfo, StoreRegisterQueue};

@@ -1,0 +1,1287 @@
+//! The cycle-level timing pipeline.
+//!
+//! One simulator models all five configurations the paper evaluates:
+//! the idealized and StoreSets baselines (associative store queue, paper
+//! Tables 1-2), NoSQ with and without delay (Tables 3-4), and perfect
+//! SMB. The model is *functional-first*: the [`Tracer`] supplies the
+//! correct-path dynamic stream, and the pipeline replays it with explicit
+//! ROB/IQ/LSQ occupancy, per-class issue slots, a commit-ordered memory
+//! image (so premature loads observe genuinely stale values), value-based
+//! verification with SVW filtering, and squash/refetch recovery.
+//!
+//! Within a cycle, stages run back to front (commit → issue → dispatch →
+//! fetch) so resources freed by commit are visible to issue in the same
+//! cycle but newly fetched instructions cannot dispatch early.
+
+pub(crate) mod nodes;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::VecDeque;
+
+use nosq_isa::exec::load_extend;
+use nosq_isa::{Inst, InstClass, MemWidth, Memory, Program, Reg};
+use nosq_trace::{Coverage, DynInst, Tracer};
+use nosq_uarch::branch::{Btb, HybridPredictor, ReturnAddressStack};
+use nosq_uarch::{MemoryHierarchy, Ssn, SsnCounters, StoreSets, Tlb, Tssbf, TssbfLookup};
+
+use crate::bypass::{bypass_value, needs_shift_mask};
+use crate::config::{LsuModel, Scheduling, SimConfig};
+use crate::predictor::{BypassingPredictor, PathHistory, Prediction};
+use crate::report::SimResult;
+use crate::srq::{StoreInfo, StoreRegisterQueue};
+
+use nodes::{NodeId, RegState};
+
+/// How a load obtains its value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum LoadMode {
+    /// Out-of-order cache access.
+    Normal,
+    /// Confidence-delayed: waits for the predicted store's commit, then
+    /// reads the cache (paper §3.3).
+    Delayed,
+    /// SMB bypass; `partial` bypasses go through the injected shift&mask
+    /// instruction (paper §3.5).
+    Bypassed {
+        /// Whether the shift & mask instruction was injected.
+        partial: bool,
+    },
+}
+
+#[derive(Copy, Clone, Debug)]
+struct LoadState {
+    mode: LoadMode,
+    /// Baseline: wait until this store's address generation completes.
+    wait_exec: Option<Ssn>,
+    /// Wait until this store's committed value is cache-visible.
+    wait_commit: Option<Ssn>,
+    /// Youngest store the load is not vulnerable to.
+    ssn_nvul: Ssn,
+    /// Predicted bypassing store (NoSQ).
+    ssn_byp: Option<Ssn>,
+    /// The value obtained at execute / bypass.
+    exec_value: u64,
+    /// Decode-stage prediction, for training.
+    pred: Option<Prediction>,
+    /// Oracle loads skip verification entirely.
+    oracle: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    uid: u64,
+    d: DynInst,
+    path_snap: u64,
+    bpred_snap: u64,
+    ras_snap: (usize, usize),
+    // Rename results.
+    map_reg: Option<Reg>,
+    map_node: Option<NodeId>,
+    prev_node: Option<NodeId>,
+    srcs: [Option<NodeId>; 2],
+    // Scheduling.
+    in_iq: bool,
+    issued: bool,
+    complete_cycle: u64,
+    mispredicted_branch: bool,
+    // Memory.
+    ssn: Ssn,
+    load: Option<LoadState>,
+    holds_lq: bool,
+    holds_sq: bool,
+    /// The store holds a reference on its data node until commit
+    /// (NoSQ) or execute (baseline data capture).
+    store_data_ref: Option<NodeId>,
+}
+
+struct Fetched {
+    d: DynInst,
+    uid: u64,
+    fetch_cycle: u64,
+    path_snap: u64,
+    bpred_snap: u64,
+    ras_snap: (usize, usize),
+    mispredicted_branch: bool,
+}
+
+/// The simulator for one (program, configuration) pair.
+pub struct Simulator<'p> {
+    cfg: SimConfig,
+    clock: u64,
+    next_uid: u64,
+    // Instruction supply.
+    stream: Tracer<'p>,
+    stream_done: bool,
+    pending: VecDeque<DynInst>,
+    fetch_buffer: VecDeque<Fetched>,
+    // Window.
+    rob: VecDeque<Entry>,
+    backend_exits: VecDeque<u64>,
+    iq_used: usize,
+    lq_used: usize,
+    sq_used: usize,
+    // Register state.
+    regs: RegState,
+    // Memory.
+    timing_mem: Memory,
+    hierarchy: MemoryHierarchy,
+    // Front end.
+    bpred: HybridPredictor,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    path: PathHistory,
+    fetch_stall_until: u64,
+    fetch_stalled_on: Option<u64>,
+    halt_fetched: bool,
+    // NoSQ / SVW machinery.
+    ssn: SsnCounters,
+    srq: StoreRegisterQueue,
+    tssbf: Tssbf,
+    predictor: BypassingPredictor,
+    storesets: StoreSets,
+    draining_for_wrap: bool,
+    // Results.
+    stats: SimResult,
+    done: bool,
+    mispredict_pcs: std::collections::HashMap<u64, u64>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Builds a simulator over `program`.
+    pub fn new(program: &'p Program, cfg: SimConfig) -> Simulator<'p> {
+        let m = &cfg.machine;
+        Simulator {
+            clock: 0,
+            next_uid: 0,
+            stream: Tracer::new(program, cfg.max_insts),
+            stream_done: false,
+            pending: VecDeque::new(),
+            fetch_buffer: VecDeque::new(),
+            rob: VecDeque::new(),
+            backend_exits: VecDeque::new(),
+            iq_used: 0,
+            lq_used: 0,
+            sq_used: 0,
+            regs: RegState::new(m.phys_regs),
+            timing_mem: program.initial_memory(),
+            hierarchy: MemoryHierarchy::new(
+                m.l1d,
+                m.l2,
+                Tlb::new(m.dtlb_entries, m.dtlb_ways),
+                m.mem_latency,
+                m.tlb_miss_penalty,
+            ),
+            bpred: HybridPredictor::new(m.bpred),
+            btb: Btb::new(m.btb_entries, m.btb_ways),
+            ras: ReturnAddressStack::new(m.ras_depth),
+            path: PathHistory::new(),
+            fetch_stall_until: 0,
+            fetch_stalled_on: None,
+            halt_fetched: false,
+            ssn: SsnCounters::new(m.ssn_bits),
+            srq: StoreRegisterQueue::new(8192),
+            tssbf: Tssbf::new(128, 4),
+            predictor: BypassingPredictor::new(cfg.predictor),
+            storesets: StoreSets::new(4096),
+            draining_for_wrap: false,
+            stats: SimResult::default(),
+            cfg,
+            done: false,
+            mispredict_pcs: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Runs to completion and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (an internal invariant
+    /// violation), bounded by a generous cycle cap.
+    pub fn run(mut self) -> SimResult {
+        let cycle_cap = 1_000_000 + self.cfg.max_insts.saturating_mul(300);
+        while !self.done {
+            self.clock += 1;
+            assert!(
+                self.clock < cycle_cap,
+                "pipeline deadlock at cycle {} (retired {} insts)",
+                self.clock,
+                self.stats.insts
+            );
+            self.drain_backend_exits();
+            self.commit_stage();
+            self.issue_stage();
+            self.dispatch_stage();
+            self.fetch_stage();
+            self.wrap_stage();
+            self.check_done();
+        }
+        self.stats.cycles = self.clock;
+        if !self.mispredict_pcs.is_empty() {
+            let mut v: Vec<_> = self.mispredict_pcs.iter().collect();
+            v.sort_by_key(|(_, c)| std::cmp::Reverse(**c));
+            for (pc, c) in v.iter().take(10) {
+                eprintln!("  mispredict pc={pc:#x} count={c}");
+            }
+        }
+        self.stats
+    }
+
+    fn check_done(&mut self) {
+        if (self.stream_done || self.halt_fetched)
+            && self.pending.is_empty()
+            && self.fetch_buffer.is_empty()
+            && self.rob.is_empty()
+            && self.backend_exits.is_empty()
+        {
+            self.done = true;
+        }
+    }
+
+    fn backend_depth(&self) -> u64 {
+        self.cfg.lsu.backend_depth()
+    }
+
+    fn drain_backend_exits(&mut self) {
+        while self.backend_exits.front().is_some_and(|&t| t <= self.clock) {
+            self.backend_exits.pop_front();
+        }
+    }
+
+    fn rob_occupancy(&self) -> usize {
+        self.rob.len() + self.backend_exits.len()
+    }
+
+    // ----------------------------------------------------------------
+    // Commit / back-end.
+    // ----------------------------------------------------------------
+
+    fn store_committed_visible(&self, ssn: Ssn) -> bool {
+        if ssn > self.ssn.commit() {
+            return false;
+        }
+        match self.srq.get(ssn) {
+            Some(info) => info.commit_visible <= self.clock,
+            None => true, // long committed, ring slot recycled
+        }
+    }
+
+    fn commit_stage(&mut self) {
+        let mut dcache_port = 1u32;
+        let mut committed = 0usize;
+        while committed < self.cfg.machine.width {
+            let Some(head) = self.rob.front() else { break };
+            if head.complete_cycle > self.clock {
+                break;
+            }
+            let class = head.d.class;
+            // Port reservation before any effect.
+            let needs_port_now = match class {
+                InstClass::Store => true,
+                InstClass::Load => self.load_needs_reexec(head),
+                _ => false,
+            };
+            if needs_port_now && dcache_port == 0 {
+                break;
+            }
+
+            let entry = self.rob.pop_front().expect("head exists");
+            self.backend_exits
+                .push_back(self.clock + self.backend_depth());
+            committed += 1;
+
+            let mut squash = false;
+            match class {
+                InstClass::Store => {
+                    dcache_port -= 1;
+                    self.commit_store(&entry);
+                }
+                InstClass::Load => {
+                    if needs_port_now {
+                        dcache_port -= 1;
+                    }
+                    squash = self.verify_load(&entry, needs_port_now);
+                }
+                _ => {}
+            }
+
+            self.retire_bookkeeping(&entry);
+            if squash {
+                self.squash_younger_than_head();
+                break;
+            }
+        }
+    }
+
+    /// Store effects at its data-cache stage: write the commit-ordered
+    /// memory image, update the T-SSBF and SSN counters (paper Table 4).
+    fn commit_store(&mut self, entry: &Entry) {
+        let d = &entry.d;
+        let width = d.rec.inst.mem_width().expect("store width");
+        self.timing_mem
+            .write(d.rec.addr, width.bytes(), d.rec.store_mem_bits);
+        self.tssbf
+            .record_store(d.rec.addr, width.bytes() as u8, entry.ssn);
+        self.hierarchy.store_commit(d.rec.addr);
+        self.ssn.commit_store();
+        let visible = self.clock + self.backend_depth() - 2;
+        if let Some(info) = self.srq.get_mut(entry.ssn) {
+            info.commit_visible = visible;
+        }
+        self.stats.stores += 1;
+        if entry.holds_sq {
+            self.sq_used -= 1;
+        }
+        // NoSQ stores release their data-register pin here (the commit
+        // pipeline has now read the register file).
+        if self.cfg.lsu.is_nosq() {
+            if let Some(node) = entry.store_data_ref {
+                self.regs.release(node);
+            }
+        }
+    }
+
+    /// SVW filter decision for the load at the ROB head (paper §3.4: the
+    /// equality test for bypassed loads, the inequality test otherwise).
+    fn load_needs_reexec(&self, entry: &Entry) -> bool {
+        let Some(ls) = &entry.load else { return false };
+        if ls.oracle {
+            return false;
+        }
+        let width = entry.d.rec.inst.mem_width().expect("load width").bytes() as u8;
+        match ls.mode {
+            LoadMode::Bypassed { .. } => {
+                self.tssbf
+                    .must_reexecute_equality(entry.d.rec.addr, width, ls.ssn_nvul)
+            }
+            _ => self
+                .tssbf
+                .must_reexecute_inequality(entry.d.rec.addr, width, ls.ssn_nvul),
+        }
+    }
+
+    /// Verifies a load at commit. Returns `true` if younger instructions
+    /// must be squashed.
+    fn verify_load(&mut self, entry: &Entry, reexec: bool) -> bool {
+        let ls = entry.load.as_ref().expect("load state");
+        let d = &entry.d;
+        let width = d.rec.inst.mem_width().expect("load width");
+        self.stats.loads += 1;
+        if let Some(dep) = d.mem_dep {
+            if dep.inst_distance < self.cfg.machine.rob_size as u64 {
+                self.stats.comm_loads += 1;
+                if d.is_partial_word_comm() {
+                    self.stats.partial_comm_loads += 1;
+                }
+            }
+        }
+        if entry.holds_lq {
+            self.lq_used -= 1;
+        }
+        if ls.oracle {
+            self.stats.reexec_filtered += 1;
+            return false;
+        }
+
+        let mut mispredict = false;
+        if reexec {
+            self.stats.backend_dcache_reads += 1;
+            // All older stores have committed: this read is correct.
+            let raw = self.timing_mem.read(d.rec.addr, width.bytes());
+            let ext = match d.rec.inst {
+                Inst::Load { ext, .. } => ext,
+                _ => unreachable!("load entry holds a load"),
+            };
+            let ndata = load_extend(raw, width, ext);
+            debug_assert_eq!(ndata, d.rec.load_value, "re-execution must be correct");
+            self.hierarchy.load_latency(d.rec.addr); // cache state effects
+            if ndata != ls.exec_value {
+                mispredict = true;
+            }
+        } else {
+            self.stats.reexec_filtered += 1;
+            // The filter said the value is provably correct — except for a
+            // predicted shift, which is verified without replay (§3.5).
+            if let LoadMode::Bypassed { .. } = ls.mode {
+                if let TssbfLookup::Hit(e) = self.tssbf.lookup(d.rec.addr, width.bytes() as u8) {
+                    let actual_shift = d.rec.addr.wrapping_sub(e.store_addr()) as u8;
+                    let predicted_shift = ls.pred.map(|p| p.shift).unwrap_or(0);
+                    if actual_shift != predicted_shift {
+                        mispredict = true;
+                    } else {
+                        debug_assert_eq!(
+                            ls.exec_value, d.rec.load_value,
+                            "filtered bypass with correct shift must be correct"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Train the machinery.
+        match self.cfg.lsu {
+            LsuModel::BaselineSq { .. } => {
+                if mispredict {
+                    self.stats.ordering_squashes += 1;
+                    if let Some(dep_ssn) = d.dep_ssn() {
+                        if let Some(info) = self.srq.get(Ssn(dep_ssn)) {
+                            self.storesets.train_violation(d.rec.pc, info.pc);
+                        }
+                    }
+                }
+            }
+            LsuModel::Nosq { .. } => self.train_bypass_predictor(entry, ls, mispredict),
+            LsuModel::NosqOracle => {}
+        }
+        mispredict
+    }
+
+    fn train_bypass_predictor(&mut self, entry: &Entry, ls: &LoadState, mispredict: bool) {
+        let d = &entry.d;
+        let mut history = PathHistory::new();
+        history.restore(entry.path_snap);
+        if mispredict {
+            self.stats.bypass_mispredicts += 1;
+            if std::env::var_os("NOSQ_DEBUG_MISPREDICTS").is_some() {
+                *self.mispredict_pcs.entry(d.rec.pc).or_insert(0) += 1;
+            }
+            let width = d.rec.inst.mem_width().expect("load width").bytes() as u8;
+            // Compute the actual distance/shift from the T-SSBF (§3.1:
+            // distbyp = SSNcommit − T-SSBF[addr]; at the load's commit
+            // SSNcommit equals its rename-time SSNrename).
+            let actual = match self.tssbf.lookup(d.rec.addr, width) {
+                TssbfLookup::Hit(e) => {
+                    let dist = d.stores_before.saturating_sub(e.ssn.0);
+                    if dist <= 63 {
+                        let shift = if e.covers(d.rec.addr, width) {
+                            d.rec.addr.wrapping_sub(e.store_addr()) as u8
+                        } else {
+                            0
+                        };
+                        Some((dist as u16, shift))
+                    } else {
+                        None // beyond the 6-bit distance field
+                    }
+                }
+                _ => None,
+            };
+            let had_path = ls.pred.map(|p| p.path_sensitive).unwrap_or(false);
+            self.predictor
+                .train_mispredict(d.rec.pc, &history, had_path, actual);
+        } else if ls.pred.is_some() {
+            self.predictor.train_correct(d.rec.pc, &history);
+        }
+    }
+
+    /// Frees rename-side resources for a retiring entry.
+    fn retire_bookkeeping(&mut self, entry: &Entry) {
+        self.stats.insts += 1;
+        if entry.map_reg.is_some() {
+            if let Some(prev) = entry.prev_node {
+                self.regs.release(prev);
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Squash.
+    // ----------------------------------------------------------------
+
+    /// Squashes everything younger than the (already popped) ROB head:
+    /// the whole ROB, the fetch buffer, and re-queues their dynamic
+    /// instructions for refetch.
+    fn squash_younger_than_head(&mut self) {
+        // Reverse walk for rename rollback.
+        let entries: Vec<Entry> = self.rob.drain(..).collect();
+        for e in entries.iter().rev() {
+            if let Some(reg) = e.map_reg {
+                self.regs.remap(reg, e.prev_node);
+                if let Some(node) = e.map_node {
+                    self.regs.release(node);
+                }
+            }
+            if e.in_iq && !e.issued {
+                self.iq_used -= 1;
+            }
+            if e.holds_lq {
+                self.lq_used -= 1;
+            }
+            if e.holds_sq {
+                self.sq_used -= 1;
+            }
+            if e.d.class == InstClass::Store {
+                if let Some(node) = e.store_data_ref {
+                    // Baseline releases at execute; if unexecuted (or
+                    // NoSQ, which releases at commit), release now.
+                    if self.cfg.lsu.is_nosq() || !e.issued {
+                        self.regs.release(node);
+                    }
+                }
+                self.srq.invalidate(e.ssn);
+                self.storesets.store_resolved(e.d.rec.pc, e.ssn);
+            }
+        }
+        // Roll the rename SSN back to the squash point.
+        if let Some(first) = entries.first() {
+            self.ssn.rollback_rename(Ssn(first.d.stores_before));
+        } else if let Some(fb) = self.fetch_buffer.front() {
+            self.ssn.rollback_rename(Ssn(fb.d.stores_before));
+        }
+        // Restore front-end speculative state to the oldest squashed
+        // instruction's snapshots.
+        let front_snap = entries
+            .first()
+            .map(|e| (e.path_snap, e.bpred_snap, e.ras_snap))
+            .or_else(|| {
+                self.fetch_buffer
+                    .front()
+                    .map(|f| (f.path_snap, f.bpred_snap, f.ras_snap))
+            });
+        if let Some((path, bh, ras)) = front_snap {
+            self.path.restore(path);
+            self.bpred.set_history(bh);
+            self.ras.restore(ras);
+        }
+        // Re-queue dynamic instructions in program order.
+        let mut replay: Vec<DynInst> = entries.into_iter().map(|e| e.d).collect();
+        replay.extend(self.fetch_buffer.drain(..).map(|f| f.d));
+        for d in replay.into_iter().rev() {
+            self.pending.push_front(d);
+        }
+        self.fetch_stalled_on = None;
+        // A squashed halt returns to `pending` and must be refetched.
+        self.halt_fetched = false;
+        // Mis-speculation is detected at the end of the back-end pipe;
+        // refetch begins after the redirect.
+        self.fetch_stall_until = self.clock + self.backend_depth() - 1;
+    }
+
+    // ----------------------------------------------------------------
+    // Issue.
+    // ----------------------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        let m = &self.cfg.machine;
+        let mut total = m.width;
+        let mut simple = m.simple_int_slots;
+        let mut complex = m.complex_slots;
+        let mut branch = m.branch_slots;
+        let mut load = m.load_slots;
+        let mut store = m.store_slots;
+
+        for i in 0..self.rob.len() {
+            if total == 0 {
+                break;
+            }
+            let e = &self.rob[i];
+            if !e.in_iq || e.issued {
+                continue;
+            }
+            // Issue class: partial bypasses occupy a simple-int slot for
+            // the injected shift & mask instruction.
+            let class = match (&e.d.class, &e.load) {
+                (
+                    InstClass::Load,
+                    Some(LoadState {
+                        mode: LoadMode::Bypassed { .. },
+                        ..
+                    }),
+                ) => InstClass::SimpleInt,
+                (c, _) => *c,
+            };
+            let slot = match class {
+                InstClass::SimpleInt | InstClass::Halt => &mut simple,
+                InstClass::Complex => &mut complex,
+                InstClass::Branch => &mut branch,
+                InstClass::Load => &mut load,
+                InstClass::Store => &mut store,
+            };
+            if *slot == 0 {
+                continue;
+            }
+            // Operand readiness.
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .map(|&n| self.regs.ready(Some(n)))
+                .max()
+                .unwrap_or(0);
+            if ready > self.clock {
+                continue;
+            }
+            // Memory scheduling constraints.
+            if class == InstClass::Load && !self.load_may_issue(i) {
+                continue;
+            }
+            *slot -= 1;
+            total -= 1;
+            self.do_issue(i);
+        }
+    }
+
+    /// Load-specific scheduling gates; may rewrite the load's wait state.
+    fn load_may_issue(&mut self, idx: usize) -> bool {
+        let e = &self.rob[idx];
+        let ls = e.load.as_ref().expect("load state");
+        if let Some(ssn) = ls.wait_commit {
+            if !self.store_committed_visible(ssn) {
+                return false;
+            }
+        }
+        if let Some(ssn) = ls.wait_exec {
+            if ssn > self.ssn.commit() {
+                match self.srq.get(ssn) {
+                    Some(info) if info.exec_cycle > self.clock => {
+                        // The perfect-scheduling oracle waits only when
+                        // issuing now would actually produce a wrong value:
+                        // if the stale memory image already matches the
+                        // architectural value, speculating is squash-free
+                        // under value-based verification.
+                        let oracle = matches!(
+                            self.cfg.lsu,
+                            LsuModel::BaselineSq {
+                                scheduling: Scheduling::Perfect
+                            }
+                        );
+                        if oracle {
+                            let d = &self.rob[idx].d;
+                            if let Inst::Load { width, ext, .. } = d.rec.inst {
+                                let stale = load_extend(
+                                    self.timing_mem.read(d.rec.addr, width.bytes()),
+                                    width,
+                                    ext,
+                                );
+                                if stale == d.rec.load_value {
+                                    return true;
+                                }
+                            }
+                        }
+                        return false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Baseline forwarding: if the true producing store has executed,
+        // the load will forward — but only once the store's data is
+        // ready; a partial-coverage match cannot forward at all and
+        // converts to a wait-for-commit (replay).
+        if !self.cfg.lsu.is_nosq() {
+            if let Some(dep_ssn) = e.d.dep_ssn().map(Ssn) {
+                if dep_ssn > self.ssn.commit() && ls.wait_commit.is_none() {
+                    if let Some(info) = self.srq.get(dep_ssn) {
+                        if info.exec_cycle <= self.clock {
+                            let coverage = e.d.mem_dep.expect("dep exists").coverage;
+                            if coverage == Coverage::Partial {
+                                let ls = self.rob[idx].load.as_mut().expect("load");
+                                ls.wait_commit = Some(dep_ssn);
+                                return false;
+                            }
+                            if self.regs.ready(info.dtag_node) > self.clock {
+                                return false; // forward data not ready yet
+                            }
+                        }
+                    }
+                } else if dep_ssn > self.ssn.commit() && ls.wait_commit.is_some() {
+                    // Already converted to wait-for-commit above.
+                }
+            }
+        }
+        true
+    }
+
+    fn do_issue(&mut self, idx: usize) {
+        let rr = self.cfg.machine.regread_depth;
+        let e = &self.rob[idx];
+        let class = e.d.class;
+        let alu = match e.d.rec.inst {
+            Inst::Alu { kind, .. } => Some(kind),
+            _ => None,
+        };
+        let uid = e.uid;
+        let was_mispredicted = e.mispredicted_branch;
+
+        let (exec_total, extra) = match (&class, &e.load) {
+            (InstClass::Load, Some(ls)) => match ls.mode {
+                LoadMode::Bypassed { .. } => (1, 0), // shift & mask uop
+                _ => {
+                    let lat = self.hierarchy.load_latency(e.d.rec.addr);
+                    self.stats.ooo_dcache_reads += 1;
+                    (1 + lat, 0)
+                }
+            },
+            _ => (self.cfg.machine.exec_latency(class, alu), 0u64),
+        };
+        let complete = self.clock + rr + exec_total + extra;
+
+        let e = &mut self.rob[idx];
+        e.issued = true;
+        e.in_iq = false;
+        self.iq_used -= 1;
+        e.complete_cycle = complete;
+        if let Some(node) = e.map_node {
+            self.regs.set_ready(node, self.clock + exec_total);
+        }
+
+        match class {
+            InstClass::Branch if was_mispredicted && self.fetch_stalled_on == Some(uid) => {
+                self.fetch_stalled_on = None;
+                self.fetch_stall_until = complete;
+            }
+            InstClass::Branch => {}
+            InstClass::Store => {
+                // Baseline store execution: address generation + data
+                // capture; the captured register pin is released.
+                let ssn = self.rob[idx].ssn;
+                let pc = self.rob[idx].d.rec.pc;
+                if let Some(info) = self.srq.get_mut(ssn) {
+                    info.exec_cycle = complete;
+                }
+                self.storesets.store_resolved(pc, ssn);
+                if let Some(node) = self.rob[idx].store_data_ref.take() {
+                    self.regs.release(node);
+                }
+            }
+            InstClass::Load => self.execute_load(idx),
+            _ => {}
+        }
+    }
+
+    /// Computes a non-bypassed load's value from the commit-ordered
+    /// memory image (stale if an in-flight store should have fed it), or
+    /// forwards from the producing store in the baseline.
+    fn execute_load(&mut self, idx: usize) {
+        let e = &self.rob[idx];
+        let d = e.d;
+        let (width, ext) = match d.rec.inst {
+            Inst::Load { width, ext, .. } => (width, ext),
+            _ => unreachable!("load entry"),
+        };
+        let mode = e.load.as_ref().expect("load state").mode;
+        if let LoadMode::Bypassed { .. } = mode {
+            return; // value was computed at rename
+        }
+
+        let mut exec_value =
+            load_extend(self.timing_mem.read(d.rec.addr, width.bytes()), width, ext);
+        let mut ssn_nvul = self.ssn.commit();
+        if !self.cfg.lsu.is_nosq() {
+            if let Some(dep_ssn) = d.dep_ssn().map(Ssn) {
+                if dep_ssn > self.ssn.commit() {
+                    if let Some(info) = self.srq.get(dep_ssn) {
+                        let full = d.mem_dep.expect("dep").coverage == Coverage::Full;
+                        if info.exec_cycle <= self.clock
+                            && full
+                            && self.regs.ready(info.dtag_node) <= self.clock
+                        {
+                            // Store-queue forwarding: correct by
+                            // construction (address-checked).
+                            exec_value = d.rec.load_value;
+                            ssn_nvul = dep_ssn;
+                            self.stats.sq_forwards += 1;
+                        }
+                        // Otherwise: the load speculated past an
+                        // unexecuted store; exec_value is stale and SVW
+                        // re-execution will catch a real mismatch.
+                    }
+                }
+            }
+        }
+        let ls = self.rob[idx].load.as_mut().expect("load state");
+        ls.exec_value = exec_value;
+        ls.ssn_nvul = ssn_nvul;
+    }
+
+    // ----------------------------------------------------------------
+    // Dispatch (decode/rename).
+    // ----------------------------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        if self.draining_for_wrap {
+            return;
+        }
+        for _ in 0..self.cfg.machine.width {
+            let Some(f) = self.fetch_buffer.front() else {
+                break;
+            };
+            if f.fetch_cycle + self.cfg.machine.front_depth > self.clock {
+                break;
+            }
+            if !self.dispatch_one() {
+                break;
+            }
+        }
+    }
+
+    /// Renames and dispatches the oldest fetched instruction; returns
+    /// `false` (leaving it in place) on a structural stall.
+    fn dispatch_one(&mut self) -> bool {
+        let m = self.cfg.machine.clone();
+        if self.rob_occupancy() >= m.rob_size {
+            return false;
+        }
+        let f = self.fetch_buffer.front().expect("caller checked");
+        let d = f.d;
+        let class = d.class;
+        let is_nosq = self.cfg.lsu.is_nosq();
+
+        // --- Resource checks (no mutation yet) ---
+        let needs_dest = d.rec.inst.dest().is_some();
+        let mut needs_iq =
+            !matches!(class, InstClass::Halt) && !matches!(d.rec.inst, Inst::Jump { .. });
+        let mut needs_lq = false;
+        let mut needs_sq = false;
+        let mut load_plan: Option<(LoadMode, Option<Prediction>, Option<Ssn>)> = None;
+
+        match class {
+            InstClass::Store => {
+                if is_nosq {
+                    needs_iq = false;
+                } else {
+                    needs_sq = true;
+                    if self.sq_used >= m.sq_size {
+                        self.stats.sq_dispatch_stalls += 1;
+                        return false;
+                    }
+                }
+            }
+            InstClass::Load => {
+                if !is_nosq {
+                    needs_lq = true;
+                    if self.lq_used >= m.lq_size {
+                        return false;
+                    }
+                } else {
+                    // NoSQ decode-stage bypassing prediction.
+                    let (mode, pred, ssn_byp) = self.plan_nosq_load(&d, f.path_snap);
+                    if matches!(mode, LoadMode::Bypassed { partial: false }) {
+                        needs_iq = false;
+                    }
+                    load_plan = Some((mode, pred, ssn_byp));
+                }
+            }
+            _ => {}
+        }
+
+        if needs_iq && self.iq_used >= m.iq_size {
+            self.stats.iq_dispatch_stalls += 1;
+            return false;
+        }
+        let pure_bypass = matches!(
+            load_plan,
+            Some((LoadMode::Bypassed { partial: false }, _, _))
+        );
+        if needs_dest && !pure_bypass && !self.regs.can_alloc() {
+            self.stats.reg_dispatch_stalls += 1;
+            return false;
+        }
+
+        // --- Commit the dispatch ---
+        let f = self.fetch_buffer.pop_front().expect("still present");
+        let srcs = self.rename_sources(&d, &load_plan);
+        let mut entry = Entry {
+            uid: f.uid,
+            d,
+            path_snap: f.path_snap,
+            bpred_snap: f.bpred_snap,
+            ras_snap: f.ras_snap,
+            map_reg: None,
+            map_node: None,
+            prev_node: None,
+            srcs,
+            in_iq: needs_iq,
+            issued: false,
+            complete_cycle: if needs_iq { u64::MAX } else { self.clock },
+            mispredicted_branch: f.mispredicted_branch,
+            ssn: Ssn::NONE,
+            load: None,
+            holds_lq: needs_lq,
+            holds_sq: needs_sq,
+            store_data_ref: None,
+        };
+        if needs_iq {
+            self.iq_used += 1;
+        }
+        if needs_lq {
+            self.lq_used += 1;
+        }
+        if needs_sq {
+            self.sq_used += 1;
+        }
+
+        match class {
+            InstClass::Store => self.dispatch_store(&mut entry),
+            InstClass::Load => self.dispatch_load(&mut entry, load_plan.take()),
+            _ => {
+                if let Some(rd) = d.rec.inst.dest() {
+                    let node = self.regs.alloc();
+                    entry.prev_node = self.regs.remap(rd, Some(node));
+                    entry.map_reg = Some(rd);
+                    entry.map_node = Some(node);
+                }
+            }
+        }
+        self.rob.push_back(entry);
+        true
+    }
+
+    fn rename_sources(
+        &self,
+        d: &DynInst,
+        load_plan: &Option<(LoadMode, Option<Prediction>, Option<Ssn>)>,
+    ) -> [Option<NodeId>; 2] {
+        // A pure bypassed load has no out-of-order sources; a partial
+        // bypass consumes only the store's data node (set later).
+        if let Some((LoadMode::Bypassed { .. }, _, _)) = load_plan {
+            return [None, None];
+        }
+        let mut srcs = [None, None];
+        for (i, reg) in d.rec.inst.sources().into_iter().enumerate() {
+            if let Some(r) = reg {
+                srcs[i] = self.regs.mapping(r);
+            }
+        }
+        srcs
+    }
+
+    fn dispatch_store(&mut self, entry: &mut Entry) {
+        let d = &entry.d;
+        let (data_reg, width, float32) = match d.rec.inst {
+            Inst::Store {
+                data,
+                width,
+                float32,
+                ..
+            } => (data, width, float32),
+            _ => unreachable!("store entry"),
+        };
+        let ssn = self.ssn.next_rename();
+        debug_assert_eq!(ssn.0, d.stores_before + 1, "ssn tracks the trace");
+        entry.ssn = ssn;
+        let dtag_node = self.regs.mapping(data_reg);
+        if let Some(node) = dtag_node {
+            self.regs.add_ref(node); // pinned until capture (baseline) or commit (NoSQ)
+            entry.store_data_ref = Some(node);
+        }
+        self.srq.insert(StoreInfo {
+            ssn,
+            pc: d.rec.pc,
+            addr: d.rec.addr,
+            width: width.bytes() as u8,
+            float32,
+            data_value: d.rec.store_data,
+            dtag_node,
+            exec_cycle: u64::MAX,
+            commit_visible: u64::MAX,
+        });
+        if !self.cfg.lsu.is_nosq() {
+            self.storesets.rename_store(d.rec.pc, ssn);
+        }
+        // NoSQ: the store is complete at rename (Table 3: "nothing!").
+        if self.cfg.lsu.is_nosq() {
+            entry.complete_cycle = self.clock;
+        }
+    }
+
+    /// Decode-stage classification of a NoSQ load (paper Table 3).
+    fn plan_nosq_load(
+        &mut self,
+        d: &DynInst,
+        path_snap: u64,
+    ) -> (LoadMode, Option<Prediction>, Option<Ssn>) {
+        if self.cfg.lsu == LsuModel::NosqOracle {
+            // Perfect SMB: bypass exactly the loads with an in-flight
+            // producing store, with idealized partial-word support.
+            if let Some(dep_ssn) = d.dep_ssn().map(Ssn) {
+                if dep_ssn > self.ssn.commit() {
+                    return (LoadMode::Bypassed { partial: false }, None, Some(dep_ssn));
+                }
+            }
+            return (LoadMode::Normal, None, None);
+        }
+        let delay_enabled = matches!(self.cfg.lsu, LsuModel::Nosq { delay: true });
+        let mut history = PathHistory::new();
+        history.restore(path_snap);
+        let pred = self.predictor.predict(d.rec.pc, &history);
+        let Some(p) = pred else {
+            return (LoadMode::Normal, None, None);
+        };
+        let ssn_byp = Ssn(self.ssn.rename().0.saturating_sub(p.dist as u64));
+        if ssn_byp <= self.ssn.commit() || ssn_byp == Ssn::NONE {
+            // Predicted store already committed: non-bypassing.
+            return (LoadMode::Normal, pred, None);
+        }
+        if delay_enabled && !p.confident {
+            return (LoadMode::Delayed, pred, Some(ssn_byp));
+        }
+        let Some(info) = self.srq.get(ssn_byp) else {
+            return (LoadMode::Normal, pred, None);
+        };
+        let (lw, lext) = match d.rec.inst {
+            Inst::Load { width, ext, .. } => (width, ext),
+            _ => unreachable!("load"),
+        };
+        let sw = match info.width {
+            1 => MemWidth::B1,
+            2 => MemWidth::B2,
+            4 => MemWidth::B4,
+            _ => MemWidth::B8,
+        };
+        let partial = needs_shift_mask(sw, info.float32, p.shift, lw, lext);
+        (LoadMode::Bypassed { partial }, pred, Some(ssn_byp))
+    }
+
+    fn dispatch_load(
+        &mut self,
+        entry: &mut Entry,
+        plan: Option<(LoadMode, Option<Prediction>, Option<Ssn>)>,
+    ) {
+        let d = entry.d;
+        let rd = d.rec.inst.dest();
+        let mut ls = LoadState {
+            mode: LoadMode::Normal,
+            wait_exec: None,
+            wait_commit: None,
+            ssn_nvul: Ssn::NONE,
+            ssn_byp: None,
+            exec_value: 0,
+            pred: None,
+            oracle: false,
+        };
+
+        match self.cfg.lsu {
+            LsuModel::BaselineSq { scheduling } => {
+                match scheduling {
+                    Scheduling::Perfect => {
+                        if let Some(dep_ssn) = d.dep_ssn().map(Ssn) {
+                            if dep_ssn > self.ssn.commit() {
+                                let coverage = d.mem_dep.expect("dep").coverage;
+                                if coverage == Coverage::Full {
+                                    ls.wait_exec = Some(dep_ssn);
+                                } else {
+                                    ls.wait_commit = Some(dep_ssn);
+                                }
+                            }
+                        }
+                    }
+                    Scheduling::StoreSets => {
+                        if let Some(ssn) = self.storesets.lookup_load(d.rec.pc) {
+                            if ssn > self.ssn.commit() {
+                                ls.wait_exec = Some(ssn);
+                            }
+                        }
+                    }
+                }
+                let node = self.regs.alloc();
+                entry.prev_node = self.regs.remap(rd.expect("load dest"), Some(node));
+                entry.map_reg = rd;
+                entry.map_node = Some(node);
+            }
+            LsuModel::Nosq { .. } | LsuModel::NosqOracle => {
+                let (mode, pred, ssn_byp) = plan.expect("nosq load plan");
+                ls.mode = mode;
+                ls.pred = pred;
+                ls.ssn_byp = ssn_byp;
+                ls.oracle = self.cfg.lsu == LsuModel::NosqOracle;
+                match mode {
+                    LoadMode::Bypassed { partial } => {
+                        self.stats.bypassed_loads += 1;
+                        let info = self.srq.get(ssn_byp.expect("bypass ssn")).copied();
+                        let info = info.expect("bypassing store in flight");
+                        ls.ssn_nvul = info.ssn;
+                        ls.exec_value = if ls.oracle {
+                            d.rec.load_value
+                        } else {
+                            let (lw, lext) = match d.rec.inst {
+                                Inst::Load { width, ext, .. } => (width, ext),
+                                _ => unreachable!("load"),
+                            };
+                            let sw = match info.width {
+                                1 => MemWidth::B1,
+                                2 => MemWidth::B2,
+                                4 => MemWidth::B4,
+                                _ => MemWidth::B8,
+                            };
+                            bypass_value(
+                                info.data_value,
+                                sw,
+                                info.float32,
+                                ls.pred.map(|p| p.shift).unwrap_or(0),
+                                lw,
+                                lext,
+                            )
+                        };
+                        if partial && !ls.oracle {
+                            // Injected shift & mask: new register, consumes
+                            // the store's data node, 1-cycle ALU.
+                            self.stats.shift_mask_uops += 1;
+                            let node = self.regs.alloc();
+                            entry.prev_node = self.regs.remap(rd.expect("load dest"), Some(node));
+                            entry.map_reg = rd;
+                            entry.map_node = Some(node);
+                            entry.srcs = [info.dtag_node, None];
+                        } else {
+                            // Pure short-circuit: share the DEF's register.
+                            if let Some(node) = info.dtag_node {
+                                self.regs.add_ref(node);
+                            }
+                            entry.prev_node =
+                                self.regs.remap(rd.expect("load dest"), info.dtag_node);
+                            entry.map_reg = rd;
+                            entry.map_node = info.dtag_node;
+                            entry.complete_cycle = self.clock;
+                        }
+                    }
+                    LoadMode::Delayed => {
+                        self.stats.delayed_loads += 1;
+                        ls.wait_commit = ssn_byp;
+                        let node = self.regs.alloc();
+                        entry.prev_node = self.regs.remap(rd.expect("load dest"), Some(node));
+                        entry.map_reg = rd;
+                        entry.map_node = Some(node);
+                    }
+                    LoadMode::Normal => {
+                        let node = self.regs.alloc();
+                        entry.prev_node = self.regs.remap(rd.expect("load dest"), Some(node));
+                        entry.map_reg = rd;
+                        entry.map_node = Some(node);
+                    }
+                }
+            }
+        }
+        entry.load = Some(ls);
+    }
+
+    // ----------------------------------------------------------------
+    // Fetch.
+    // ----------------------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        if self.halt_fetched
+            || self.fetch_stalled_on.is_some()
+            || self.clock < self.fetch_stall_until
+        {
+            return;
+        }
+        let mut budget = self.cfg.machine.width;
+        let mut branches = 0;
+        while budget > 0 {
+            let d = match self.pending.pop_front() {
+                Some(d) => d,
+                None => match self.stream.next() {
+                    Some(d) => d,
+                    None => {
+                        self.stream_done = true;
+                        break;
+                    }
+                },
+            };
+            budget -= 1;
+            let uid = self.next_uid;
+            self.next_uid += 1;
+            let path_snap = self.path.snapshot();
+            let bpred_snap = self.bpred.history();
+            let ras_snap = self.ras.checkpoint();
+            let mut mispredicted = false;
+
+            match d.rec.inst {
+                Inst::Branch { .. } => {
+                    let pred_dir = self.bpred.predict(d.rec.pc);
+                    self.bpred.update(d.rec.pc, d.rec.taken);
+                    self.path.push_branch(d.rec.taken);
+                    if d.rec.taken {
+                        self.btb.update(d.rec.pc, d.rec.next_pc);
+                    }
+                    mispredicted = pred_dir != d.rec.taken;
+                }
+                Inst::Call { .. } => {
+                    self.ras.push(d.rec.pc + nosq_isa::INST_BYTES);
+                    self.path.push_call(d.rec.pc);
+                    self.btb.update(d.rec.pc, d.rec.next_pc);
+                }
+                Inst::Ret { .. } => {
+                    let predicted = self.ras.pop();
+                    mispredicted = predicted != Some(d.rec.next_pc);
+                }
+                Inst::Jump { .. } => {
+                    self.btb.update(d.rec.pc, d.rec.next_pc);
+                }
+                Inst::Halt => {
+                    self.halt_fetched = true;
+                }
+                _ => {}
+            }
+
+            if mispredicted {
+                self.stats.branch_mispredicts += 1;
+                self.fetch_stalled_on = Some(uid);
+            }
+            let is_control = d.rec.inst.is_control();
+            self.fetch_buffer.push_back(Fetched {
+                d,
+                uid,
+                fetch_cycle: self.clock,
+                path_snap,
+                bpred_snap,
+                ras_snap,
+                mispredicted_branch: mispredicted,
+            });
+            if mispredicted || self.halt_fetched {
+                break;
+            }
+            if is_control {
+                branches += 1;
+                if branches == 2 {
+                    break; // two predicted control transfers per cycle max
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // SSN wrap-around drain.
+    // ----------------------------------------------------------------
+
+    fn wrap_stage(&mut self) {
+        if !self.draining_for_wrap {
+            if self.ssn.wrap_pending() {
+                self.draining_for_wrap = true;
+            }
+            return;
+        }
+        if self.rob.is_empty() && self.backend_exits.is_empty() {
+            self.tssbf.clear();
+            self.srq.clear();
+            self.storesets.clear();
+            self.ssn.acknowledge_wrap();
+            self.draining_for_wrap = false;
+            self.stats.ssn_wrap_drains += 1;
+        }
+    }
+}
+
+/// Runs one simulation over `program` with `cfg` and returns the
+/// statistics.
+///
+/// ```
+/// use nosq_isa::{Assembler, Reg, MemWidth, Extension};
+/// use nosq_core::{simulate, SimConfig};
+///
+/// let mut asm = Assembler::new();
+/// let (b, v) = (Reg::int(1), Reg::int(2));
+/// asm.li(b, 0x1000);
+/// asm.li(v, 7);
+/// asm.store(v, b, 0, MemWidth::B8);
+/// asm.load(v, b, 0, MemWidth::B8, Extension::Zero);
+/// asm.halt();
+/// let prog = asm.finish();
+///
+/// let result = simulate(&prog, SimConfig::nosq(100));
+/// assert_eq!(result.loads, 1);
+/// assert_eq!(result.stores, 1);
+/// ```
+pub fn simulate(program: &Program, cfg: SimConfig) -> SimResult {
+    Simulator::new(program, cfg).run()
+}

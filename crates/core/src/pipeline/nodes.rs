@@ -1,0 +1,201 @@
+//! Value nodes: physical registers with reference counting.
+//!
+//! SMB lets a DEF and a bypassed load *share* one physical register
+//! (paper §3.4 footnote: "the physical registers must be explicitly
+//! reference counted to properly determine when it is safe to reallocate
+//! a register"). A node is held once per architectural-register mapping;
+//! it is freed when its last mapping is overwritten by a retired writer
+//! (or rolled back by a squash).
+
+use nosq_isa::Reg;
+
+/// Identifier of a value node (physical register).
+pub type NodeId = usize;
+
+#[derive(Copy, Clone, Debug)]
+struct Node {
+    /// Cycle from which dependents may issue (producer issue time plus
+    /// execution latency); `u64::MAX` until the producer is scheduled.
+    ready_for_issue: u64,
+    refs: u32,
+}
+
+/// The register state: node slab, free list, and the speculative RAT.
+#[derive(Clone, Debug)]
+pub struct RegState {
+    nodes: Vec<Node>,
+    free: Vec<NodeId>,
+    rat: [Option<NodeId>; Reg::COUNT],
+    allocated: usize,
+    limit: usize,
+}
+
+impl RegState {
+    /// Creates the state with an in-flight allocation limit of
+    /// `phys_regs - Reg::COUNT` nodes (the architectural state consumes
+    /// one register per architectural register).
+    pub fn new(phys_regs: usize) -> RegState {
+        let limit = phys_regs.saturating_sub(Reg::COUNT).max(1);
+        RegState {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rat: [None; Reg::COUNT],
+            allocated: 0,
+            limit,
+        }
+    }
+
+    /// Whether a new node can be allocated (dispatch gate).
+    pub fn can_alloc(&self) -> bool {
+        self.allocated < self.limit
+    }
+
+    /// Live node count (diagnostics / invariant checks).
+    #[allow(dead_code)] // exercised by tests and debug assertions
+    pub fn allocated(&self) -> usize {
+        self.allocated
+    }
+
+    /// Allocates a fresh node with one reference (its RAT mapping hold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation limit is exceeded; guard with
+    /// [`RegState::can_alloc`].
+    pub fn alloc(&mut self) -> NodeId {
+        assert!(self.can_alloc(), "physical register overflow");
+        self.allocated += 1;
+        let node = Node {
+            ready_for_issue: u64::MAX,
+            refs: 1,
+        };
+        match self.free.pop() {
+            Some(id) => {
+                self.nodes[id] = node;
+                id
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Adds a reference (a second RAT mapping — SMB register sharing).
+    pub fn add_ref(&mut self, id: NodeId) {
+        self.nodes[id].refs += 1;
+    }
+
+    /// Releases one reference, freeing the node at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a double release.
+    pub fn release(&mut self, id: NodeId) {
+        let n = &mut self.nodes[id];
+        assert!(n.refs > 0, "double release of node {id}");
+        n.refs -= 1;
+        if n.refs == 0 {
+            self.allocated -= 1;
+            self.free.push(id);
+        }
+    }
+
+    /// Cycle from which consumers of `node` may issue (`None` = the
+    /// architectural register file, always ready).
+    pub fn ready(&self, node: Option<NodeId>) -> u64 {
+        match node {
+            Some(id) => self.nodes[id].ready_for_issue,
+            None => 0,
+        }
+    }
+
+    /// Sets a node's readiness when its producer is scheduled.
+    pub fn set_ready(&mut self, id: NodeId, cycle: u64) {
+        self.nodes[id].ready_for_issue = cycle;
+    }
+
+    /// Current RAT mapping of `reg` (`None` = architectural value).
+    pub fn mapping(&self, reg: Reg) -> Option<NodeId> {
+        if reg.is_zero() {
+            None
+        } else {
+            self.rat[reg.index()]
+        }
+    }
+
+    /// Points `reg` at `node`, returning the previous mapping (which the
+    /// caller must record for retire-time release / squash rollback).
+    pub fn remap(&mut self, reg: Reg, node: Option<NodeId>) -> Option<NodeId> {
+        std::mem::replace(&mut self.rat[reg.index()], node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_release_cycle() {
+        let mut r = RegState::new(Reg::COUNT + 2);
+        assert!(r.can_alloc());
+        let a = r.alloc();
+        let b = r.alloc();
+        assert!(!r.can_alloc());
+        r.release(a);
+        assert!(r.can_alloc());
+        let c = r.alloc();
+        assert_eq!(c, a, "freed slot is recycled");
+        r.release(b);
+        r.release(c);
+        assert_eq!(r.allocated(), 0);
+    }
+
+    #[test]
+    fn shared_node_survives_first_release() {
+        let mut r = RegState::new(Reg::COUNT + 4);
+        let n = r.alloc();
+        r.add_ref(n); // bypassed load shares the DEF's register
+        r.release(n);
+        assert_eq!(r.allocated(), 1, "still held by the second mapping");
+        r.release(n);
+        assert_eq!(r.allocated(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut r = RegState::new(Reg::COUNT + 4);
+        let n = r.alloc();
+        r.release(n);
+        r.release(n);
+    }
+
+    #[test]
+    fn readiness_defaults() {
+        let mut r = RegState::new(Reg::COUNT + 4);
+        assert_eq!(r.ready(None), 0, "architectural values are ready");
+        let n = r.alloc();
+        assert_eq!(r.ready(Some(n)), u64::MAX);
+        r.set_ready(n, 17);
+        assert_eq!(r.ready(Some(n)), 17);
+        r.release(n);
+    }
+
+    #[test]
+    fn remap_returns_previous() {
+        let mut r = RegState::new(Reg::COUNT + 4);
+        let reg = Reg::int(3);
+        let a = r.alloc();
+        assert_eq!(r.remap(reg, Some(a)), None);
+        let b = r.alloc();
+        assert_eq!(r.remap(reg, Some(b)), Some(a));
+        assert_eq!(r.mapping(reg), Some(b));
+    }
+
+    #[test]
+    fn zero_register_never_maps() {
+        let r = RegState::new(Reg::COUNT + 4);
+        assert_eq!(r.mapping(Reg::ZERO), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Path history for the bypassing predictor (paper §3.3).
+//!
+//! "To capture both flow-sensitive (i.e., conditional branch) and
+//! context-sensitive (i.e., call-site) bypassing patterns, the path
+//! history contains both branch directions (1 bit per branch) and call
+//! PCs (2 bits per call)."
+
+/// A shift-register path history: conditional branches contribute one
+/// direction bit, calls contribute two PC bits.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathHistory {
+    bits: u64,
+}
+
+impl PathHistory {
+    /// An empty history.
+    pub fn new() -> PathHistory {
+        PathHistory::default()
+    }
+
+    /// Records a conditional branch direction (1 bit).
+    pub fn push_branch(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | taken as u64;
+    }
+
+    /// Records a call site (2 bits of the call PC).
+    pub fn push_call(&mut self, call_pc: u64) {
+        self.bits = (self.bits << 2) | ((call_pc >> 2) & 0b11);
+    }
+
+    /// The low `n` history bits, used in the path-sensitive table's index
+    /// hash.
+    pub fn fold(&self, n: u32) -> u64 {
+        if n == 0 {
+            0
+        } else if n >= 64 {
+            self.bits
+        } else {
+            self.bits & ((1u64 << n) - 1)
+        }
+    }
+
+    /// Raw snapshot for checkpoint/restore across squashes.
+    pub fn snapshot(&self) -> u64 {
+        self.bits
+    }
+
+    /// Restores a snapshot.
+    pub fn restore(&mut self, snapshot: u64) {
+        self.bits = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_bits_shift_in() {
+        let mut h = PathHistory::new();
+        h.push_branch(true);
+        h.push_branch(false);
+        h.push_branch(true);
+        assert_eq!(h.fold(3), 0b101);
+        assert_eq!(h.fold(2), 0b01);
+    }
+
+    #[test]
+    fn calls_contribute_two_bits() {
+        let mut h = PathHistory::new();
+        h.push_call(0x8); // (0x8 >> 2) & 3 = 2
+        assert_eq!(h.fold(2), 0b10);
+        h.push_branch(true);
+        assert_eq!(h.fold(3), 0b101);
+    }
+
+    #[test]
+    fn distinct_call_sites_distinct_history() {
+        let mut a = PathHistory::new();
+        let mut b = PathHistory::new();
+        a.push_call(0x100);
+        b.push_call(0x104);
+        assert_ne!(a.fold(2), b.fold(2));
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut h = PathHistory::new();
+        h.push_branch(true);
+        let snap = h.snapshot();
+        h.push_branch(false);
+        h.push_call(0xc);
+        h.restore(snap);
+        assert_eq!(h.fold(1), 1);
+    }
+
+    #[test]
+    fn fold_edge_widths() {
+        let mut h = PathHistory::new();
+        for _ in 0..70 {
+            h.push_branch(true);
+        }
+        assert_eq!(h.fold(0), 0);
+        assert_eq!(h.fold(64), u64::MAX);
+    }
+}

@@ -1,0 +1,201 @@
+//! The bypassing predictor's backing tables (paper §3.3, §4.1).
+//!
+//! "Each entry contains a 6-bit distance field (corresponding to 64
+//! in-flight stores), a 3-bit shift amount, a 2-bit store size, a 7-bit
+//! confidence counter, and a 22-bit tag."
+
+/// One predictor entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BypassEntry {
+    /// Partial tag (22 bits of the load PC).
+    pub tag: u64,
+    /// Predicted bypassing distance in dynamic stores (0 = most recent).
+    pub dist: u16,
+    /// Predicted partial-word shift amount in bytes.
+    pub shift: u8,
+    /// 7-bit confidence counter for the delay mechanism.
+    pub conf: i16,
+    lru: u64,
+}
+
+/// A set-associative (or unbounded, for the Figure-5 "Inf" points)
+/// predictor table.
+#[derive(Clone, Debug)]
+pub struct BypassTable {
+    sets: Vec<Vec<BypassEntry>>,
+    ways: usize,
+    unbounded: bool,
+    tick: u64,
+    conf_init: i16,
+}
+
+/// Width of the partial tag in bits (paper: 22).
+const TAG_BITS: u32 = 22;
+
+impl BypassTable {
+    /// Creates a table with `entries` total entries, `ways` per set.
+    /// `unbounded` ignores capacity (every set grows without eviction and
+    /// sets are fully indexed), modelling the paper's infinite predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds `entries`.
+    pub fn new(entries: usize, ways: usize, unbounded: bool, conf_init: i16) -> BypassTable {
+        assert!(ways > 0 && ways <= entries, "invalid predictor geometry");
+        let n_sets = if unbounded {
+            1 << 16
+        } else {
+            (entries / ways).next_power_of_two().max(1)
+        };
+        BypassTable {
+            sets: vec![Vec::new(); n_sets],
+            ways,
+            unbounded,
+            tick: 0,
+            conf_init,
+        }
+    }
+
+    fn set_index(&self, key: u64) -> usize {
+        (key as usize) & (self.sets.len() - 1)
+    }
+
+    /// The partial tag: the 22 key bits directly above the index bits, so
+    /// (index, tag) identifies a key up to genuine partial-tag aliasing.
+    fn tag_of(&self, key: u64) -> u64 {
+        let set_bits = self.sets.len().trailing_zeros();
+        (key >> set_bits) & ((1 << TAG_BITS) - 1)
+    }
+
+    /// Looks up the entry for a hashed key (LRU refreshed on hit).
+    pub fn lookup(&mut self, key: u64) -> Option<BypassEntry> {
+        self.tick += 1;
+        let tag = self.tag_of(key);
+        let idx = self.set_index(key);
+        let tick = self.tick;
+        self.sets[idx].iter_mut().find(|e| e.tag == tag).map(|e| {
+            e.lru = tick;
+            *e
+        })
+    }
+
+    /// Inserts or updates an entry's distance and shift, resetting its
+    /// confidence on allocation only.
+    pub fn install(&mut self, key: u64, dist: u16, shift: u8) {
+        self.tick += 1;
+        let tag = self.tag_of(key);
+        let idx = self.set_index(key);
+        let ways = self.ways;
+        let unbounded = self.unbounded;
+        let tick = self.tick;
+        let conf_init = self.conf_init;
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
+            e.dist = dist;
+            e.shift = shift;
+            e.lru = tick;
+            return;
+        }
+        if !unbounded && set.len() == ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full set");
+            set.remove(victim);
+        }
+        set.push(BypassEntry {
+            tag,
+            dist,
+            shift,
+            conf: conf_init,
+            lru: tick,
+        });
+    }
+
+    /// Adjusts the confidence counter of an existing entry, saturating in
+    /// [0, max].
+    pub fn adjust_conf(&mut self, key: u64, delta: i16, max: i16) {
+        let tag = self.tag_of(key);
+        let idx = self.set_index(key);
+        if let Some(e) = self.sets[idx].iter_mut().find(|e| e.tag == tag) {
+            e.conf = (e.conf + delta).clamp(0, max);
+        }
+    }
+
+    /// Number of live entries (diagnostics).
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_then_lookup() {
+        let mut t = BypassTable::new(1024, 4, false, 64);
+        assert_eq!(t.lookup(0x123456), None);
+        t.install(0x123456, 5, 2);
+        let e = t.lookup(0x123456).unwrap();
+        assert_eq!(e.dist, 5);
+        assert_eq!(e.shift, 2);
+        assert_eq!(e.conf, 64);
+    }
+
+    #[test]
+    fn update_preserves_confidence() {
+        let mut t = BypassTable::new(1024, 4, false, 64);
+        t.install(0x40, 1, 0);
+        t.adjust_conf(0x40, -30, 127);
+        t.install(0x40, 2, 4); // retrain distance
+        let e = t.lookup(0x40).unwrap();
+        assert_eq!(e.dist, 2);
+        assert_eq!(e.conf, 34, "retraining must not reset confidence");
+    }
+
+    #[test]
+    fn conf_saturates() {
+        let mut t = BypassTable::new(64, 4, false, 120);
+        t.install(0x40, 0, 0);
+        t.adjust_conf(0x40, 100, 127);
+        assert_eq!(t.lookup(0x40).unwrap().conf, 127);
+        t.adjust_conf(0x40, -500, 127);
+        assert_eq!(t.lookup(0x40).unwrap().conf, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut t = BypassTable::new(4, 4, false, 64); // one set
+        for key in 0..4u64 {
+            t.install(key << 12, key as u16, 0); // same set, distinct tags
+        }
+        t.lookup(0 << 12); // refresh key 0
+        t.install(5 << 12, 9, 0); // evicts LRU (key 1)
+        assert!(t.lookup(0 << 12).is_some());
+        assert!(t.lookup(1 << 12).is_none());
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut t = BypassTable::new(4, 4, true, 64);
+        for key in 0..1000u64 {
+            t.install(key << 12, 1, 0);
+        }
+        assert_eq!(t.len(), 1000);
+    }
+}

@@ -1,0 +1,173 @@
+//! Simulation results and derived metrics.
+
+/// Counters collected by one simulation run.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SimResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions.
+    pub insts: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Loads that bypassed through SMB (NoSQ variants).
+    pub bypassed_loads: u64,
+    /// Loads delayed by the confidence mechanism.
+    pub delayed_loads: u64,
+    /// Loads whose bypass needed the injected shift & mask instruction.
+    pub shift_mask_uops: u64,
+    /// Squashes caused by bypassing mis-predictions (NoSQ; paper's
+    /// "mis-predictions").
+    pub bypass_mispredicts: u64,
+    /// Squashes caused by memory-ordering violations (baseline).
+    pub ordering_squashes: u64,
+    /// Branch direction / target mis-predictions.
+    pub branch_mispredicts: u64,
+    /// Data-cache reads issued by the out-of-order core.
+    pub ooo_dcache_reads: u64,
+    /// Data-cache reads issued by back-end re-execution.
+    pub backend_dcache_reads: u64,
+    /// Loads that passed the SVW filter (skipped re-execution).
+    pub reexec_filtered: u64,
+    /// Loads forwarded from the store queue (baseline only).
+    pub sq_forwards: u64,
+    /// Dispatch stalls due to a full store queue (baseline only).
+    pub sq_dispatch_stalls: u64,
+    /// Dispatch stalls due to a full issue queue.
+    pub iq_dispatch_stalls: u64,
+    /// Dispatch stalls due to physical-register exhaustion.
+    pub reg_dispatch_stalls: u64,
+    /// SSN wrap-around drains performed.
+    pub ssn_wrap_drains: u64,
+    /// Committed loads that had in-window communication (ground truth).
+    pub comm_loads: u64,
+    /// ... of which partial-word.
+    pub partial_comm_loads: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Bypassing mis-predictions per 10,000 committed loads (Table 5's
+    /// right-hand metric).
+    pub fn mispredicts_per_10k_loads(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            10_000.0 * self.bypass_mispredicts as f64 / self.loads as f64
+        }
+    }
+
+    /// Percentage of committed loads delayed (Table 5, parenthesized).
+    pub fn delayed_pct(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            100.0 * self.delayed_loads as f64 / self.loads as f64
+        }
+    }
+
+    /// Percentage of committed loads that bypassed.
+    pub fn bypassed_pct(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            100.0 * self.bypassed_loads as f64 / self.loads as f64
+        }
+    }
+
+    /// Total data-cache reads (Figure 4's metric).
+    pub fn dcache_reads(&self) -> u64 {
+        self.ooo_dcache_reads + self.backend_dcache_reads
+    }
+
+    /// Fraction of loads that re-executed (paper: ~0.7% with the
+    /// T-SSBF).
+    pub fn reexec_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.backend_dcache_reads as f64 / self.loads as f64
+        }
+    }
+
+    /// Execution time relative to a reference run of the same workload.
+    pub fn relative_time(&self, reference: &SimResult) -> f64 {
+        if reference.cycles == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / reference.cycles as f64
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive values (used for the per-suite
+/// means in Figures 2-3).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = SimResult {
+            cycles: 1000,
+            insts: 2000,
+            loads: 500,
+            bypass_mispredicts: 5,
+            delayed_loads: 10,
+            ooo_dcache_reads: 450,
+            backend_dcache_reads: 5,
+            ..SimResult::default()
+        };
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.mispredicts_per_10k_loads() - 100.0).abs() < 1e-9);
+        assert!((r.delayed_pct() - 2.0).abs() < 1e-9);
+        assert_eq!(r.dcache_reads(), 455);
+    }
+
+    #[test]
+    fn zero_denominators_are_safe() {
+        let r = SimResult::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.mispredicts_per_10k_loads(), 0.0);
+        assert_eq!(r.reexec_rate(), 0.0);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        let g = geometric_mean(&[0.9, 1.1]);
+        assert!(g > 0.99 && g < 1.0, "{g}");
+    }
+
+    #[test]
+    fn relative_time() {
+        let fast = SimResult {
+            cycles: 900,
+            ..SimResult::default()
+        };
+        let slow = SimResult {
+            cycles: 1000,
+            ..SimResult::default()
+        };
+        assert!((slow.relative_time(&fast) - 1.111).abs() < 1e-3);
+        assert!((fast.relative_time(&slow) - 0.9).abs() < 1e-12);
+    }
+}

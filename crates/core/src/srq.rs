@@ -1,0 +1,151 @@
+//! The store register queue (SRQ) and the store-information ring.
+//!
+//! The paper's SRQ "parallels a traditional store queue in structure, but
+//! unlike a traditional store queue is not a datapath element. It
+//! contains only physical register numbers (not addresses and values) and
+//! it is accessed only at rename" (§3.2). The simulator additionally uses
+//! the same ring to remember recently renamed/committed stores' PCs,
+//! addresses and data (which hardware holds in the ROB fields of Table 4
+//! and in the register file), indexed by the low-order bits of the SSN.
+
+use nosq_uarch::Ssn;
+
+use crate::pipeline::nodes::NodeId;
+
+/// Per-store record, inserted at rename.
+#[derive(Copy, Clone, Debug)]
+pub struct StoreInfo {
+    /// The store's SSN.
+    pub ssn: Ssn,
+    /// Static PC (StoreSets training).
+    pub pc: u64,
+    /// Effective address.
+    pub addr: u64,
+    /// Access width in bytes.
+    pub width: u8,
+    /// Whether this is an `sts` (float32 conversion on the memory side).
+    pub float32: bool,
+    /// The data register's value (what SMB's short-circuited register
+    /// carries).
+    pub data_value: u64,
+    /// The data register's value node at the store's rename (`None` =
+    /// architectural, already ready).
+    pub dtag_node: Option<NodeId>,
+    /// Cycle the store's address generation completed (baseline;
+    /// `u64::MAX` until executed).
+    pub exec_cycle: u64,
+    /// Cycle the store's committed value is visible in the data cache
+    /// (`u64::MAX` until committed).
+    pub commit_visible: u64,
+}
+
+/// SSN-indexed ring of store records.
+///
+/// Capacity must exceed the maximum in-flight store count plus the
+/// longest distance the commit stage may look back (for training); the
+/// ring overwrites on wrap, and lookups validate the stored SSN.
+#[derive(Clone, Debug)]
+pub struct StoreRegisterQueue {
+    ring: Vec<Option<StoreInfo>>,
+}
+
+impl StoreRegisterQueue {
+    /// Creates a ring with `capacity` slots (rounded up to a power of
+    /// two).
+    pub fn new(capacity: usize) -> StoreRegisterQueue {
+        StoreRegisterQueue {
+            ring: vec![None; capacity.next_power_of_two().max(2)],
+        }
+    }
+
+    fn slot(&self, ssn: Ssn) -> usize {
+        (ssn.0 as usize) & (self.ring.len() - 1)
+    }
+
+    /// Inserts a record at rename (overwrites the slot's previous, much
+    /// older occupant).
+    pub fn insert(&mut self, info: StoreInfo) {
+        let i = self.slot(info.ssn);
+        self.ring[i] = Some(info);
+    }
+
+    /// Looks up the record for `ssn`, if still resident.
+    pub fn get(&self, ssn: Ssn) -> Option<&StoreInfo> {
+        self.ring[self.slot(ssn)]
+            .as_ref()
+            .filter(|info| info.ssn == ssn)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, ssn: Ssn) -> Option<&mut StoreInfo> {
+        let i = self.slot(ssn);
+        self.ring[i].as_mut().filter(|info| info.ssn == ssn)
+    }
+
+    /// Invalidates a squashed store's record.
+    pub fn invalidate(&mut self, ssn: Ssn) {
+        let i = self.slot(ssn);
+        if self.ring[i].map(|info| info.ssn) == Some(ssn) {
+            self.ring[i] = None;
+        }
+    }
+
+    /// Clears the ring (SSN wrap-around drain).
+    pub fn clear(&mut self) {
+        self.ring.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(ssn: u64) -> StoreInfo {
+        StoreInfo {
+            ssn: Ssn(ssn),
+            pc: 0x40,
+            addr: 0x1000,
+            width: 8,
+            float32: false,
+            data_value: 7,
+            dtag_node: None,
+            exec_cycle: u64::MAX,
+            commit_visible: u64::MAX,
+        }
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut q = StoreRegisterQueue::new(64);
+        q.insert(info(5));
+        assert_eq!(q.get(Ssn(5)).unwrap().data_value, 7);
+        assert!(q.get(Ssn(6)).is_none());
+    }
+
+    #[test]
+    fn wrapped_slot_rejects_stale_ssn() {
+        let mut q = StoreRegisterQueue::new(4);
+        q.insert(info(1));
+        q.insert(info(5)); // same slot as 1 in a 4-entry ring
+        assert!(q.get(Ssn(1)).is_none(), "stale record must not match");
+        assert!(q.get(Ssn(5)).is_some());
+    }
+
+    #[test]
+    fn invalidate_only_matching() {
+        let mut q = StoreRegisterQueue::new(4);
+        q.insert(info(5));
+        q.invalidate(Ssn(1)); // different ssn, same slot
+        assert!(q.get(Ssn(5)).is_some());
+        q.invalidate(Ssn(5));
+        assert!(q.get(Ssn(5)).is_none());
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut q = StoreRegisterQueue::new(16);
+        q.insert(info(3));
+        q.get_mut(Ssn(3)).unwrap().exec_cycle = 99;
+        assert_eq!(q.get(Ssn(3)).unwrap().exec_cycle, 99);
+    }
+}

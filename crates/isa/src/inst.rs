@@ -1,0 +1,496 @@
+//! Instruction set definition: registers, opcodes, and instruction forms.
+
+use std::fmt;
+
+/// An architectural register.
+///
+/// The file holds 64 registers: indices 0–30 are general-purpose integer
+/// registers, 31 is the stack pointer by convention, 32–62 are
+/// floating-point registers, and 63 is hardwired to zero (like Alpha's
+/// R31/F31).
+///
+/// ```
+/// use nosq_isa::Reg;
+/// assert!(Reg::ZERO.is_zero());
+/// assert_eq!(Reg::int(5).index(), 5);
+/// assert_eq!(Reg::float(5).index(), 37);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Number of architectural registers.
+    pub const COUNT: usize = 64;
+    /// The hardwired zero register; reads yield 0, writes are discarded.
+    pub const ZERO: Reg = Reg(63);
+    /// Conventional stack pointer.
+    pub const SP: Reg = Reg(31);
+    /// Conventional link (return address) register.
+    pub const LINK: Reg = Reg(30);
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < Reg::COUNT,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// The `n`-th integer register (0–29).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 29` (30 and 31 are `LINK`/`SP`).
+    pub fn int(n: u8) -> Reg {
+        assert!(n <= 29, "integer register {n} out of range (0-29)");
+        Reg(n)
+    }
+
+    /// The `n`-th floating-point register (0–30).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 30`.
+    pub fn float(n: u8) -> Reg {
+        assert!(n <= 30, "float register {n} out of range (0-30)");
+        Reg(32 + n)
+    }
+
+    /// Raw index into the architectural register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            63 => write!(f, "zero"),
+            31 => write!(f, "sp"),
+            30 => write!(f, "ra"),
+            n if n < 32 => write!(f, "r{n}"),
+            n => write!(f, "f{}", n - 32),
+        }
+    }
+}
+
+/// ALU operation kinds.
+///
+/// Integer kinds operate on the 64-bit two's-complement register value;
+/// float kinds interpret register bits as IEEE-754 binary64.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// 64-bit wrapping add.
+    Add,
+    /// 64-bit wrapping subtract.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (amount mod 64).
+    Shl,
+    /// Logical shift right (amount mod 64).
+    Shr,
+    /// Arithmetic shift right (amount mod 64).
+    Sra,
+    /// Signed set-less-than: `rd = (ra < src) as u64`.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Set-equal: `rd = (ra == src) as u64`.
+    Seq,
+    /// 64-bit wrapping multiply (complex pipe).
+    Mul,
+    /// Signed divide (complex pipe); divide by zero yields 0.
+    Div,
+    /// binary64 add (complex pipe).
+    FAdd,
+    /// binary64 subtract (complex pipe).
+    FSub,
+    /// binary64 multiply (complex pipe).
+    FMul,
+    /// binary64 divide (complex pipe).
+    FDiv,
+    /// Signed 64-bit integer to binary64 conversion (complex pipe).
+    IToF,
+    /// binary64 to signed 64-bit integer conversion, truncating (complex pipe).
+    FToI,
+}
+
+impl AluKind {
+    /// Whether the paper's machine would issue this to a complex
+    /// integer/FP pipe rather than a simple integer ALU.
+    pub fn is_complex(self) -> bool {
+        matches!(
+            self,
+            AluKind::Mul
+                | AluKind::Div
+                | AluKind::FAdd
+                | AluKind::FSub
+                | AluKind::FMul
+                | AluKind::FDiv
+                | AluKind::IToF
+                | AluKind::FToI
+        )
+    }
+}
+
+/// Branch comparison conditions (signed compare of `ra` against `rb`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Taken if `ra == rb`.
+    Eq,
+    /// Taken if `ra != rb`.
+    Ne,
+    /// Taken if `ra < rb` (signed).
+    Lt,
+    /// Taken if `ra >= rb` (signed).
+    Ge,
+    /// Taken if `ra <= rb` (signed).
+    Le,
+    /// Taken if `ra > rb` (signed).
+    Gt,
+}
+
+impl Cond {
+    /// Evaluates the condition on two register values.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        let (sa, sb) = (a as i64, b as i64);
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => sa < sb,
+            Cond::Ge => sa >= sb,
+            Cond::Le => sa <= sb,
+            Cond::Gt => sa > sb,
+        }
+    }
+}
+
+/// Memory access width in bytes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes (full word; the register width).
+    B8,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+
+    /// Whether this is a partial-word (sub-8-byte) access.
+    pub fn is_partial(self) -> bool {
+        self != MemWidth::B8
+    }
+
+    /// All widths, narrowest first.
+    pub fn all() -> [MemWidth; 4] {
+        [MemWidth::B1, MemWidth::B2, MemWidth::B4, MemWidth::B8]
+    }
+}
+
+/// How a partial-word load widens its value to 64 bits.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Extension {
+    /// Zero-extend.
+    Zero,
+    /// Sign-extend.
+    Sign,
+    /// Alpha `lds`-style: the 4 memory bytes are IEEE-754 binary32 and the
+    /// register receives the binary64 representation of the same value.
+    /// Only meaningful with [`MemWidth::B4`].
+    Float32,
+}
+
+/// The second ALU source operand: a register or an immediate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// Register operand.
+    Reg(Reg),
+    /// Immediate operand.
+    Imm(i64),
+}
+
+/// One machine instruction.
+///
+/// PCs are byte addresses; every instruction occupies
+/// [`INST_BYTES`](crate::INST_BYTES) bytes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// Register/immediate ALU operation: `rd = ra <kind> src`.
+    Alu {
+        /// Operation.
+        kind: AluKind,
+        /// Destination register.
+        rd: Reg,
+        /// First source register.
+        ra: Reg,
+        /// Second source operand.
+        src: Src,
+    },
+    /// Load: `rd = extend(mem[ra + ofs], width, ext)`.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed displacement.
+        ofs: i32,
+        /// Access width.
+        width: MemWidth,
+        /// Widening behaviour for partial words.
+        ext: Extension,
+    },
+    /// Store: `mem[ra + ofs] = truncate(data, width)`.
+    Store {
+        /// Data register.
+        data: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed displacement.
+        ofs: i32,
+        /// Access width.
+        width: MemWidth,
+        /// Alpha `sts`-style: the register holds binary64 and memory
+        /// receives the binary32 representation (requires `width == B4`).
+        float32: bool,
+    },
+    /// Conditional direct branch.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// First compared register.
+        ra: Reg,
+        /// Second compared register.
+        rb: Reg,
+        /// Taken-path target PC.
+        target: u64,
+    },
+    /// Unconditional direct jump.
+    Jump {
+        /// Target PC.
+        target: u64,
+    },
+    /// Direct call: `link = pc + 4; pc = target`.
+    Call {
+        /// Target PC.
+        target: u64,
+        /// Link register receiving the return address.
+        link: Reg,
+    },
+    /// Indirect return: `pc = reg`.
+    Ret {
+        /// Register holding the return address.
+        reg: Reg,
+    },
+    /// Stops execution.
+    Halt,
+}
+
+/// Coarse instruction class used by the timing models for issue-port
+/// arbitration and latency selection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Single-cycle integer ALU operation.
+    SimpleInt,
+    /// Multi-cycle integer or floating-point operation.
+    Complex,
+    /// Control transfer (branch, jump, call, return).
+    Branch,
+    /// Memory read.
+    Load,
+    /// Memory write.
+    Store,
+    /// Pipeline terminator.
+    Halt,
+}
+
+impl Inst {
+    /// Classifies this instruction for the timing model.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Alu { kind, .. } if kind.is_complex() => InstClass::Complex,
+            Inst::Alu { .. } => InstClass::SimpleInt,
+            Inst::Load { .. } => InstClass::Load,
+            Inst::Store { .. } => InstClass::Store,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Call { .. } | Inst::Ret { .. } => {
+                InstClass::Branch
+            }
+            Inst::Halt => InstClass::Halt,
+        }
+    }
+
+    /// Destination register, if any (zero-register writes report `None`).
+    pub fn dest(&self) -> Option<Reg> {
+        let rd = match self {
+            Inst::Alu { rd, .. } => *rd,
+            Inst::Load { rd, .. } => *rd,
+            Inst::Call { link, .. } => *link,
+            _ => return None,
+        };
+        (!rd.is_zero()).then_some(rd)
+    }
+
+    /// Source registers, in a fixed-size option array.
+    ///
+    /// The zero register is reported as a source (its value is always
+    /// ready, so timing models may ignore it).
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        match self {
+            Inst::Alu { ra, src, .. } => match src {
+                Src::Reg(rb) => [Some(*ra), Some(*rb)],
+                Src::Imm(_) => [Some(*ra), None],
+            },
+            Inst::Load { base, .. } => [Some(*base), None],
+            Inst::Store { data, base, .. } => [Some(*base), Some(*data)],
+            Inst::Branch { ra, rb, .. } => [Some(*ra), Some(*rb)],
+            Inst::Ret { reg } => [Some(*reg), None],
+            Inst::Jump { .. } | Inst::Call { .. } | Inst::Halt => [None, None],
+        }
+    }
+
+    /// Whether this is a control-transfer instruction.
+    pub fn is_control(&self) -> bool {
+        self.class() == InstClass::Branch
+    }
+
+    /// Whether this is a conditional branch (as opposed to an
+    /// unconditional jump/call/return).
+    pub fn is_conditional(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// Memory access width for loads and stores.
+    pub fn mem_width(&self) -> Option<MemWidth> {
+        match self {
+            Inst::Load { width, .. } | Inst::Store { width, .. } => Some(*width),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_banks_do_not_overlap() {
+        assert_eq!(Reg::int(0).index(), 0);
+        assert_eq!(Reg::int(29).index(), 29);
+        assert_eq!(Reg::float(0).index(), 32);
+        assert_eq!(Reg::float(30).index(), 62);
+        assert_eq!(Reg::ZERO.index(), 63);
+        assert_ne!(Reg::SP, Reg::LINK);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_out_of_range_panics() {
+        let _ = Reg::new(64);
+    }
+
+    #[test]
+    fn cond_eval_signed_semantics() {
+        let neg1 = (-1i64) as u64;
+        assert!(Cond::Lt.eval(neg1, 0));
+        assert!(!Cond::Lt.eval(0, neg1));
+        assert!(Cond::Ge.eval(0, neg1));
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+        assert!(Cond::Le.eval(5, 5));
+        assert!(Cond::Gt.eval(6, 5));
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B1.bytes(), 1);
+        assert_eq!(MemWidth::B8.bytes(), 8);
+        assert!(MemWidth::B4.is_partial());
+        assert!(!MemWidth::B8.is_partial());
+    }
+
+    #[test]
+    fn classification() {
+        let add = Inst::Alu {
+            kind: AluKind::Add,
+            rd: Reg::int(1),
+            ra: Reg::int(2),
+            src: Src::Imm(1),
+        };
+        assert_eq!(add.class(), InstClass::SimpleInt);
+        let mul = Inst::Alu {
+            kind: AluKind::Mul,
+            rd: Reg::int(1),
+            ra: Reg::int(2),
+            src: Src::Reg(Reg::int(3)),
+        };
+        assert_eq!(mul.class(), InstClass::Complex);
+        let ld = Inst::Load {
+            rd: Reg::int(1),
+            base: Reg::SP,
+            ofs: 8,
+            width: MemWidth::B8,
+            ext: Extension::Zero,
+        };
+        assert_eq!(ld.class(), InstClass::Load);
+        assert_eq!(ld.dest(), Some(Reg::int(1)));
+        assert_eq!(ld.sources(), [Some(Reg::SP), None]);
+    }
+
+    #[test]
+    fn zero_register_dest_is_none() {
+        let add = Inst::Alu {
+            kind: AluKind::Add,
+            rd: Reg::ZERO,
+            ra: Reg::int(2),
+            src: Src::Imm(1),
+        };
+        assert_eq!(add.dest(), None);
+    }
+
+    #[test]
+    fn store_sources_include_data_and_base() {
+        let st = Inst::Store {
+            data: Reg::int(4),
+            base: Reg::int(5),
+            ofs: 0,
+            width: MemWidth::B2,
+            float32: false,
+        };
+        assert_eq!(st.sources(), [Some(Reg::int(5)), Some(Reg::int(4))]);
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.mem_width(), Some(MemWidth::B2));
+    }
+}

@@ -1,0 +1,168 @@
+//! Sparse byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse little-endian byte-addressable memory.
+///
+/// Pages are allocated lazily on first write; reads of unmapped bytes
+/// return zero. Cloning copies only the mapped pages, so the timing models
+/// can cheaply keep a *commit-ordered* image separate from the
+/// architectural image.
+///
+/// ```
+/// use nosq_isa::Memory;
+/// let mut mem = Memory::new();
+/// mem.write(0x1000, 4, 0xdead_beef);
+/// assert_eq!(mem.read(0x1000, 4), 0xdead_beef);
+/// assert_eq!(mem.read(0x1002, 2), 0xdead);
+/// assert_eq!(mem.read(0x9999, 8), 0); // unmapped reads as zero
+/// ```
+#[derive(Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of mapped pages (diagnostic).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, mapping the page if needed.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `width` bytes (1–8) little-endian, possibly spanning pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn read(&self, addr: u64, width: u64) -> u64 {
+        assert!((1..=8).contains(&width), "invalid access width {width}");
+        let mut value = 0u64;
+        for i in 0..width {
+            value |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        value
+    }
+
+    /// Writes the low `width` bytes (1–8) of `value` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 8.
+    pub fn write(&mut self, addr: u64, width: u64, value: u64) {
+        assert!((1..=8).contains(&width), "invalid access width {width}");
+        for i in 0..width {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("mapped_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut mem = Memory::new();
+        for width in 1..=8u64 {
+            let value = 0x1122_3344_5566_7788u64;
+            mem.write(0x2000, width, value);
+            let mask = if width == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * width)) - 1
+            };
+            assert_eq!(mem.read(0x2000, width), value & mask, "width {width}");
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = Memory::new();
+        mem.write(0x100, 4, 0xAABBCCDD);
+        assert_eq!(mem.read_u8(0x100), 0xDD);
+        assert_eq!(mem.read_u8(0x101), 0xCC);
+        assert_eq!(mem.read_u8(0x102), 0xBB);
+        assert_eq!(mem.read_u8(0x103), 0xAA);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // last 3 bytes of page 0
+        mem.write(addr, 8, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read(addr, 8), 0x0102_0304_0506_0708);
+        assert_eq!(mem.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read(0xdead_beef, 8), 0);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Memory::new();
+        a.write(0, 8, 7);
+        let mut b = a.clone();
+        b.write(0, 8, 9);
+        assert_eq!(a.read(0, 8), 7);
+        assert_eq!(b.read(0, 8), 9);
+    }
+
+    #[test]
+    fn write_bytes_places_each_byte() {
+        let mut mem = Memory::new();
+        mem.write_bytes(0x40, &[1, 2, 3]);
+        assert_eq!(mem.read(0x40, 1), 1);
+        assert_eq!(mem.read(0x41, 1), 2);
+        assert_eq!(mem.read(0x42, 1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid access width")]
+    fn zero_width_panics() {
+        let mem = Memory::new();
+        let _ = mem.read(0, 0);
+    }
+}

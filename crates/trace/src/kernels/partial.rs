@@ -1,0 +1,208 @@
+//! Partial-word communication kernels (paper §3.5).
+
+use nosq_isa::{Extension, MemWidth};
+
+use super::{EmitCtx, Kernel, KernelStats};
+
+/// Wide-store/narrow-load pairs with varying shifts and widths. All are
+/// single-source and therefore bypassable by SMB's shift & mask
+/// instruction once the predictor has learned the shift amount.
+///
+/// Each pair contributes exactly one partial-word communicating load, so
+/// the synthesizer can dose partial-word communication at single-load
+/// granularity.
+#[derive(Debug, Clone)]
+pub struct WideNarrowKernel {
+    /// Number of store/load pairs per call (1–4 distinct shift shapes,
+    /// repeating beyond 4).
+    pub pairs: usize,
+}
+
+impl Kernel for WideNarrowKernel {
+    fn name(&self) -> String {
+        format!("wide_narrow{}", self.pairs)
+    }
+
+    fn persistent_int(&self) -> usize {
+        1
+    }
+
+    fn emit_init(&self, cx: &mut EmitCtx<'_>) {
+        let base = cx.persistent[0];
+        cx.asm.li(base, cx.base as i64);
+    }
+
+    fn emit_body(&self, cx: &mut EmitCtx<'_>) {
+        let base = cx.persistent[0];
+        let [v, a, c, ..] = cx.scratch;
+        cx.asm.addi(v, v, 0x0101);
+        for j in 0..self.pairs {
+            let slot = (24 * j) as i32;
+            match j % 4 {
+                0 => {
+                    // Wide store, narrow load at shift 4.
+                    cx.asm.store(v, base, slot, MemWidth::B8);
+                    cx.asm
+                        .load(a, base, slot + 4, MemWidth::B2, Extension::Zero);
+                }
+                1 => {
+                    // Wide store, byte load at shift 6, sign-extended.
+                    cx.asm.store(v, base, slot, MemWidth::B8);
+                    cx.asm
+                        .load(a, base, slot + 6, MemWidth::B1, Extension::Sign);
+                }
+                2 => {
+                    // Narrow store, same-width load (shift 0).
+                    cx.asm.store(v, base, slot, MemWidth::B4);
+                    cx.asm.load(a, base, slot, MemWidth::B4, Extension::Zero);
+                }
+                _ => {
+                    // Half-word store, half-word load (shift 0).
+                    cx.asm.store(v, base, slot, MemWidth::B2);
+                    cx.asm.load(a, base, slot, MemWidth::B2, Extension::Sign);
+                }
+            }
+            cx.asm.add(c, c, a);
+        }
+    }
+
+    fn stats(&self) -> KernelStats {
+        let p = self.pairs as f64;
+        KernelStats {
+            insts: 1.0 + 3.0 * p,
+            loads: p,
+            comm_loads: p,
+            partial_comm: p,
+            stores: p,
+        }
+    }
+}
+
+/// Two one-byte stores feeding a two-byte load — the `g721.e` pattern the
+/// paper singles out (§4.2). SMB cannot combine two sources, so without
+/// delay this load mis-predicts persistently; with delay it waits for the
+/// youngest store to commit and reads the cache.
+#[derive(Debug, Clone, Default)]
+pub struct PartialStoreKernel;
+
+impl Kernel for PartialStoreKernel {
+    fn name(&self) -> String {
+        "partial_store".to_owned()
+    }
+
+    fn persistent_int(&self) -> usize {
+        1
+    }
+
+    fn emit_init(&self, cx: &mut EmitCtx<'_>) {
+        let base = cx.persistent[0];
+        cx.asm.li(base, cx.base as i64);
+    }
+
+    fn emit_body(&self, cx: &mut EmitCtx<'_>) {
+        let base = cx.persistent[0];
+        let [v, a, acc, ..] = cx.scratch;
+        cx.asm.addi(v, v, 1);
+        cx.asm.store(v, base, 0, MemWidth::B1);
+        cx.asm.store(v, base, 1, MemWidth::B1);
+        cx.asm.load(a, base, 0, MemWidth::B2, Extension::Zero); // multi-source
+        cx.asm.add(acc, acc, a);
+    }
+
+    fn stats(&self) -> KernelStats {
+        KernelStats {
+            insts: 5.0,
+            loads: 1.0,
+            comm_loads: 1.0,
+            partial_comm: 1.0,
+            stores: 2.0,
+        }
+    }
+}
+
+/// Mixed structure-field packing: narrow stores of adjacent fields
+/// followed by same-width reloads (bypassable, shift 0) and one wide
+/// multi-source reload of the whole struct.
+#[derive(Debug, Clone, Default)]
+pub struct StructPackKernel;
+
+impl Kernel for StructPackKernel {
+    fn name(&self) -> String {
+        "struct_pack".to_owned()
+    }
+
+    fn persistent_int(&self) -> usize {
+        1
+    }
+
+    fn emit_init(&self, cx: &mut EmitCtx<'_>) {
+        let base = cx.persistent[0];
+        cx.asm.li(base, cx.base as i64);
+    }
+
+    fn emit_body(&self, cx: &mut EmitCtx<'_>) {
+        let base = cx.persistent[0];
+        let [v, a, b, acc, ..] = cx.scratch;
+        cx.asm.addi(v, v, 3);
+        cx.asm.store(v, base, 0, MemWidth::B1);
+        cx.asm.store(v, base, 1, MemWidth::B1);
+        cx.asm.store(v, base, 2, MemWidth::B2);
+        cx.asm.store(v, base, 4, MemWidth::B4);
+        cx.asm.load(a, base, 2, MemWidth::B2, Extension::Zero); // full, shift 0
+        cx.asm.load(b, base, 4, MemWidth::B4, Extension::Sign); // full, shift 0
+        cx.asm.add(acc, a, b);
+        cx.asm.load(a, base, 0, MemWidth::B8, Extension::Zero); // multi-source
+        cx.asm.add(acc, acc, a);
+    }
+
+    fn stats(&self) -> KernelStats {
+        KernelStats {
+            insts: 10.0,
+            loads: 3.0,
+            comm_loads: 3.0,
+            partial_comm: 3.0,
+            stores: 4.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::measure;
+    use super::*;
+
+    #[test]
+    fn wide_narrow_is_all_single_source_partial() {
+        let m = measure(&WideNarrowKernel { pairs: 3 }, 40, 100_000);
+        assert_eq!(m.loads, 120);
+        assert_eq!(m.comm_loads, 120);
+        assert_eq!(m.partial_comm, 120);
+        assert_eq!(m.multi_source, 0, "wide/narrow loads are single-source");
+    }
+
+    #[test]
+    fn wide_narrow_pairs_scale_linearly() {
+        for pairs in 1..=4 {
+            let m = measure(&WideNarrowKernel { pairs }, 10, 100_000);
+            assert_eq!(m.loads, 10 * pairs as u64);
+            assert_eq!(m.partial_comm, 10 * pairs as u64);
+        }
+    }
+
+    #[test]
+    fn partial_store_is_multi_source() {
+        let m = measure(&PartialStoreKernel, 40, 100_000);
+        assert_eq!(m.loads, 40);
+        assert_eq!(m.comm_loads, 40);
+        assert_eq!(m.multi_source, 40);
+    }
+
+    #[test]
+    fn struct_pack_mixes_sources() {
+        let m = measure(&StructPackKernel, 30, 100_000);
+        assert_eq!(m.loads, 90);
+        assert_eq!(m.comm_loads, 90);
+        assert_eq!(m.partial_comm, 90);
+        assert_eq!(m.multi_source, 30); // only the wide reload
+    }
+}

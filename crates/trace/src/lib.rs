@@ -1,0 +1,37 @@
+//! # nosq-trace
+//!
+//! Dynamic-instruction tracing and calibrated synthetic workloads for the
+//! NoSQ simulator (Sha, Martin & Roth, MICRO-39 2006).
+//!
+//! The paper evaluates on SPEC2000 and MediaBench; those binaries (and an
+//! Alpha toolchain) are not reproducible here, so this crate substitutes
+//! **calibrated synthetic workloads**: compositions of small kernels whose
+//! in-window store-load communication signatures are solved against each
+//! benchmark's Table-5 profile (total communication %, partial-word %,
+//! hard-to-predict mass, delay-needing mass). See `DESIGN.md` §2 for the
+//! substitution argument.
+//!
+//! * [`Tracer`] streams the correct-path dynamic instruction sequence with
+//!   ground-truth memory dependences ([`DynInst`], [`MemDep`]).
+//! * [`kernels`] hosts the kernel library.
+//! * [`profiles`] defines the 47 benchmark profiles from paper Table 5.
+//! * [`synth`] composes kernels into a runnable [`Program`] per profile.
+//! * [`analyze`] measures communication signatures (Table 5, left half).
+//!
+//! [`Program`]: nosq_isa::Program
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod kernels;
+pub mod profiles;
+pub mod record;
+pub mod synth;
+pub mod tracer;
+
+pub use analyze::{analyze_program, CommStats};
+pub use profiles::{Profile, Suite};
+pub use record::{Coverage, DynInst, MemDep};
+pub use synth::synthesize;
+pub use tracer::Tracer;

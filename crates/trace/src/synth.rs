@@ -1,0 +1,460 @@
+//! Workload synthesis: composes kernels to match a benchmark profile.
+//!
+//! The solver targets [`LOADS_PER_ITER`] dynamic loads per driver
+//! iteration and allocates them across kernel calls so the iteration-level
+//! mix matches the profile's Table-5 signature:
+//!
+//! * **total in-window communication %** → spill / strided / path /
+//!   call-site calls,
+//! * **partial-word %** → wide-narrow, fp-stencil and partial-store calls,
+//! * **no-delay mis-prediction rate** → the always-mispredicting
+//!   multi-source mass (weighted by how completely the paper says delay
+//!   fixed the benchmark) plus half-mispredicting hard-path mass,
+//! * **delayed %** → "flaky" path-dependent loads (biased determining bit
+//!   outside the predictor's history): they mis-predict a few percent of
+//!   occurrences, which drives their confidence below threshold so the
+//!   delay mechanism parks them — the paper's benign delayed mass,
+//! * **baseline IPC** → pointer-chase vs. cache-resident streaming and
+//!   serial vs. parallel ALU filler.
+//!
+//! Rates below one call per iteration are realized by *period gating*: a
+//! global iteration counter masks the call to every 2^k-th iteration.
+//! The composition is deterministic for a given `(profile, seed)`.
+
+use nosq_isa::{Assembler, Cond, Program, Reg};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kernels::{
+    self, AluKernel, BranchyKernel, CallSiteKernel, EmitCtx, FpStencilKernel, Kernel,
+    PartialStoreKernel, PathDepKernel, PointerChaseKernel, SpillKernel, StreamKernel,
+    StridedKernel, WideNarrowKernel,
+};
+use crate::profiles::{Profile, Suite};
+
+/// Target dynamic loads per driver-loop iteration (sets calibration
+/// granularity: 1 call/iteration = 0.5% of loads).
+pub const LOADS_PER_ITER: f64 = 200.0;
+
+/// Synthesizes an endless workload for `profile` (the driver loop never
+/// exits; cap execution with the tracer's or simulator's instruction
+/// budget).
+pub fn synthesize(profile: &Profile, seed: u64) -> Program {
+    synthesize_iters(profile, seed, None)
+}
+
+/// Synthesizes a workload that halts after `iters` driver iterations
+/// (`None` = endless).
+pub fn synthesize_iters(profile: &Profile, seed: u64, iters: Option<u64>) -> Program {
+    let mix = plan_mix(profile);
+    build_program(&mix, seed, iters)
+}
+
+/// A kernel with its call schedule: `count` calls on every `period`-th
+/// driver iteration (period is a power of two).
+struct MixEntry {
+    kernel: Box<dyn Kernel>,
+    count: u32,
+    period: u32,
+}
+
+/// Converts a fractional calls-per-iteration rate into a (count, period)
+/// schedule. Rates below ~1/128 are dropped.
+fn rate_to_schedule(rate: f64) -> Option<(u32, u32)> {
+    if rate < 1.0 / 128.0 {
+        return None;
+    }
+    if rate >= 0.75 {
+        return Some((rate.round().max(1.0) as u32, 1));
+    }
+    // Pick the power-of-two period whose 1/period is closest to the rate.
+    let mut best = (1u32, 1u32, f64::INFINITY);
+    for log in 1..=7u32 {
+        let period = 1u32 << log;
+        let err = (1.0 / period as f64 - rate).abs();
+        if err < best.2 {
+            best = (1, period, err);
+        }
+    }
+    Some((best.0, best.1))
+}
+
+/// Solves the kernel mix for a profile. See the module docs for the
+/// allocation strategy.
+fn plan_mix(profile: &Profile) -> Vec<MixEntry> {
+    let l = LOADS_PER_ITER;
+    let comm = profile.comm_pct / 100.0 * l;
+    let partial = (profile.partial_pct / 100.0 * l).min(comm);
+    let full = comm - partial;
+    let is_float = profile.is_float();
+
+    // How completely did delay fix this benchmark in the paper? A high
+    // ratio means the mis-predicting loads were the always-wrong,
+    // delay-suppressible kind (multi-source); a low ratio means genuinely
+    // hard path-dependent loads.
+    let nd_rate = profile.mispred_no_delay / 10_000.0;
+    let eff = if profile.mispred_no_delay > 0.0 {
+        (1.0 - profile.mispred_delay / profile.mispred_no_delay).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    // Flaky mass: loads with a biased, unlearnable determining bit. One
+    // distance flip costs ~2 mis-predictions (flip and flip-back), so a
+    // per-occurrence flip rate r yields ≈2r no-delay mis-predictions;
+    // with delay, each mis-prediction zeroes the confidence counter and
+    // the load parks for ~32 occurrences, giving a delayed duty cycle of
+    // 32/(32 + 1/r + 2). We solve r and the flaky mass jointly against
+    // the benchmark's no-delay-mis-prediction and delayed-% targets
+    // (prioritizing the former when both cannot hold).
+    let delayed_mass = profile.delayed_pct / 100.0 * l;
+    let nd_budget = nd_rate * l;
+    let (flaky_rate, flaky_r) = if delayed_mass > 0.01 {
+        let alpha = 0.8; // fraction of the nd budget granted to flaky loads
+        let raw_r = (16.0 * alpha * nd_budget / delayed_mass - 3.0) / 32.0;
+        let r = raw_r.clamp(0.004, 0.04);
+        let duty = 32.0 / (32.0 + 1.0 / r + 2.0);
+        let f = (delayed_mass / duty)
+            .min(4.0 * delayed_mass)
+            .min(full * 0.9);
+        (f, r)
+    } else {
+        (0.0, 0.04)
+    };
+    let nd_from_flaky = 2.0 * flaky_r * flaky_rate;
+    // Whatever no-delay mis-prediction budget remains is split between
+    // always-mispredicting multi-source loads (delay-suppressible) and
+    // half-mispredicting hard path loads, per the paper's delay
+    // effectiveness for this benchmark.
+    let nd_remaining = (nd_budget - nd_from_flaky).max(0.0);
+    let ms_rate = (nd_remaining * eff).min(partial.max(0.0));
+    let hard_rate = (2.0 * nd_remaining * (1.0 - eff)).min((full - flaky_rate).max(0.0) * 0.5);
+
+    // Remaining partial-word communication: bypassable shapes.
+    let p_rem = (partial - ms_rate).max(0.0);
+    let fp_rate = if is_float { p_rem * 0.5 } else { 0.0 };
+    let wn_loads = (p_rem - fp_rate).max(0.0);
+    let wn_pairs: usize = if wn_loads >= 8.0 { 4 } else { 1 };
+    let wn_rate = wn_loads / wn_pairs as f64;
+
+    // Remaining full-word communication.
+    let f_rem = (full - hard_rate - flaky_rate).max(0.0);
+    let (callsite_rate, easy_rate, strided_rate, spill_rate, spill_slots);
+    let strided_steps = 12u64;
+    let strided_k = 4u64;
+    let strided_comm = (strided_steps - strided_k) as f64;
+    if f_rem < 8.0 {
+        callsite_rate = 0.0;
+        easy_rate = 0.0;
+        strided_rate = 0.0;
+        spill_slots = 4usize;
+        spill_rate = f_rem / spill_slots as f64;
+    } else {
+        callsite_rate = if profile.suite == Suite::SpecFp {
+            0.0
+        } else {
+            f_rem * 0.10
+        };
+        easy_rate = f_rem * 0.10;
+        strided_rate = f_rem * 0.15 / strided_comm;
+        spill_slots = 8;
+        spill_rate = (f_rem - callsite_rate - easy_rate - strided_rate * strided_comm).max(0.0)
+            / spill_slots as f64;
+    }
+
+    // Non-communicating loads. Some kernels above already contribute them.
+    let noncomm = (l - comm).max(0.0);
+    let implicit_noncomm = hard_rate
+        + flaky_rate
+        + easy_rate // data word per path-dependent call
+        + 2.0 * fp_rate // two stencil input reads
+        + strided_rate * strided_k as f64; // cross-call recurrence heads
+    let branchy_rate = if profile.suite == Suite::SpecFp {
+        l * 0.02
+    } else {
+        l * 0.06
+    };
+    let mem = profile.mem_intensity();
+    let noncomm_left = (noncomm - implicit_noncomm - branchy_rate).max(0.0);
+    let chase_rate = noncomm_left * mem * 0.5 / 2.0;
+    let stream_rate = (noncomm_left - 2.0 * chase_rate).max(0.0);
+
+    // Cache behaviour knobs.
+    let chase_nodes = if mem > 0.6 {
+        1 << 20 // 8 MB: beyond L2, memory-latency bound
+    } else if mem > 0.3 {
+        1 << 16 // 512 KB: L2 resident
+    } else {
+        1 << 11
+    };
+    let stream_elems = if mem > 0.6 {
+        1 << 18 // 2 MB
+    } else if mem > 0.3 {
+        1 << 15 // 256 KB
+    } else {
+        1 << 12 // 32 KB: L1 resident
+    };
+
+    // ILP filler.
+    let alu_rate = l * 0.12;
+    let alu_parallel = profile.baseline_ipc > 1.8;
+
+    let mut mix: Vec<MixEntry> = Vec::new();
+    let mut push = |kernel: Box<dyn Kernel>, rate: f64| {
+        if let Some((count, period)) = rate_to_schedule(rate) {
+            mix.push(MixEntry {
+                kernel,
+                count,
+                period,
+            });
+        }
+    };
+
+    push(Box::new(PartialStoreKernel), ms_rate);
+    push(Box::new(PathDepKernel::hard()), hard_rate);
+    push(
+        Box::new(PathDepKernel::flaky_with_rate(flaky_r)),
+        flaky_rate,
+    );
+    push(Box::new(FpStencilKernel { elems: 256 }), fp_rate);
+    push(Box::new(WideNarrowKernel { pairs: wn_pairs }), wn_rate);
+    push(Box::new(CallSiteKernel), callsite_rate);
+    push(Box::new(PathDepKernel::easy()), easy_rate);
+    push(
+        Box::new(StridedKernel {
+            k: strided_k,
+            elems: 128,
+            float: is_float,
+            steps: strided_steps,
+        }),
+        strided_rate,
+    );
+    push(Box::new(SpillKernel { slots: spill_slots }), spill_rate);
+    push(
+        Box::new(BranchyKernel {
+            taken_prob: 0.85,
+            words: 512,
+        }),
+        branchy_rate,
+    );
+    push(
+        Box::new(PointerChaseKernel { nodes: chase_nodes }),
+        chase_rate,
+    );
+    push(
+        Box::new(StreamKernel {
+            elems: stream_elems,
+            stride: 1,
+        }),
+        stream_rate,
+    );
+    push(
+        Box::new(AluKernel {
+            ops: 10,
+            parallel: alu_parallel,
+        }),
+        alu_rate,
+    );
+    mix
+}
+
+/// Emits the driver program: functions first, then per-kernel init, then
+/// the shuffled call schedule in an (optionally counted) loop with
+/// period gating for sub-1-per-iteration kernels.
+fn build_program(mix: &[MixEntry], seed: u64, iters: Option<u64>) -> Program {
+    let mut asm = Assembler::new();
+    let mut pool = kernels::RegPool::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let counter = pool.alloc_int(1)[0];
+    let iter_ctr = pool.alloc_int(1)[0];
+
+    let main = asm.label();
+    asm.jump(main);
+
+    // Emit each kernel as a function, giving each its registers + region.
+    let mut entries = Vec::new();
+    let mut persistents = Vec::new();
+    for (i, entry) in mix.iter().enumerate() {
+        let mut persistent = pool.alloc_int(entry.kernel.persistent_int());
+        persistent.extend(pool.alloc_float(entry.kernel.persistent_float()));
+        let mut cx = EmitCtx {
+            asm: &mut asm,
+            persistent,
+            scratch: kernels::scratch_regs(),
+            fscratch: kernels::fscratch_regs(),
+            base: 0x100_0000 * (i as u64 + 1),
+            rng: &mut rng,
+        };
+        let label = kernels::emit_function(entry.kernel.as_ref(), &mut cx);
+        persistents.push(cx.persistent.clone());
+        entries.push(label);
+    }
+
+    asm.bind(main);
+    asm.li(iter_ctr, 0);
+    for (i, entry) in mix.iter().enumerate() {
+        let mut cx = EmitCtx {
+            asm: &mut asm,
+            persistent: persistents[i].clone(),
+            scratch: kernels::scratch_regs(),
+            fscratch: kernels::fscratch_regs(),
+            base: 0x100_0000 * (i as u64 + 1),
+            rng: &mut rng,
+        };
+        entry.kernel.emit_init(&mut cx);
+    }
+
+    // Shuffled call schedule (per-period kernels keep one slot).
+    let mut schedule: Vec<usize> = Vec::new();
+    for (i, entry) in mix.iter().enumerate() {
+        schedule.extend(std::iter::repeat_n(i, entry.count as usize));
+    }
+    for i in (1..schedule.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        schedule.swap(i, j);
+    }
+
+    if let Some(n) = iters {
+        asm.li(counter, n as i64);
+    }
+    let gate = kernels::scratch_regs()[0];
+    let top = asm.label();
+    asm.bind(top);
+    for &i in &schedule {
+        if mix[i].period > 1 {
+            let skip = asm.label();
+            asm.andi(gate, iter_ctr, (mix[i].period - 1) as i64);
+            asm.branch(Cond::Ne, gate, Reg::ZERO, skip);
+            asm.call(entries[i]);
+            asm.bind(skip);
+        } else {
+            asm.call(entries[i]);
+        }
+    }
+    asm.addi(iter_ctr, iter_ctr, 1);
+    match iters {
+        Some(_) => {
+            asm.addi(counter, counter, -1);
+            asm.branch(Cond::Gt, counter, Reg::ZERO, top);
+            asm.halt();
+        }
+        None => asm.jump(top),
+    }
+    asm.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze_program;
+
+    fn check_profile(name: &str, comm_tol: f64, partial_tol: f64) {
+        let p = Profile::by_name(name).unwrap();
+        let prog = synthesize(p, 42);
+        let stats = analyze_program(&prog, 400_000, 128);
+        assert!(
+            (stats.comm_pct() - p.comm_pct).abs() <= comm_tol,
+            "{name}: comm {}% vs target {}%",
+            stats.comm_pct(),
+            p.comm_pct
+        );
+        assert!(
+            (stats.partial_pct() - p.partial_pct).abs() <= partial_tol,
+            "{name}: partial {}% vs target {}%",
+            stats.partial_pct(),
+            p.partial_pct
+        );
+    }
+
+    #[test]
+    fn calibration_mesa_o() {
+        check_profile("mesa.o", 6.0, 4.0);
+    }
+
+    #[test]
+    fn calibration_gzip() {
+        check_profile("gzip", 4.0, 3.0);
+    }
+
+    #[test]
+    fn calibration_mcf() {
+        check_profile("mcf", 2.0, 1.0);
+    }
+
+    #[test]
+    fn calibration_suite_wide() {
+        // Every profile lands within coarse tolerances.
+        for p in Profile::all() {
+            let prog = synthesize(p, 9);
+            let stats = analyze_program(&prog, 150_000, 128);
+            assert!(
+                (stats.comm_pct() - p.comm_pct).abs() <= 8.0,
+                "{}: comm {}% vs {}%",
+                p.name,
+                stats.comm_pct(),
+                p.comm_pct
+            );
+            assert!(
+                (stats.partial_pct() - p.partial_pct).abs() <= 5.0,
+                "{}: partial {}% vs {}%",
+                p.name,
+                stats.partial_pct(),
+                p.partial_pct
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_adpcm_no_comm() {
+        let p = Profile::by_name("adpcm.d").unwrap();
+        let prog = synthesize(p, 42);
+        let stats = analyze_program(&prog, 200_000, 128);
+        assert_eq!(stats.comm_loads, 0);
+        assert!(stats.loads > 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let p = Profile::by_name("gcc").unwrap();
+        let a = synthesize(p, 7);
+        let b = synthesize(p, 7);
+        assert_eq!(a.len(), b.len());
+        for ((pa, ia), (pb, ib)) in a.iter().zip(b.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn counted_variant_halts() {
+        let p = Profile::by_name("gsm.e").unwrap();
+        let prog = synthesize_iters(p, 1, Some(2));
+        let mut tracer = crate::tracer::Tracer::new(&prog, 2_000_000);
+        let n = (&mut tracer).count();
+        assert!(tracer.state().halted(), "ran {n} insts without halting");
+    }
+
+    #[test]
+    fn all_profiles_synthesize() {
+        for p in Profile::all() {
+            let prog = synthesize(p, 1);
+            assert!(prog.len() > 10, "{} produced empty program", p.name);
+            let mut t = crate::tracer::Tracer::new(&prog, 20_000);
+            let n = (&mut t).count();
+            assert!(t.error().is_none(), "{}: {:?}", p.name, t.error());
+            assert_eq!(n, 20_000, "{} halted early", p.name);
+        }
+    }
+
+    #[test]
+    fn rate_schedule_resolution() {
+        assert_eq!(rate_to_schedule(0.0), None);
+        assert_eq!(rate_to_schedule(0.001), None);
+        assert_eq!(rate_to_schedule(1.0), Some((1, 1)));
+        assert_eq!(rate_to_schedule(3.4), Some((3, 1)));
+        let (c, p) = rate_to_schedule(0.1).unwrap();
+        assert_eq!(c, 1);
+        assert!(p == 8 || p == 16, "period {p}");
+        let (_, p) = rate_to_schedule(0.5).unwrap();
+        assert_eq!(p, 2);
+    }
+}

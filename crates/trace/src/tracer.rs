@@ -1,0 +1,288 @@
+//! Streaming functional tracer with online dependence analysis.
+
+use std::collections::HashMap;
+
+use nosq_isa::{ArchState, InstClass, Program};
+
+use crate::record::{Coverage, DynInst, MemDep};
+
+#[derive(Copy, Clone)]
+struct ByteWriter {
+    store_seq: u64,
+    store_index: u64,
+    store_addr: u64,
+    store_width: u8,
+    store_float32: bool,
+}
+
+/// Streams the correct-path dynamic instruction sequence of a program,
+/// annotating each load with its ground-truth producing store.
+///
+/// The tracer maintains a per-byte last-writer map, so it reports the
+/// youngest older store writing any byte a load reads, the distance to it
+/// in dynamic stores and instructions, whether it covers the whole load
+/// ([`Coverage`]), and the byte shift — everything the bypassing
+/// predictor's oracle variant and the verification logic need.
+///
+/// ```
+/// use nosq_isa::{Assembler, Reg, MemWidth, Extension};
+/// use nosq_trace::Tracer;
+///
+/// let mut asm = Assembler::new();
+/// let (b, v) = (Reg::int(1), Reg::int(2));
+/// asm.li(b, 0x1000);
+/// asm.li(v, 7);
+/// asm.store(v, b, 0, MemWidth::B8);
+/// asm.load(v, b, 0, MemWidth::B8, Extension::Zero);
+/// asm.halt();
+/// let prog = asm.finish();
+///
+/// let insts: Vec<_> = Tracer::new(&prog, 100).collect();
+/// let load = insts
+///     .iter()
+///     .find(|d| d.class == nosq_isa::InstClass::Load)
+///     .unwrap();
+/// let dep = load.mem_dep.unwrap();
+/// assert_eq!(dep.store_distance, 0); // most recent store
+/// assert_eq!(dep.inst_distance, 1);
+/// ```
+pub struct Tracer<'p> {
+    program: &'p Program,
+    state: ArchState,
+    seq: u64,
+    stores: u64,
+    last_writer: HashMap<u64, ByteWriter>,
+    max_insts: u64,
+    error: Option<nosq_isa::ExecError>,
+}
+
+impl<'p> Tracer<'p> {
+    /// Creates a tracer that yields at most `max_insts` dynamic
+    /// instructions (the halt instruction, if reached, is yielded and
+    /// ends the stream).
+    pub fn new(program: &'p Program, max_insts: u64) -> Tracer<'p> {
+        Tracer {
+            program,
+            state: ArchState::new(program),
+            seq: 0,
+            stores: 0,
+            last_writer: HashMap::new(),
+            max_insts,
+            error: None,
+        }
+    }
+
+    /// The architectural state reached so far (for end-state checks).
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// An execution error, if one stopped the stream.
+    pub fn error(&self) -> Option<&nosq_isa::ExecError> {
+        self.error.as_ref()
+    }
+}
+
+impl Iterator for Tracer<'_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        if self.state.halted() || self.seq >= self.max_insts || self.error.is_some() {
+            return None;
+        }
+        let rec = match self.state.step(self.program) {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.error = Some(e);
+                return None;
+            }
+        };
+        let class = rec.inst.class();
+        let mut dyn_inst = DynInst {
+            seq: self.seq,
+            rec,
+            class,
+            stores_before: self.stores,
+            mem_dep: None,
+        };
+
+        match class {
+            InstClass::Load => {
+                let width = rec.inst.mem_width().expect("load has width").bytes();
+                let mut youngest: Option<ByteWriter> = None;
+                let mut all_same = true;
+                let mut any_missing = false;
+                for i in 0..width {
+                    match self.last_writer.get(&rec.addr.wrapping_add(i)) {
+                        Some(w) => match youngest {
+                            None => youngest = Some(*w),
+                            Some(y) if w.store_seq != y.store_seq => {
+                                all_same = false;
+                                if w.store_seq > y.store_seq {
+                                    youngest = Some(*w);
+                                }
+                            }
+                            Some(_) => {}
+                        },
+                        None => any_missing = true,
+                    }
+                }
+                if let Some(dep) = youngest {
+                    let coverage = if all_same && !any_missing {
+                        Coverage::Full
+                    } else {
+                        Coverage::Partial
+                    };
+                    dyn_inst.mem_dep = Some(MemDep {
+                        store_seq: dep.store_seq,
+                        // stores (count renamed) minus 1-based dep SSN:
+                        store_distance: self.stores - (dep.store_index + 1),
+                        inst_distance: self.seq - dep.store_seq,
+                        coverage,
+                        shift: rec.addr.wrapping_sub(dep.store_addr) as u8,
+                        store_width: dep.store_width,
+                        store_float32: dep.store_float32,
+                    });
+                }
+            }
+            InstClass::Store => {
+                let width = rec.inst.mem_width().expect("store has width").bytes();
+                let float32 = matches!(rec.inst, nosq_isa::Inst::Store { float32: true, .. });
+                let writer = ByteWriter {
+                    store_seq: self.seq,
+                    store_index: self.stores,
+                    store_addr: rec.addr,
+                    store_width: width as u8,
+                    store_float32: float32,
+                };
+                for i in 0..width {
+                    self.last_writer.insert(rec.addr.wrapping_add(i), writer);
+                }
+                self.stores += 1;
+            }
+            _ => {}
+        }
+
+        self.seq += 1;
+        Some(dyn_inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Coverage;
+    use nosq_isa::{Assembler, Extension, MemWidth, Reg};
+
+    fn trace(asm: Assembler, max: u64) -> Vec<DynInst> {
+        let prog = asm.finish();
+        Tracer::new(&prog, max).collect()
+    }
+
+    #[test]
+    fn store_distance_counts_intervening_stores() {
+        let mut asm = Assembler::new();
+        let (b, v) = (Reg::int(1), Reg::int(2));
+        asm.li(b, 0x1000);
+        asm.li(v, 7);
+        asm.store(v, b, 0, MemWidth::B8); // SSN 1 — the dependence
+        asm.store(v, b, 64, MemWidth::B8); // SSN 2
+        asm.store(v, b, 128, MemWidth::B8); // SSN 3
+        asm.load(v, b, 0, MemWidth::B8, Extension::Zero);
+        asm.halt();
+        let t = trace(asm, 100);
+        let load = t.iter().find(|d| d.class == InstClass::Load).unwrap();
+        let dep = load.mem_dep.unwrap();
+        assert_eq!(dep.store_distance, 2); // two stores renamed since
+        assert_eq!(load.dep_ssn(), Some(1));
+    }
+
+    #[test]
+    fn multi_source_load_is_partial_coverage() {
+        let mut asm = Assembler::new();
+        let (b, v) = (Reg::int(1), Reg::int(2));
+        asm.li(b, 0x1000);
+        asm.li(v, 0x7f);
+        asm.store(v, b, 0, MemWidth::B1);
+        asm.store(v, b, 1, MemWidth::B1);
+        asm.load(v, b, 0, MemWidth::B2, Extension::Zero);
+        asm.halt();
+        let t = trace(asm, 100);
+        let load = t.iter().find(|d| d.class == InstClass::Load).unwrap();
+        let dep = load.mem_dep.unwrap();
+        assert_eq!(dep.coverage, Coverage::Partial);
+        assert_eq!(dep.store_distance, 0); // youngest of the two
+    }
+
+    #[test]
+    fn narrow_load_from_wide_store_has_shift() {
+        let mut asm = Assembler::new();
+        let (b, v) = (Reg::int(1), Reg::int(2));
+        asm.li(b, 0x1000);
+        asm.li(v, 0x1122_3344_5566_7788);
+        asm.store(v, b, 0, MemWidth::B8);
+        asm.load(v, b, 6, MemWidth::B2, Extension::Zero);
+        asm.halt();
+        let t = trace(asm, 100);
+        let load = t.iter().find(|d| d.class == InstClass::Load).unwrap();
+        let dep = load.mem_dep.unwrap();
+        assert_eq!(dep.coverage, Coverage::Full);
+        assert_eq!(dep.shift, 6);
+        assert_eq!(load.rec.load_value, 0x1122);
+    }
+
+    #[test]
+    fn load_from_initial_data_has_no_dep() {
+        let mut asm = Assembler::new();
+        let (b, v) = (Reg::int(1), Reg::int(2));
+        asm.data_u64s(0x1000, &[42]);
+        asm.li(b, 0x1000);
+        asm.load(v, b, 0, MemWidth::B8, Extension::Zero);
+        asm.halt();
+        let t = trace(asm, 100);
+        let load = t.iter().find(|d| d.class == InstClass::Load).unwrap();
+        assert!(load.mem_dep.is_none());
+        assert_eq!(load.rec.load_value, 42);
+    }
+
+    #[test]
+    fn partially_initialized_load_is_partial() {
+        // Store writes only the low byte; the rest comes from initial data.
+        let mut asm = Assembler::new();
+        let (b, v) = (Reg::int(1), Reg::int(2));
+        asm.li(b, 0x1000);
+        asm.li(v, 0xAA);
+        asm.store(v, b, 0, MemWidth::B1);
+        asm.load(v, b, 0, MemWidth::B8, Extension::Zero);
+        asm.halt();
+        let t = trace(asm, 100);
+        let load = t.iter().find(|d| d.class == InstClass::Load).unwrap();
+        assert_eq!(load.mem_dep.unwrap().coverage, Coverage::Partial);
+    }
+
+    #[test]
+    fn max_insts_truncates_stream() {
+        let mut asm = Assembler::new();
+        let top = asm.label();
+        asm.bind(top);
+        asm.addi(Reg::int(1), Reg::int(1), 1);
+        asm.jump(top);
+        let prog = asm.finish();
+        let n = Tracer::new(&prog, 10).count();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn stores_before_counts_monotonically() {
+        let mut asm = Assembler::new();
+        let (b, v) = (Reg::int(1), Reg::int(2));
+        asm.li(b, 0x1000);
+        asm.store(v, b, 0, MemWidth::B8);
+        asm.store(v, b, 8, MemWidth::B8);
+        asm.halt();
+        let t = trace(asm, 100);
+        let stores: Vec<_> = t.iter().filter(|d| d.class == InstClass::Store).collect();
+        assert_eq!(stores[0].store_ssn(), Some(1));
+        assert_eq!(stores[1].store_ssn(), Some(2));
+    }
+}

@@ -1,0 +1,63 @@
+//! PC-indexed bimodal direction predictor.
+
+use super::Counter2;
+
+/// A table of 2-bit counters indexed by branch PC.
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+}
+
+impl Bimodal {
+    /// Creates a predictor with `entries` counters (rounded to a power of
+    /// two).
+    pub fn new(entries: usize) -> Bimodal {
+        Bimodal {
+            table: vec![Counter2::weakly_taken(); entries.next_power_of_two().max(2)],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.table.len() - 1)
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].predict()
+    }
+
+    /// Trains on the resolved outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let i = self.index(pc);
+        self.table[i].update(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut b = Bimodal::new(1024);
+        for _ in 0..4 {
+            b.update(0x40, true);
+        }
+        assert!(b.predict(0x40));
+        for _ in 0..4 {
+            b.update(0x40, false);
+        }
+        assert!(!b.predict(0x40));
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut b = Bimodal::new(1024);
+        for _ in 0..4 {
+            b.update(0x40, true);
+            b.update(0x44, false);
+        }
+        assert!(b.predict(0x40));
+        assert!(!b.predict(0x44));
+    }
+}

@@ -1,0 +1,102 @@
+//! Branch target buffer.
+
+/// A set-associative BTB mapping branch PCs to targets, LRU-replaced.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    sets: Vec<Vec<BtbEntry>>,
+    tick: u64,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct BtbEntry {
+    pc: u64,
+    target: u64,
+    valid: bool,
+    lru: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` total entries in `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds `entries`.
+    pub fn new(entries: usize, ways: usize) -> Btb {
+        assert!(ways > 0 && ways <= entries, "invalid btb geometry");
+        let n_sets = (entries / ways).next_power_of_two().max(1);
+        Btb {
+            sets: vec![vec![BtbEntry::default(); ways]; n_sets],
+            tick: 0,
+        }
+    }
+
+    /// The paper's 2k-entry, 4-way target buffer.
+    pub fn paper_default() -> Btb {
+        Btb::new(2048, 4)
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets.len() - 1)
+    }
+
+    /// Predicted target for the control instruction at `pc`, if cached.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.tick += 1;
+        let idx = self.index(pc);
+        let tick = self.tick;
+        self.sets[idx]
+            .iter_mut()
+            .find(|e| e.valid && e.pc == pc)
+            .map(|e| {
+                e.lru = tick;
+                e.target
+            })
+    }
+
+    /// Installs or refreshes the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let idx = self.index(pc);
+        let tick = self.tick;
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.pc == pc) {
+            e.target = target;
+            e.lru = tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("ways > 0");
+        *victim = BtbEntry {
+            pc,
+            target,
+            valid: true,
+            lru: tick,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_after_update() {
+        let mut b = Btb::paper_default();
+        assert_eq!(b.lookup(0x40), None);
+        b.update(0x40, 0x100);
+        assert_eq!(b.lookup(0x40), Some(0x100));
+        b.update(0x40, 0x200);
+        assert_eq!(b.lookup(0x40), Some(0x200));
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut b = Btb::new(2, 1); // 2 direct-mapped sets
+        b.update(0x0, 0x100);
+        b.update(0x8, 0x200); // same set as 0x0 (index bits pc>>2 & 1)
+        assert_eq!(b.lookup(0x0), None, "evicted by conflicting entry");
+        assert_eq!(b.lookup(0x8), Some(0x200));
+    }
+}

@@ -1,0 +1,66 @@
+//! Branch prediction: hybrid gShare/bimodal direction predictor, branch
+//! target buffer, and return address stack (paper §4.1: 12k-entry hybrid
+//! predictor, 2k-entry 4-way BTB, 32-entry RAS).
+
+mod bimodal;
+mod btb;
+mod gshare;
+mod hybrid;
+mod ras;
+
+pub use bimodal::Bimodal;
+pub use btb::Btb;
+pub use gshare::GShare;
+pub use hybrid::{HybridConfig, HybridPredictor};
+pub use ras::ReturnAddressStack;
+
+/// A 2-bit saturating counter.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Weakly-taken initial state.
+    pub fn weakly_taken() -> Counter2 {
+        Counter2(2)
+    }
+
+    /// Current prediction.
+    pub fn predict(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains toward the outcome.
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_both_ways() {
+        let mut c = Counter2::weakly_taken();
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert!(c.predict());
+        c.update(false);
+        assert!(
+            c.predict(),
+            "one not-taken must not flip a saturated counter"
+        );
+        c.update(false);
+        assert!(!c.predict());
+        for _ in 0..10 {
+            c.update(false);
+        }
+        c.update(true);
+        assert!(!c.predict());
+    }
+}

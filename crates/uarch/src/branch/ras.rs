@@ -1,0 +1,91 @@
+//! Return address stack.
+
+/// A fixed-depth circular return-address stack (paper: 32 entries).
+/// Overflow silently wraps (overwriting the oldest entry), as in
+/// hardware; underflow returns `None`.
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ReturnAddressStack {
+        assert!(capacity > 0, "ras capacity must be positive");
+        ReturnAddressStack {
+            entries: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
+    }
+
+    /// Pushes a return address at a call.
+    pub fn push(&mut self, return_addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = return_addr;
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address at a return.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Current stack depth (≤ capacity).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Top-of-stack checkpoint for squash recovery. Restoring realigns
+    /// the stack pointer; entries pushed after the checkpoint become
+    /// invisible (their slots may have been overwritten — the standard
+    /// TOS-pointer checkpoint, not a full copy).
+    pub fn checkpoint(&self) -> (usize, usize) {
+        (self.top, self.depth)
+    }
+
+    /// Restores a [`ReturnAddressStack::checkpoint`].
+    pub fn restore(&mut self, checkpoint: (usize, usize)) {
+        self.top = checkpoint.0 % self.entries.len();
+        self.depth = checkpoint.1.min(self.entries.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(32);
+        r.push(0x10);
+        r.push(0x20);
+        assert_eq!(r.pop(), Some(0x20));
+        assert_eq!(r.pop(), Some(0x10));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_keeps_recent() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        // The third pop mispredicts (stale or none) — depth is exhausted.
+        assert_eq!(r.pop(), None);
+    }
+}

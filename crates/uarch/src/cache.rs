@@ -1,0 +1,265 @@
+//! Set-associative caches and the two-level data hierarchy (paper §4.1).
+
+use crate::tlb::Tlb;
+
+/// Geometry and latency of one cache level.
+#[derive(Copy, Clone, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's 64KB 2-way L1 data cache with 3-cycle latency.
+    pub fn paper_l1d() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 3,
+        }
+    }
+
+    /// The paper's 1MB 8-way 10-cycle L2.
+    pub fn paper_l2() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 1024 * 1024,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency: 10,
+        }
+    }
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    lru: u64,
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    line_shift: u32,
+    tick: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, or capacity not a
+    /// multiple of `ways * line_bytes`).
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.ways > 0 && cfg.line_bytes.is_power_of_two());
+        let n_lines = cfg.size_bytes / cfg.line_bytes;
+        assert!(n_lines >= cfg.ways && n_lines.is_multiple_of(cfg.ways));
+        let n_sets = (n_lines / cfg.ways).next_power_of_two();
+        Cache {
+            cfg,
+            sets: vec![vec![Line::default(); cfg.ways]; n_sets],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accesses `addr`, updating LRU and filling on miss. Returns `true`
+    /// on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.accesses += 1;
+        let line_addr = addr >> self.line_shift;
+        let set_idx = (line_addr as usize) & (self.sets.len() - 1);
+        let set = &mut self.sets[set_idx];
+        if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line_addr) {
+            l.lru = self.tick;
+            return true;
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("non-empty set");
+        victim.tag = line_addr;
+        victim.valid = true;
+        victim.lru = self.tick;
+        false
+    }
+
+    /// Lifetime (accesses, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accesses, self.misses)
+    }
+}
+
+/// The load/store side of the memory system: L1D + L2 + memory, with a
+/// data TLB.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    l1d: Cache,
+    l2: Cache,
+    dtlb: Tlb,
+    mem_latency: u64,
+    tlb_miss_penalty: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy.
+    pub fn new(
+        l1d: CacheConfig,
+        l2: CacheConfig,
+        dtlb: Tlb,
+        mem_latency: u64,
+        tlb_miss_penalty: u64,
+    ) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1d: Cache::new(l1d),
+            l2: Cache::new(l2),
+            dtlb,
+            mem_latency,
+            tlb_miss_penalty,
+        }
+    }
+
+    /// The paper's hierarchy: 64KB/2-way L1 (3 cycles), 1MB/8-way L2
+    /// (10 cycles), 150-cycle memory, 128-entry 4-way DTLB.
+    pub fn paper_default() -> MemoryHierarchy {
+        MemoryHierarchy::new(
+            CacheConfig::paper_l1d(),
+            CacheConfig::paper_l2(),
+            Tlb::paper_dtlb(),
+            150,
+            30,
+        )
+    }
+
+    /// A load's access latency (cycles), simulating L1 → L2 → memory and
+    /// the DTLB in parallel with L1.
+    pub fn load_latency(&mut self, addr: u64) -> u64 {
+        let mut lat = self.l1d.config().hit_latency;
+        if !self.l1d.access(addr) {
+            lat += self.l2.config().hit_latency;
+            if !self.l2.access(addr) {
+                lat += self.mem_latency;
+            }
+        }
+        if !self.dtlb.access(addr) {
+            lat += self.tlb_miss_penalty;
+        }
+        lat
+    }
+
+    /// A committed store's cache update. Write-allocate into L1/L2; with
+    /// a write buffer this does not stall commit, so only the TLB penalty
+    /// (if any) is returned as occupancy for the shared commit port.
+    pub fn store_commit(&mut self, addr: u64) -> u64 {
+        if !self.l1d.access(addr) {
+            self.l2.access(addr);
+        }
+        if !self.dtlb.access(addr) {
+            self.tlb_miss_penalty
+        } else {
+            0
+        }
+    }
+
+    /// (accesses, misses) for the L1 data cache.
+    pub fn l1d_stats(&self) -> (u64, u64) {
+        self.l1d.stats()
+    }
+
+    /// (accesses, misses) for the L2.
+    pub fn l2_stats(&self) -> (u64, u64) {
+        self.l2.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(CacheConfig::paper_l1d());
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1004)); // same line
+        assert!(!c.access(0x1040)); // next line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Tiny cache: 2 sets, 2 ways, 64B lines.
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 1,
+        };
+        let mut c = Cache::new(cfg);
+        // Three lines mapping to set 0 (line addresses 0, 2, 4).
+        c.access(0);
+        c.access(2 * 64);
+        c.access(0); // refresh line 0
+        c.access(4 * 64); // evicts line 2
+        assert!(c.access(0), "line 0 must survive");
+        assert!(!c.access(2 * 64), "line 2 must have been evicted");
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_misses() {
+        let mut c = Cache::new(CacheConfig::paper_l1d());
+        let lines = 3 * (64 * 1024 / 64); // 3× capacity
+        for round in 0..2 {
+            for i in 0..lines {
+                c.access((i * 64) as u64);
+            }
+            let (acc, miss) = c.stats();
+            if round == 1 {
+                // Streaming working set 3x capacity: everything misses.
+                assert_eq!(acc, 2 * lines as u64);
+                assert!(miss > (acc * 9) / 10);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_latencies_stack() {
+        let mut h = MemoryHierarchy::paper_default();
+        let first = h.load_latency(0x4000_0000);
+        assert!(first >= 3 + 10 + 150, "cold miss latency {first}");
+        let second = h.load_latency(0x4000_0000);
+        assert_eq!(second, 3, "hot hit latency");
+    }
+
+    #[test]
+    fn l2_hit_costs_intermediate_latency() {
+        let mut h = MemoryHierarchy::paper_default();
+        h.load_latency(0x4000_0000); // cold fill
+                                     // Evict from L1 by touching > L1 capacity worth of lines...
+        for i in 0..4096u64 {
+            h.load_latency(0x5000_0000 + i * 64);
+        }
+        let lat = h.load_latency(0x4000_0000);
+        assert_eq!(lat, 13, "L2 hit should cost l1+l2 latency, got {lat}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # nosq-uarch
+//!
+//! Micro-architectural substrate for the NoSQ simulator (Sha, Martin &
+//! Roth, MICRO-39 2006): the structures the paper *assumes* rather than
+//! contributes, built from scratch so the timing models in `nosq-core`
+//! can be assembled on top.
+//!
+//! * [`ssn`] — store sequence numbers, the global rename/commit counters,
+//!   and wrap-around detection (paper §2).
+//! * [`svw`] — store vulnerability window filters: the untagged SSBF and
+//!   the tagged, set-associative, FIFO-managed T-SSBF (paper §2.2),
+//!   including the size/offset fields NoSQ adds for shift verification
+//!   (paper §3.5).
+//! * [`storesets`] — the StoreSets dependence predictor used by the
+//!   baseline's load scheduler (paper §2.1).
+//! * [`branch`] — hybrid gShare/bimodal direction prediction, BTB, RAS.
+//! * [`cache`] / [`tlb`] — the two-level data-cache hierarchy and TLBs.
+//! * [`config`] — the paper's §4.1 machine configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod ssn;
+pub mod storesets;
+pub mod svw;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, MemoryHierarchy};
+pub use config::MachineConfig;
+pub use ssn::{Ssn, SsnCounters};
+pub use storesets::StoreSets;
+pub use svw::{Ssbf, Tssbf, TssbfEntry, TssbfLookup};
+pub use tlb::Tlb;

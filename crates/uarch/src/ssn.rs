@@ -1,0 +1,198 @@
+//! Store sequence numbers (paper §2).
+//!
+//! All dynamic stores are assigned monotonically increasing SSNs at
+//! rename. `SSNrename` tracks the most recently renamed store and
+//! `SSNcommit` the most recently committed one; their difference is the
+//! store-queue occupancy (or, in NoSQ, the number of in-flight stores).
+
+/// A store sequence number. 1-based; `Ssn(0)` means "no store" / "older
+/// than anything tracked".
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ssn(pub u64);
+
+impl Ssn {
+    /// The null SSN (before any store).
+    pub const NONE: Ssn = Ssn(0);
+
+    /// The SSN `distance` stores older than this one, saturating at
+    /// [`Ssn::NONE`].
+    pub fn minus(self, distance: u64) -> Ssn {
+        Ssn(self.0.saturating_sub(distance))
+    }
+
+    /// Distance in stores from `older` to `self` (0 if `older` is younger).
+    pub fn distance_from(self, older: Ssn) -> u64 {
+        self.0.saturating_sub(older.0)
+    }
+}
+
+impl std::fmt::Display for Ssn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ssn{}", self.0)
+    }
+}
+
+/// The global SSN counters plus wrap-around detection.
+///
+/// Hardware SSNs are finite (the paper uses 20 bits); on wrap-around the
+/// processor drains its pipeline and clears every SSN-holding structure.
+/// The simulator keeps full-width counters for bookkeeping and signals a
+/// [`SsnCounters::wrap_pending`] drain event at each 2^bits boundary, so
+/// the *performance cost* of wrap handling is modelled without its
+/// correctness hazards.
+#[derive(Clone, Debug)]
+pub struct SsnCounters {
+    rename: Ssn,
+    commit: Ssn,
+    bits: u32,
+    wraps: u64,
+}
+
+impl SsnCounters {
+    /// Creates counters with `bits`-wide hardware SSNs (the paper uses 20).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    pub fn new(bits: u32) -> SsnCounters {
+        assert!((1..=63).contains(&bits), "ssn width {bits} out of range");
+        SsnCounters {
+            rename: Ssn::NONE,
+            commit: Ssn::NONE,
+            bits,
+            wraps: 0,
+        }
+    }
+
+    /// SSN of the most recently renamed store.
+    pub fn rename(&self) -> Ssn {
+        self.rename
+    }
+
+    /// SSN of the most recently committed store.
+    pub fn commit(&self) -> Ssn {
+        self.commit
+    }
+
+    /// Number of in-flight stores (`SSNrename − SSNcommit`).
+    pub fn in_flight(&self) -> u64 {
+        self.rename.0 - self.commit.0
+    }
+
+    /// Assigns the next SSN at rename.
+    pub fn next_rename(&mut self) -> Ssn {
+        self.rename.0 += 1;
+        self.rename
+    }
+
+    /// Rolls back `SSNrename` after a squash that discarded stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rolling back past `SSNcommit`.
+    pub fn rollback_rename(&mut self, to: Ssn) {
+        assert!(to >= self.commit, "cannot roll back committed stores");
+        assert!(to <= self.rename, "rollback target is in the future");
+        self.rename = to;
+    }
+
+    /// Advances `SSNcommit` past one committed store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no in-flight store.
+    pub fn commit_store(&mut self) -> Ssn {
+        assert!(self.commit < self.rename, "no in-flight store to commit");
+        self.commit.0 += 1;
+        if self.commit.0.is_multiple_of(1 << self.bits) {
+            self.wraps += 1;
+        }
+        self.commit
+    }
+
+    /// Whether a hardware wrap-around boundary has been crossed since the
+    /// last [`SsnCounters::acknowledge_wrap`]; the pipeline must drain and
+    /// clear SSN-holding structures.
+    pub fn wrap_pending(&self) -> bool {
+        self.wraps > 0
+    }
+
+    /// Acknowledges a drain performed for wrap-around.
+    pub fn acknowledge_wrap(&mut self) {
+        self.wraps = self.wraps.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_commit_track_occupancy() {
+        let mut c = SsnCounters::new(20);
+        let a = c.next_rename();
+        let b = c.next_rename();
+        assert_eq!(a, Ssn(1));
+        assert_eq!(b, Ssn(2));
+        assert_eq!(c.in_flight(), 2);
+        assert_eq!(c.commit_store(), Ssn(1));
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    fn minus_saturates() {
+        assert_eq!(Ssn(5).minus(2), Ssn(3));
+        assert_eq!(Ssn(1).minus(9), Ssn::NONE);
+        assert_eq!(Ssn(7).distance_from(Ssn(4)), 3);
+        assert_eq!(Ssn(4).distance_from(Ssn(7)), 0);
+    }
+
+    #[test]
+    fn rollback_restores_rename() {
+        let mut c = SsnCounters::new(20);
+        for _ in 0..5 {
+            c.next_rename();
+        }
+        c.commit_store();
+        c.rollback_rename(Ssn(2));
+        assert_eq!(c.rename(), Ssn(2));
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot roll back committed stores")]
+    fn rollback_past_commit_panics() {
+        let mut c = SsnCounters::new(20);
+        c.next_rename();
+        c.commit_store();
+        c.rollback_rename(Ssn(0));
+    }
+
+    #[test]
+    fn wrap_detected_at_boundary() {
+        let mut c = SsnCounters::new(3); // wrap every 8 stores
+        for _ in 0..8 {
+            c.next_rename();
+            c.commit_store();
+        }
+        assert!(c.wrap_pending());
+        c.acknowledge_wrap();
+        assert!(!c.wrap_pending());
+        // Next boundary is another 8 away.
+        for _ in 0..7 {
+            c.next_rename();
+            c.commit_store();
+        }
+        assert!(!c.wrap_pending());
+        c.next_rename();
+        c.commit_store();
+        assert!(c.wrap_pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "no in-flight store")]
+    fn commit_without_rename_panics() {
+        let mut c = SsnCounters::new(20);
+        c.commit_store();
+    }
+}

@@ -1,0 +1,138 @@
+//! StoreSets memory-dependence predictor (Chrysos & Emer; paper §2.1).
+//!
+//! Used by the baseline configuration's load scheduler: loads that have
+//! squashed on a store in the past wait for that store's next dynamic
+//! instance to execute before issuing.
+//!
+//! The classic two-table organization: a Store Set ID Table (SSIT) maps
+//! load and store PCs to store-set IDs, and a Last Fetched Store Table
+//! (LFST) maps each store-set ID to the SSN of the most recently renamed
+//! store in the set.
+
+use crate::ssn::Ssn;
+
+/// StoreSets predictor state.
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    ssit: Vec<Option<u32>>,
+    lfst: Vec<Option<Ssn>>,
+}
+
+impl StoreSets {
+    /// Creates a predictor with `entries` SSIT entries (rounded up to a
+    /// power of two). The LFST is sized to the same number of sets.
+    pub fn new(entries: usize) -> StoreSets {
+        let n = entries.next_power_of_two().max(2);
+        StoreSets {
+            ssit: vec![None; n],
+            lfst: vec![None; n],
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        // PCs are 4-byte aligned; drop the alignment bits.
+        ((pc >> 2) as usize) & (self.ssit.len() - 1)
+    }
+
+    /// Renames a store: if it belongs to a store set, it becomes the
+    /// set's last-fetched store.
+    pub fn rename_store(&mut self, store_pc: u64, ssn: Ssn) {
+        let idx = self.index(store_pc);
+        if let Some(ssid) = self.ssit[idx] {
+            let n = self.lfst.len();
+            self.lfst[ssid as usize % n] = Some(ssn);
+        }
+    }
+
+    /// At a load's rename: the SSN of the most recent store the load is
+    /// predicted to depend on, if any.
+    pub fn lookup_load(&self, load_pc: u64) -> Option<Ssn> {
+        let ssid = self.ssit[self.index(load_pc)]?;
+        self.lfst[ssid as usize % self.lfst.len()]
+    }
+
+    /// Trains on a memory-ordering violation: the load and store are
+    /// placed in the same store set (keyed by the store's SSIT index, so
+    /// multiple loads squashing on one store converge to one set).
+    pub fn train_violation(&mut self, load_pc: u64, store_pc: u64) {
+        let store_idx = self.index(store_pc);
+        let ssid = store_idx as u32;
+        self.ssit[store_idx] = Some(ssid);
+        let load_idx = self.index(load_pc);
+        self.ssit[load_idx] = Some(ssid);
+    }
+
+    /// Invalidates a set's last-fetched store once it has executed (loads
+    /// no longer need to wait for it). Also called during squash rollback
+    /// for discarded stores.
+    pub fn store_resolved(&mut self, store_pc: u64, ssn: Ssn) {
+        let idx = self.index(store_pc);
+        if let Some(ssid) = self.ssit[idx] {
+            let n = self.lfst.len();
+            let slot = &mut self.lfst[ssid as usize % n];
+            if *slot == Some(ssn) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Clears all predictor state.
+    pub fn clear(&mut self) {
+        self.ssit.fill(None);
+        self.lfst.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOAD_PC: u64 = 0x100;
+    const STORE_PC: u64 = 0x200;
+
+    #[test]
+    fn untrained_load_predicts_no_dependence() {
+        let s = StoreSets::new(4096);
+        assert_eq!(s.lookup_load(LOAD_PC), None);
+    }
+
+    #[test]
+    fn violation_links_load_to_next_store_instance() {
+        let mut s = StoreSets::new(4096);
+        s.train_violation(LOAD_PC, STORE_PC);
+        // The next dynamic instance of the store is recorded at rename...
+        s.rename_store(STORE_PC, Ssn(42));
+        assert_eq!(s.lookup_load(LOAD_PC), Some(Ssn(42)));
+        // ...and cleared once it executes.
+        s.store_resolved(STORE_PC, Ssn(42));
+        assert_eq!(s.lookup_load(LOAD_PC), None);
+    }
+
+    #[test]
+    fn unrelated_store_does_not_update_set() {
+        let mut s = StoreSets::new(4096);
+        s.train_violation(LOAD_PC, STORE_PC);
+        s.rename_store(0x300, Ssn(7)); // not in any set
+        assert_eq!(s.lookup_load(LOAD_PC), None);
+    }
+
+    #[test]
+    fn resolved_ignores_stale_ssn() {
+        let mut s = StoreSets::new(4096);
+        s.train_violation(LOAD_PC, STORE_PC);
+        s.rename_store(STORE_PC, Ssn(1));
+        s.rename_store(STORE_PC, Ssn(2));
+        // Resolving the older instance must not clear the newer one.
+        s.store_resolved(STORE_PC, Ssn(1));
+        assert_eq!(s.lookup_load(LOAD_PC), Some(Ssn(2)));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut s = StoreSets::new(4096);
+        s.train_violation(LOAD_PC, STORE_PC);
+        s.rename_store(STORE_PC, Ssn(1));
+        s.clear();
+        assert_eq!(s.lookup_load(LOAD_PC), None);
+    }
+}

@@ -1,0 +1,356 @@
+//! Store vulnerability window (SVW) re-execution filters (paper §2.2).
+//!
+//! The SVW idea: a load need not re-execute if no store wrote a matching
+//! address since the youngest store the load is *not vulnerable* to
+//! (`SSNnvul`). The filter is a small table tracking, per (hashed)
+//! address, the SSN of the youngest committed store to write it.
+//!
+//! Two variants are provided:
+//!
+//! * [`Ssbf`] — the original untagged, direct-mapped Store Sequence Bloom
+//!   Filter. Aliasing only ever *over*-estimates the youngest conflicting
+//!   SSN, so the inequality test is safe but conservative.
+//! * [`Tssbf`] — the tagged, set-associative, FIFO-managed variant.
+//!   NoSQ requires tags because its bypassed loads use an *equality*
+//!   test, which is unsafe under aliasing (paper §3.4). Entries also
+//!   carry the store's size and low-order address bits so partial-word
+//!   shift amounts can be learned and verified at commit (paper §3.5).
+
+use crate::ssn::Ssn;
+
+/// 8-byte line index covering `addr`.
+fn line_of(addr: u64) -> u64 {
+    addr >> 3
+}
+
+/// The untagged, direct-mapped SSBF.
+///
+/// Every committed store writes its SSN into the slot its address hashes
+/// to; a load reads the slot and re-executes if the recorded SSN is
+/// younger than its `SSNnvul`. Aliasing collapses distinct addresses into
+/// one slot, which can only raise the recorded SSN — safe for the
+/// inequality test, useless for NoSQ's equality test.
+#[derive(Clone, Debug)]
+pub struct Ssbf {
+    slots: Vec<Ssn>,
+}
+
+impl Ssbf {
+    /// Creates a filter with `entries` slots (rounded up to a power of 2).
+    pub fn new(entries: usize) -> Ssbf {
+        let n = entries.next_power_of_two().max(2);
+        Ssbf {
+            slots: vec![Ssn::NONE; n],
+        }
+    }
+
+    fn index(&self, line: u64) -> usize {
+        (line as usize) & (self.slots.len() - 1)
+    }
+
+    /// Records a committed store.
+    pub fn record_store(&mut self, addr: u64, size: u8, ssn: Ssn) {
+        let first = line_of(addr);
+        let last = line_of(addr + size as u64 - 1);
+        for line in first..=last {
+            let i = self.index(line);
+            self.slots[i] = self.slots[i].max(ssn);
+        }
+    }
+
+    /// The youngest recorded SSN possibly matching the access.
+    pub fn youngest(&self, addr: u64, size: u8) -> Ssn {
+        let first = line_of(addr);
+        let last = line_of(addr + size as u64 - 1);
+        (first..=last)
+            .map(|line| self.slots[self.index(line)])
+            .max()
+            .unwrap_or(Ssn::NONE)
+    }
+
+    /// The inequality filter test: must the load re-execute?
+    pub fn must_reexecute(&self, addr: u64, size: u8, ssn_nvul: Ssn) -> bool {
+        self.youngest(addr, size) > ssn_nvul
+    }
+
+    /// Clears the filter (SSN wrap-around drain).
+    pub fn clear(&mut self) {
+        self.slots.fill(Ssn::NONE);
+    }
+}
+
+/// One T-SSBF entry: the youngest committed store to a (tagged) 8-byte
+/// line, with the store's placement for shift verification.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TssbfEntry {
+    /// Full line tag (8-byte granularity).
+    pub line: u64,
+    /// SSN of the youngest committed store to the line.
+    pub ssn: Ssn,
+    /// The store's byte offset within the line (paper: 3-bit offset).
+    pub offset: u8,
+    /// The store's size in bytes (paper: 3-bit size).
+    pub size: u8,
+}
+
+impl TssbfEntry {
+    /// The store's full start address.
+    pub fn store_addr(&self) -> u64 {
+        (self.line << 3) + self.offset as u64
+    }
+
+    /// Whether the recorded store covers all `size` bytes at `addr`.
+    pub fn covers(&self, addr: u64, size: u8) -> bool {
+        let s = self.store_addr();
+        s <= addr && addr + size as u64 <= s + self.size as u64
+    }
+}
+
+/// Result of a T-SSBF lookup.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TssbfLookup {
+    /// A tag match: the youngest committed store to the line.
+    Hit(TssbfEntry),
+    /// No tag match, and no entry young enough to matter was ever evicted
+    /// from the set: provably no conflicting committed store since
+    /// `evicted_bound`.
+    Miss {
+        /// Youngest SSN ever evicted from the set (conflicts older than
+        /// this are unknowable).
+        evicted_bound: Ssn,
+    },
+    /// The access spans two lines; callers must be conservative.
+    Spanning,
+}
+
+/// The tagged, set-associative, FIFO-managed T-SSBF.
+#[derive(Clone, Debug)]
+pub struct Tssbf {
+    sets: Vec<TssbfSet>,
+    ways: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct TssbfSet {
+    // FIFO order: index 0 is oldest. Entries within a set are inserted in
+    // commit order, so FIFO eviction removes the oldest SSN.
+    entries: Vec<TssbfEntry>,
+    evicted: Ssn,
+}
+
+impl Tssbf {
+    /// Creates a filter with `entries` total entries in `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is 0 or exceeds `entries`.
+    pub fn new(entries: usize, ways: usize) -> Tssbf {
+        assert!(ways > 0 && ways <= entries, "invalid t-ssbf geometry");
+        let n_sets = (entries / ways).next_power_of_two().max(1);
+        Tssbf {
+            sets: vec![TssbfSet::default(); n_sets],
+            ways,
+        }
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line as usize) & (self.sets.len() - 1)
+    }
+
+    /// Records a committed store (updating an existing line entry in
+    /// place, else inserting FIFO).
+    pub fn record_store(&mut self, addr: u64, size: u8, ssn: Ssn) {
+        let first = line_of(addr);
+        let last = line_of(addr + size as u64 - 1);
+        for line in first..=last {
+            // A spanning store records its own placement clamped per line;
+            // loads to a line it spans will see non-covering placement and
+            // conservatively re-execute.
+            let (offset, sz) = if first == last {
+                ((addr & 7) as u8, size)
+            } else if line == first {
+                ((addr & 7) as u8, (8 - (addr & 7)) as u8)
+            } else {
+                (0, ((addr + size as u64) & 7) as u8)
+            };
+            self.record_line(line, offset, sz, ssn);
+        }
+    }
+
+    fn record_line(&mut self, line: u64, offset: u8, size: u8, ssn: Ssn) {
+        let ways = self.ways;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.entries.iter().position(|e| e.line == line) {
+            // Refresh: remove and re-insert at FIFO tail with the new SSN.
+            set.entries.remove(pos);
+        }
+        if set.entries.len() == ways {
+            let victim = set.entries.remove(0);
+            set.evicted = set.evicted.max(victim.ssn);
+        }
+        set.entries.push(TssbfEntry {
+            line,
+            ssn,
+            offset,
+            size,
+        });
+    }
+
+    /// Looks up the youngest committed store possibly overlapping the
+    /// access.
+    pub fn lookup(&self, addr: u64, size: u8) -> TssbfLookup {
+        let first = line_of(addr);
+        let last = line_of(addr + size as u64 - 1);
+        if first != last {
+            return TssbfLookup::Spanning;
+        }
+        let set = &self.sets[self.set_index(first)];
+        match set.entries.iter().find(|e| e.line == first) {
+            Some(e) => TssbfLookup::Hit(*e),
+            None => TssbfLookup::Miss {
+                evicted_bound: set.evicted,
+            },
+        }
+    }
+
+    /// The SVW **inequality** test for non-bypassing loads: must the load
+    /// re-execute given the youngest store it is not vulnerable to?
+    pub fn must_reexecute_inequality(&self, addr: u64, size: u8, ssn_nvul: Ssn) -> bool {
+        match self.lookup(addr, size) {
+            TssbfLookup::Hit(e) => e.ssn > ssn_nvul,
+            TssbfLookup::Miss { evicted_bound } => evicted_bound > ssn_nvul,
+            TssbfLookup::Spanning => true,
+        }
+    }
+
+    /// The SVW **equality** test for bypassed loads (paper §3.4): the load
+    /// may skip re-execution only if the youngest committed store to its
+    /// line *is* the predicted bypassing store and fully covers the load
+    /// (size/offset check, paper §3.5). Returns `true` if re-execution is
+    /// required.
+    pub fn must_reexecute_equality(&self, addr: u64, size: u8, ssn_byp: Ssn) -> bool {
+        match self.lookup(addr, size) {
+            TssbfLookup::Hit(e) => e.ssn != ssn_byp || !e.covers(addr, size),
+            _ => true,
+        }
+    }
+
+    /// Clears the filter (SSN wrap-around drain).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.entries.clear();
+            set.evicted = Ssn::NONE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssbf_inequality_is_conservative_under_aliasing() {
+        let mut f = Ssbf::new(4);
+        // Two addresses that alias in a 4-slot filter (lines 0 and 4).
+        f.record_store(0x0, 8, Ssn(5));
+        f.record_store(4 * 8, 8, Ssn(3));
+        // The slot keeps the max: a load of the second address sees ssn 5.
+        assert!(f.must_reexecute(4 * 8, 8, Ssn(4)));
+        // ...even though the true youngest store there was ssn 3 — safe
+        // but conservative.
+        assert!(!f.must_reexecute(4 * 8, 8, Ssn(6)));
+    }
+
+    #[test]
+    fn tssbf_hit_tracks_youngest_store() {
+        let mut f = Tssbf::new(128, 4);
+        f.record_store(0x100, 8, Ssn(1));
+        f.record_store(0x100, 8, Ssn(9));
+        match f.lookup(0x100, 8) {
+            TssbfLookup::Hit(e) => assert_eq!(e.ssn, Ssn(9)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tssbf_cold_miss_proves_no_conflict() {
+        let f = Tssbf::new(128, 4);
+        assert!(!f.must_reexecute_inequality(0x500, 8, Ssn::NONE));
+    }
+
+    #[test]
+    fn tssbf_eviction_bound_forces_reexecution() {
+        let mut f = Tssbf::new(8, 2); // 4 sets × 2 ways
+                                      // Fill one set (lines 0, 4, 8 map to set 0 with 4 sets).
+        f.record_store(0, 8, Ssn(1));
+        f.record_store(4 * 8, 8, Ssn(2));
+        f.record_store(8 * 8, 8, Ssn(3)); // evicts line 0 (ssn 1)
+                                          // A load of line 0 misses; eviction bound 1 forces re-execution
+                                          // for loads vulnerable to ssn 1...
+        assert!(f.must_reexecute_inequality(0, 8, Ssn::NONE));
+        // ...but not for loads already not vulnerable to it.
+        assert!(!f.must_reexecute_inequality(0, 8, Ssn(1)));
+    }
+
+    #[test]
+    fn equality_test_requires_exact_ssn_and_coverage() {
+        let mut f = Tssbf::new(128, 4);
+        f.record_store(0x200, 8, Ssn(7));
+        // Exact match, full coverage: skip re-execution.
+        assert!(!f.must_reexecute_equality(0x204, 2, Ssn(7)));
+        // Wrong SSN: re-execute.
+        assert!(f.must_reexecute_equality(0x204, 2, Ssn(6)));
+        // Younger store to the same line overwrites: re-execute.
+        f.record_store(0x200, 2, Ssn(8));
+        assert!(f.must_reexecute_equality(0x204, 2, Ssn(7)));
+    }
+
+    #[test]
+    fn equality_test_rejects_partial_coverage() {
+        let mut f = Tssbf::new(128, 4);
+        // 2-byte store; a 4-byte load at the same address is not covered.
+        f.record_store(0x300, 2, Ssn(4));
+        assert!(f.must_reexecute_equality(0x300, 4, Ssn(4)));
+        assert!(!f.must_reexecute_equality(0x300, 2, Ssn(4)));
+    }
+
+    #[test]
+    fn spanning_accesses_are_conservative() {
+        let mut f = Tssbf::new(128, 4);
+        f.record_store(0x104, 8, Ssn(3)); // spans lines 0x20 and 0x21
+        assert_eq!(f.lookup(0x104, 8), TssbfLookup::Spanning);
+        assert!(f.must_reexecute_inequality(0x104, 8, Ssn(99)));
+        // Within-line lookups of the spanning store see per-line placement
+        // that does not cover a full-word load.
+        assert!(f.must_reexecute_equality(0x100, 8, Ssn(3)));
+    }
+
+    #[test]
+    fn entry_shift_reconstruction() {
+        let mut f = Tssbf::new(128, 4);
+        f.record_store(0x408, 8, Ssn(2));
+        if let TssbfLookup::Hit(e) = f.lookup(0x40c, 2) {
+            assert_eq!(e.store_addr(), 0x408);
+            assert_eq!(0x40cu64 - e.store_addr(), 4); // shift amount
+        } else {
+            panic!("expected hit");
+        }
+    }
+
+    #[test]
+    fn clear_resets_entries_and_bounds() {
+        let mut f = Tssbf::new(8, 2);
+        for i in 0..6 {
+            f.record_store(i * 8, 8, Ssn(i + 1));
+        }
+        f.clear();
+        assert!(!f.must_reexecute_inequality(0, 8, Ssn::NONE));
+        assert_eq!(
+            f.lookup(0, 8),
+            TssbfLookup::Miss {
+                evicted_bound: Ssn::NONE
+            }
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Translation lookaside buffer.
+
+/// A set-associative TLB with LRU replacement (4KB pages).
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    sets: Vec<Vec<TlbEntry>>,
+    ways: usize,
+    tick: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct TlbEntry {
+    vpn: u64,
+    valid: bool,
+    lru: u64,
+}
+
+const PAGE_SHIFT: u32 = 12;
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries in `ways`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds `entries`.
+    pub fn new(entries: usize, ways: usize) -> Tlb {
+        assert!(ways > 0 && ways <= entries, "invalid tlb geometry");
+        let n_sets = (entries / ways).next_power_of_two().max(1);
+        Tlb {
+            sets: vec![vec![TlbEntry::default(); ways]; n_sets],
+            ways,
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The paper's 128-entry, 4-way data TLB.
+    pub fn paper_dtlb() -> Tlb {
+        Tlb::new(128, 4)
+    }
+
+    /// Translates `addr`, filling on miss. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.accesses += 1;
+        let vpn = addr >> PAGE_SHIFT;
+        let idx = (vpn as usize) & (self.sets.len() - 1);
+        let set = &mut self.sets[idx];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+            e.lru = self.tick;
+            return true;
+        }
+        self.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.lru } else { 0 })
+            .expect("ways > 0");
+        victim.vpn = vpn;
+        victim.valid = true;
+        victim.lru = self.tick;
+        false
+    }
+
+    /// Lifetime (accesses, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.accesses, self.misses)
+    }
+
+    /// Number of ways per set.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::paper_dtlb();
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1ffc));
+        assert!(!t.access(0x2000));
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        let mut t = Tlb::new(4, 2); // 2 sets × 2 ways
+                                    // Pages 0, 2, 4 map to set 0.
+        t.access(0 << PAGE_SHIFT);
+        t.access(2 << PAGE_SHIFT);
+        t.access(4 << PAGE_SHIFT); // evicts page 0
+        assert!(!t.access(0 << PAGE_SHIFT));
+        let (acc, miss) = t.stats();
+        assert_eq!(acc, 4);
+        assert_eq!(miss, 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Partial-word bypassing (paper §3.5): wide-store/narrow-load shifts and
+//! the Alpha `sts`/`lds` float32 conversion, bypassed through the
+//! injected shift & mask instruction and verified at commit.
+//!
+//! ```sh
+//! cargo run --release -p nosq-examples --example partial_word_bypassing
+//! ```
+
+use nosq_core::{simulate, SimConfig};
+use nosq_isa::{Assembler, Cond, Extension, MemWidth, Program, Reg};
+
+/// Wide store, narrow sign-extended load at byte offset 4.
+fn wide_narrow(iters: i64) -> Program {
+    let mut asm = Assembler::new();
+    let (base, c, v, t, i) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+    );
+    asm.li(base, 0x1000);
+    asm.li(i, iters);
+    let top = asm.label();
+    asm.bind(top);
+    asm.addi(c, c, 0x8001);
+    asm.shli(v, c, 32);
+    asm.add(v, v, c);
+    asm.store(v, base, 0, MemWidth::B8);
+    asm.load(t, base, 4, MemWidth::B2, Extension::Sign);
+    asm.add(c, c, t);
+    asm.addi(i, i, -1);
+    asm.branch(Cond::Gt, i, Reg::ZERO, top);
+    asm.halt();
+    asm.finish()
+}
+
+/// `sts` then `lds`: the float32 conversion round trip.
+fn float_roundtrip(iters: i64) -> Program {
+    let mut asm = Assembler::new();
+    let (base, i) = (Reg::int(1), Reg::int(2));
+    let (f, t) = (Reg::float(0), Reg::float(1));
+    asm.li(base, 0x1000);
+    asm.li(f, 1.25f64.to_bits() as i64);
+    asm.li(i, iters);
+    let top = asm.label();
+    asm.bind(top);
+    asm.sts(f, base, 0);
+    asm.lds(t, base, 0);
+    asm.fadd(f, t, t);
+    asm.fmul(f, f, t);
+    asm.addi(i, i, -1);
+    asm.branch(Cond::Gt, i, Reg::ZERO, top);
+    asm.halt();
+    asm.finish()
+}
+
+/// Two one-byte stores feeding a two-byte load: un-bypassable, handled
+/// by delay.
+fn multi_source(iters: i64) -> Program {
+    let mut asm = Assembler::new();
+    let (base, v, t, i) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    asm.li(base, 0x1000);
+    asm.li(i, iters);
+    let top = asm.label();
+    asm.bind(top);
+    asm.addi(v, v, 1);
+    asm.store(v, base, 0, MemWidth::B1);
+    asm.store(v, base, 1, MemWidth::B1);
+    asm.load(t, base, 0, MemWidth::B2, Extension::Zero);
+    asm.add(v, v, t);
+    asm.addi(i, i, -1);
+    asm.branch(Cond::Gt, i, Reg::ZERO, top);
+    asm.halt();
+    asm.finish()
+}
+
+fn report(name: &str, program: &Program) {
+    let r = simulate(program, SimConfig::nosq(300_000));
+    println!(
+        "{name:<28} loads {:>6}  bypassed {:>6}  shift&mask {:>6}  delayed {:>5}  mispredicts {:>4}",
+        r.loads, r.bypassed_loads, r.shift_mask_uops, r.delayed_loads, r.bypass_mispredicts
+    );
+}
+
+fn main() {
+    println!("NoSQ partial-word bypassing (paper 3.5):");
+    println!();
+    report("wide store / narrow load", &wide_narrow(2_000));
+    report("sts / lds float32 convert", &float_roundtrip(2_000));
+    report("two narrow stores (multi)", &multi_source(2_000));
+    println!();
+    println!("Single-source partial-word pairs bypass through the injected shift & mask");
+    println!("instruction once the predictor learns the shift; the multi-source pattern");
+    println!("cannot be bypassed (SMB cannot combine values), so the confidence mechanism");
+    println!("converts those loads to safe delayed cache accesses instead of squashing.");
+}

@@ -1,0 +1,72 @@
+//! Architectural agreement: timing models must never change semantics.
+//! Every configuration commits exactly the same dynamic instruction
+//! stream — all the speculation in NoSQ is repaired by verification
+//! before it can affect committed state.
+
+use nosq_integration::run_all;
+use nosq_isa::InstClass;
+use nosq_trace::{synthesize, Profile, Tracer};
+
+fn check_profile(name: &str, budget: u64) {
+    let profile = Profile::by_name(name).expect("profile exists");
+    let program = synthesize(profile, 42);
+    // Ground truth from the functional trace.
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut insts = 0u64;
+    for d in Tracer::new(&program, budget) {
+        insts += 1;
+        match d.class {
+            InstClass::Load => loads += 1,
+            InstClass::Store => stores += 1,
+            _ => {}
+        }
+    }
+    for (cfg_name, r) in run_all(&program, budget) {
+        assert_eq!(r.insts, insts, "{name}/{cfg_name}: committed instructions");
+        assert_eq!(r.loads, loads, "{name}/{cfg_name}: committed loads");
+        assert_eq!(r.stores, stores, "{name}/{cfg_name}: committed stores");
+        assert!(r.cycles > 0, "{name}/{cfg_name}: ran no cycles");
+    }
+}
+
+#[test]
+fn communication_heavy_profile_agrees() {
+    check_profile("mesa.o", 40_000);
+}
+
+#[test]
+fn mispredict_heavy_profile_agrees() {
+    check_profile("eon.k", 40_000);
+}
+
+#[test]
+fn partial_word_profile_agrees() {
+    check_profile("g721.e", 40_000);
+}
+
+#[test]
+fn memory_bound_profile_agrees() {
+    check_profile("mcf", 20_000);
+}
+
+#[test]
+fn no_communication_profile_agrees() {
+    check_profile("lucas", 40_000);
+}
+
+#[test]
+fn float_profile_agrees() {
+    check_profile("wupwise", 40_000);
+}
+
+#[test]
+fn window256_commits_identically() {
+    use nosq_core::{simulate, SimConfig};
+    let profile = Profile::by_name("vortex").unwrap();
+    let program = synthesize(profile, 42);
+    let small = simulate(&program, SimConfig::nosq(30_000));
+    let big = simulate(&program, SimConfig::nosq(30_000).with_window256());
+    assert_eq!(small.insts, big.insts);
+    assert_eq!(small.loads, big.loads);
+}

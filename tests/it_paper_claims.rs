@@ -1,0 +1,146 @@
+//! The paper's headline quantitative claims, checked as *shapes* on the
+//! calibrated synthetic workloads (absolute numbers differ from the
+//! authors' testbed; see EXPERIMENTS.md).
+
+use nosq_core::{geometric_mean, simulate, SimConfig};
+use nosq_trace::{synthesize, Profile};
+
+const BUDGET: u64 = 60_000;
+
+fn picks() -> Vec<&'static Profile> {
+    [
+        "gzip", "g721.e", "eon.k", "mesa.o", "applu", "gsm.e", "vortex",
+    ]
+    .iter()
+    .map(|n| Profile::by_name(n).expect("profile"))
+    .collect()
+}
+
+/// §4.3 / abstract: "this simpler design — despite being more
+/// speculative — slightly outperforms a conventional store-queue based
+/// design on most benchmarks (by 2% on average)". We check the shape:
+/// the NoSQ-with-delay geomean is no worse than the realistic baseline.
+#[test]
+fn nosq_with_delay_matches_or_beats_the_baseline_on_average() {
+    let mut base_rel = Vec::new();
+    let mut nosq_rel = Vec::new();
+    for p in picks() {
+        let program = synthesize(p, 42);
+        let ideal = simulate(&program, SimConfig::baseline_perfect(BUDGET));
+        let base = simulate(&program, SimConfig::baseline_storesets(BUDGET));
+        let nosq = simulate(&program, SimConfig::nosq(BUDGET));
+        base_rel.push(base.relative_time(&ideal));
+        nosq_rel.push(nosq.relative_time(&ideal));
+    }
+    let base_g = geometric_mean(&base_rel);
+    let nosq_g = geometric_mean(&nosq_rel);
+    assert!(
+        nosq_g <= base_g + 0.005,
+        "NoSQ geomean {nosq_g:.3} vs baseline {base_g:.3}"
+    );
+}
+
+/// §4.3: perfect SMB outperforms everything, but only modestly ("by only
+/// 3.7% on average... NoSQ captures about half the benefit").
+#[test]
+fn perfect_smb_is_the_upper_bound_and_modest() {
+    let mut rel = Vec::new();
+    for p in picks() {
+        let program = synthesize(p, 42);
+        let ideal = simulate(&program, SimConfig::baseline_perfect(BUDGET));
+        let smb = simulate(&program, SimConfig::perfect_smb(BUDGET));
+        let nosq = simulate(&program, SimConfig::nosq(BUDGET));
+        let r = smb.relative_time(&ideal);
+        assert!(
+            r <= nosq.relative_time(&ideal) + 0.01,
+            "{}: perfect SMB must not lose to realistic NoSQ",
+            p.name
+        );
+        rel.push(r);
+    }
+    let g = geometric_mean(&rel);
+    assert!((0.85..=1.01).contains(&g), "perfect-SMB geomean {g:.3}");
+}
+
+/// §4.2: delay cuts mis-predictions sharply where they are frequent
+/// (g721.e: 40.9 → 0.7 per 10k in the paper).
+#[test]
+fn delay_suppresses_mispredictions() {
+    // Longer budget so the confidence mechanism's warm-up is amortized.
+    let budget = 3 * BUDGET;
+    let p = Profile::by_name("g721.e").unwrap();
+    let program = synthesize(p, 42);
+    let nd = simulate(&program, SimConfig::nosq_no_delay(budget));
+    let d = simulate(&program, SimConfig::nosq(budget));
+    assert!(
+        nd.mispredicts_per_10k_loads() > 15.0,
+        "no-delay rate {:.1}",
+        nd.mispredicts_per_10k_loads()
+    );
+    assert!(
+        d.mispredicts_per_10k_loads() < nd.mispredicts_per_10k_loads() / 2.5,
+        "delay {:.1} vs no-delay {:.1}",
+        d.mispredicts_per_10k_loads(),
+        nd.mispredicts_per_10k_loads()
+    );
+    assert!(d.delayed_loads > 0, "delay mechanism unused");
+}
+
+/// §4.5: NoSQ reduces data-cache reads in proportion to bypassing
+/// frequency (9% on average in the paper; mesa.o up to 40%).
+#[test]
+fn nosq_reduces_dcache_reads_on_communication_heavy_code() {
+    let p = Profile::by_name("mesa.o").unwrap();
+    let program = synthesize(p, 42);
+    let base = simulate(&program, SimConfig::baseline_storesets(BUDGET));
+    let nosq = simulate(&program, SimConfig::nosq(BUDGET));
+    let ratio = nosq.dcache_reads() as f64 / base.dcache_reads() as f64;
+    assert!(ratio < 0.85, "dcache read ratio {ratio:.3}");
+}
+
+/// §4.5: the T-SSBF keeps the re-execution rate tiny (0.7% of loads in
+/// the paper).
+#[test]
+fn reexecution_rate_is_small() {
+    for p in picks() {
+        let program = synthesize(p, 42);
+        let nosq = simulate(&program, SimConfig::nosq(BUDGET));
+        assert!(
+            nosq.reexec_rate() < 0.12,
+            "{}: re-execution rate {:.3}",
+            p.name,
+            nosq.reexec_rate()
+        );
+    }
+}
+
+/// §4.2: predictor accuracy exceeds 99% everywhere with delay (99.8% in
+/// the paper; we allow a wider band for the synthetic workloads).
+#[test]
+fn prediction_accuracy_is_high_with_delay() {
+    for p in picks() {
+        let program = synthesize(p, 42);
+        let d = simulate(&program, SimConfig::nosq(BUDGET));
+        assert!(
+            d.mispredicts_per_10k_loads() < 100.0,
+            "{}: {:.1} mispredicts per 10k loads",
+            p.name,
+            d.mispredicts_per_10k_loads()
+        );
+    }
+}
+
+/// §4.4: the larger window does not break NoSQ (its advantage shrinks in
+/// the paper but the design keeps working).
+#[test]
+fn window256_keeps_working() {
+    let p = Profile::by_name("gzip").unwrap();
+    let program = synthesize(p, 42);
+    let ideal = simulate(
+        &program,
+        SimConfig::baseline_perfect(BUDGET).with_window256(),
+    );
+    let nosq = simulate(&program, SimConfig::nosq(BUDGET).with_window256());
+    let rel = nosq.relative_time(&ideal);
+    assert!(rel < 1.15, "256-window relative time {rel:.3}");
+}

@@ -1,0 +1,196 @@
+//! Property-based tests: random programs and random store streams must
+//! preserve the core invariants of the design.
+
+use proptest::prelude::*;
+
+use nosq_core::bypass::bypass_value;
+use nosq_core::{simulate, SimConfig};
+use nosq_isa::exec::{load_extend, store_memory_bits};
+use nosq_isa::{Assembler, Cond, Extension, MemWidth, Program, Reg};
+use nosq_trace::Tracer;
+use nosq_uarch::{Ssbf, Ssn, Tssbf};
+
+/// One step of a random straight-line memory/ALU program.
+#[derive(Clone, Debug)]
+enum Step {
+    Alu {
+        imm: i64,
+    },
+    Store {
+        slot: u8,
+        width: MemWidth,
+    },
+    Load {
+        slot: u8,
+        width: MemWidth,
+        sign: bool,
+    },
+}
+
+fn width_strategy() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B1),
+        Just(MemWidth::B2),
+        Just(MemWidth::B4),
+        Just(MemWidth::B8),
+    ]
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<i32>()).prop_map(|imm| Step::Alu { imm: imm as i64 }),
+        (0u8..8, width_strategy()).prop_map(|(slot, width)| Step::Store { slot, width }),
+        (0u8..8, width_strategy(), any::<bool>()).prop_map(|(slot, width, sign)| Step::Load {
+            slot,
+            width,
+            sign
+        }),
+    ]
+}
+
+/// Builds a loop over the random steps (several iterations so predictors
+/// train and speculate).
+fn build_program(steps: &[Step], iters: i64) -> Program {
+    let mut asm = Assembler::new();
+    let (base, v, t, i) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    asm.li(base, 0x1000);
+    asm.li(i, iters);
+    let top = asm.label();
+    asm.bind(top);
+    for step in steps {
+        match step {
+            Step::Alu { imm } => asm.addi(v, v, *imm),
+            Step::Store { slot, width } => {
+                asm.store(v, base, 16 * *slot as i32, *width);
+            }
+            Step::Load { slot, width, sign } => {
+                let ext = if *sign {
+                    Extension::Sign
+                } else {
+                    Extension::Zero
+                };
+                asm.load(t, base, 16 * *slot as i32, *width, ext);
+                asm.add(v, v, t);
+            }
+        }
+    }
+    asm.addi(i, i, -1);
+    asm.branch(Cond::Gt, i, Reg::ZERO, top);
+    asm.halt();
+    asm.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every configuration commits exactly the functional trace:
+    /// speculation never leaks into architectural state.
+    #[test]
+    fn all_configs_commit_the_functional_trace(
+        steps in prop::collection::vec(step_strategy(), 1..14),
+        iters in 5i64..40,
+    ) {
+        let program = build_program(&steps, iters);
+        let budget = 50_000;
+        let expected = Tracer::new(&program, budget).count() as u64;
+        for (name, cfg) in [
+            ("baseline", SimConfig::baseline_storesets(budget)),
+            ("nosq-nd", SimConfig::nosq_no_delay(budget)),
+            ("nosq-d", SimConfig::nosq(budget)),
+            ("perfect", SimConfig::perfect_smb(budget)),
+        ] {
+            let r = simulate(&program, cfg);
+            prop_assert_eq!(r.insts, expected, "{} diverged", name);
+        }
+    }
+
+    /// The bypass transform exactly mimics the store→memory→load path for
+    /// any single-source, fully-covering pair.
+    #[test]
+    fn bypass_value_matches_memory_path(
+        data in any::<u64>(),
+        store_width in width_strategy(),
+        load_width in width_strategy(),
+        shift in 0u8..8,
+        sign in any::<bool>(),
+    ) {
+        let store_bytes = store_width.bytes();
+        let load_bytes = load_width.bytes();
+        prop_assume!(shift as u64 + load_bytes <= store_bytes); // full coverage
+        let ext = if sign { Extension::Sign } else { Extension::Zero };
+
+        // Memory path: store to address A, load from A + shift.
+        let mut mem = nosq_isa::Memory::new();
+        mem.write(0x100, store_bytes, store_memory_bits(data, store_width, false));
+        let memory_value = load_extend(
+            mem.read(0x100 + shift as u64, load_bytes),
+            load_width,
+            ext,
+        );
+
+        let bypassed = bypass_value(data, store_width, false, shift, load_width, ext);
+        prop_assert_eq!(bypassed, memory_value);
+    }
+
+    /// The float32 conversion path agrees with memory too.
+    #[test]
+    fn bypass_value_matches_memory_path_float(data in any::<u64>()) {
+        let mut mem = nosq_isa::Memory::new();
+        mem.write(0x100, 4, store_memory_bits(data, MemWidth::B4, true));
+        let memory_value = load_extend(mem.read(0x100, 4), MemWidth::B4, Extension::Float32);
+        let bypassed = bypass_value(data, MemWidth::B4, true, 0, MemWidth::B4, Extension::Float32);
+        prop_assert_eq!(bypassed, memory_value);
+    }
+
+    /// SVW safety: the untagged SSBF's recorded SSN is always an upper
+    /// bound on the true youngest conflicting store, so the inequality
+    /// test never wrongly skips a re-execution.
+    #[test]
+    fn ssbf_is_conservative(
+        stores in prop::collection::vec((0u64..64, 1u64..9), 1..120),
+        probe in 0u64..64,
+    ) {
+        let mut filter = Ssbf::new(16);
+        let mut oracle_youngest = Ssn::NONE;
+        for (i, (slot, width)) in stores.iter().enumerate() {
+            let ssn = Ssn(i as u64 + 1);
+            let addr = slot * 8;
+            let width = (*width).min(8) as u8;
+            filter.record_store(addr, width, ssn);
+            // Overlap with the 8-byte probe window?
+            if addr < (probe * 8) + 8 && addr + width as u64 > probe * 8 {
+                oracle_youngest = oracle_youngest.max(ssn);
+            }
+        }
+        prop_assert!(filter.youngest(probe * 8, 8) >= oracle_youngest);
+    }
+
+    /// T-SSBF safety: whenever the tagged filter says "skip" for the
+    /// inequality test, the oracle agrees there was no younger
+    /// conflicting store.
+    #[test]
+    fn tssbf_inequality_never_wrongly_skips(
+        stores in prop::collection::vec((0u64..32, 1u64..9), 1..200),
+        probe in 0u64..32,
+        nvul_raw in 0u64..200,
+    ) {
+        let mut filter = Tssbf::new(8, 2); // tiny filter: lots of eviction
+        let mut oracle_youngest = Ssn::NONE;
+        for (i, (slot, width)) in stores.iter().enumerate() {
+            let ssn = Ssn(i as u64 + 1);
+            let addr = slot * 8;
+            let width = (*width).min(8) as u8;
+            filter.record_store(addr, width, ssn);
+            if addr < (probe * 8) + 8 && addr + width as u64 > probe * 8 {
+                oracle_youngest = oracle_youngest.max(ssn);
+            }
+        }
+        let nvul = Ssn(nvul_raw);
+        let vulnerable = oracle_youngest > nvul;
+        let filter_says_reexec = filter.must_reexecute_inequality(probe * 8, 8, nvul);
+        // Safety: truly vulnerable ⇒ the filter must demand re-execution.
+        if vulnerable {
+            prop_assert!(filter_says_reexec, "filter skipped a vulnerable load");
+        }
+    }
+}

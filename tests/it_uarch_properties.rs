@@ -1,0 +1,139 @@
+//! Property tests for the micro-architectural substrate: caches, TLBs,
+//! RAS, and the bypassing-predictor tables against oracle models.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use nosq_uarch::branch::ReturnAddressStack;
+use nosq_uarch::{Cache, CacheConfig, Ssn, SsnCounters, StoreSets, Tlb};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A fully-associative LRU cache modelled as a VecDeque agrees with
+    /// the set-associative implementation configured with one set.
+    #[test]
+    fn cache_matches_lru_oracle(addrs in prop::collection::vec(0u64..32, 1..200)) {
+        let ways = 4;
+        let cfg = CacheConfig {
+            size_bytes: ways * 64,
+            line_bytes: 64,
+            ways,
+            hit_latency: 1,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut oracle: VecDeque<u64> = VecDeque::new(); // front = LRU
+        for a in addrs {
+            let line = a; // one line per distinct address (addr < 32, line 64)
+            let addr = line * 64;
+            let hit = cache.access(addr);
+            let oracle_hit = oracle.contains(&line);
+            prop_assert_eq!(hit, oracle_hit, "line {}", line);
+            if oracle_hit {
+                oracle.retain(|l| *l != line);
+            } else if oracle.len() == ways {
+                oracle.pop_front();
+            }
+            oracle.push_back(line);
+        }
+    }
+
+    /// TLB hits are a function of page residency under LRU, same oracle.
+    #[test]
+    fn tlb_matches_lru_oracle(pages in prop::collection::vec(0u64..16, 1..150)) {
+        let mut tlb = Tlb::new(4, 4); // fully associative, 4 entries
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+        for p in pages {
+            let hit = tlb.access(p << 12);
+            let oracle_hit = oracle.contains(&p);
+            prop_assert_eq!(hit, oracle_hit, "page {}", p);
+            if oracle_hit {
+                oracle.retain(|q| *q != p);
+            } else if oracle.len() == 4 {
+                oracle.pop_front();
+            }
+            oracle.push_back(p);
+        }
+    }
+
+    /// The RAS agrees with an unbounded stack as long as the nesting
+    /// depth stays within capacity.
+    #[test]
+    fn ras_matches_stack_within_capacity(ops in prop::collection::vec(any::<bool>(), 1..100)) {
+        let cap = 8;
+        let mut ras = ReturnAddressStack::new(cap);
+        let mut oracle: Vec<u64> = Vec::new();
+        for (i, push) in ops.into_iter().enumerate() {
+            if push {
+                let addr = (i as u64 + 1) * 4;
+                ras.push(addr);
+                oracle.push(addr);
+                if oracle.len() > cap {
+                    oracle.remove(0); // hardware overwrote the oldest
+                }
+            } else if let Some(expected) = oracle.pop() {
+                prop_assert_eq!(ras.pop(), Some(expected));
+            } else {
+                prop_assert_eq!(ras.pop(), None);
+            }
+        }
+    }
+
+    /// SSN counters: in-flight occupancy is always rename − commit, and
+    /// rollback after arbitrary interleavings restores exact state.
+    #[test]
+    fn ssn_counter_invariants(ops in prop::collection::vec(0u8..3, 1..200)) {
+        let mut c = SsnCounters::new(20);
+        for op in ops {
+            match op {
+                0 => {
+                    c.next_rename();
+                }
+                1 => {
+                    if c.in_flight() > 0 {
+                        c.commit_store();
+                    }
+                }
+                _ => {
+                    let target = Ssn(c.commit().0 + c.in_flight() / 2);
+                    c.rollback_rename(target);
+                }
+            }
+            prop_assert_eq!(c.in_flight(), c.rename().0 - c.commit().0);
+            prop_assert!(c.commit() <= c.rename());
+        }
+    }
+
+    /// StoreSets: a load never predicts a dependence on a store set it
+    /// was never linked to, and predictions always name renamed stores.
+    #[test]
+    fn storesets_predictions_are_grounded(
+        violations in prop::collection::vec((0u64..8, 0u64..8), 0..10),
+        renames in prop::collection::vec(0u64..8, 1..50),
+    ) {
+        // PC layout chosen so load and store PCs occupy distinct SSIT
+        // slots (the SSIT is untagged and shared, so colliding PCs *do*
+        // alias in the real design — that is expected behaviour, just
+        // not what this property measures).
+        let mut s = StoreSets::new(4096);
+        let mut linked_loads = std::collections::HashSet::new();
+        for (load, store) in &violations {
+            s.train_violation(load * 4, 0x1004 + store * 4);
+            linked_loads.insert(*load);
+        }
+        let mut ssn = 0u64;
+        for store in renames {
+            ssn += 1;
+            s.rename_store(0x1004 + store * 4, Ssn(ssn));
+        }
+        for load in 0u64..8 {
+            let pred = s.lookup_load(load * 4);
+            if !linked_loads.contains(&load) {
+                prop_assert_eq!(pred, None, "unlinked load {} predicted", load);
+            }
+            if let Some(p) = pred {
+                prop_assert!(p.0 >= 1 && p.0 <= ssn, "ssn {} out of range", p.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Suite-wide smoke and calibration checks over all 47 benchmark
+//! profiles: everything synthesizes, traces, simulates without deadlock,
+//! and the communication calibration stays within coarse bands.
+
+use nosq_core::{simulate, SimConfig};
+use nosq_trace::{analyze_program, synthesize, Profile};
+
+/// Every profile runs under NoSQ (the most speculative configuration)
+/// without deadlocks or architectural divergence.
+#[test]
+fn every_profile_simulates_under_nosq() {
+    for p in Profile::all() {
+        let program = synthesize(p, 42);
+        let r = simulate(&program, SimConfig::nosq(8_000));
+        assert_eq!(r.insts, 8_000, "{}: committed {}", p.name, r.insts);
+        assert!(r.ipc() > 0.02, "{}: ipc {:.3}", p.name, r.ipc());
+    }
+}
+
+/// Every profile runs under the realistic baseline too.
+#[test]
+fn every_profile_simulates_under_baseline() {
+    for p in Profile::all() {
+        let program = synthesize(p, 42);
+        let r = simulate(&program, SimConfig::baseline_storesets(8_000));
+        assert_eq!(r.insts, 8_000, "{}: committed {}", p.name, r.insts);
+    }
+}
+
+/// Communication calibration: measured in-window communication tracks
+/// the Table-5 targets within coarse bands across the whole suite.
+#[test]
+fn communication_calibration_bands() {
+    let mut worst: (f64, &str) = (0.0, "-");
+    for p in Profile::all() {
+        let program = synthesize(p, 42);
+        let stats = analyze_program(&program, 120_000, 128);
+        let err = (stats.comm_pct() - p.comm_pct).abs();
+        if err > worst.0 {
+            worst = (err, p.name);
+        }
+        assert!(
+            err <= 8.0,
+            "{}: comm {:.1}% vs target {:.1}%",
+            p.name,
+            stats.comm_pct(),
+            p.comm_pct
+        );
+        assert!(
+            (stats.partial_pct() - p.partial_pct).abs() <= 5.0,
+            "{}: partial {:.1}% vs target {:.1}%",
+            p.name,
+            stats.partial_pct(),
+            p.partial_pct
+        );
+    }
+    println!(
+        "worst communication calibration error: {:.2}% ({})",
+        worst.0, worst.1
+    );
+}
+
+/// Memory-bound personalities come out slower than compute-bound ones
+/// (the IPC ordering knob works).
+#[test]
+fn ipc_ordering_follows_memory_intensity() {
+    let fast = Profile::by_name("gsm.e").unwrap(); // paper IPC 3.41
+    let slow = Profile::by_name("mcf").unwrap(); // paper IPC 0.22
+    let f = simulate(&synthesize(fast, 42), SimConfig::baseline_perfect(30_000));
+    let s = simulate(&synthesize(slow, 42), SimConfig::baseline_perfect(30_000));
+    assert!(
+        f.ipc() > 3.0 * s.ipc(),
+        "expected a wide IPC gap: {} vs {}",
+        f.ipc(),
+        s.ipc()
+    );
+}
+
+/// The float personalities actually use the sts/lds path (partial-word
+/// float communication present where the profile calls for it).
+#[test]
+fn float_profiles_exercise_float_conversion() {
+    let p = Profile::by_name("mesa.o").unwrap();
+    let program = synthesize(p, 42);
+    let r = simulate(&program, SimConfig::nosq(30_000));
+    assert!(r.shift_mask_uops > 0, "expected partial-word bypasses");
+}
+
+/// Different seeds produce different programs but the same calibration.
+#[test]
+fn calibration_is_seed_stable() {
+    let p = Profile::by_name("vortex").unwrap();
+    let a = analyze_program(&synthesize(p, 1), 100_000, 128);
+    let b = analyze_program(&synthesize(p, 2), 100_000, 128);
+    assert!(
+        (a.comm_pct() - b.comm_pct()).abs() < 4.0,
+        "seed variance too high: {:.1} vs {:.1}",
+        a.comm_pct(),
+        b.comm_pct()
+    );
+}

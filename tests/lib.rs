@@ -1,0 +1,26 @@
+//! Shared helpers for the NoSQ integration tests.
+
+use nosq_core::{simulate, SimConfig, SimResult};
+use nosq_isa::Program;
+
+/// The five configurations of the paper's evaluation.
+pub fn all_configs(max_insts: u64) -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("baseline-perfect", SimConfig::baseline_perfect(max_insts)),
+        (
+            "baseline-storesets",
+            SimConfig::baseline_storesets(max_insts),
+        ),
+        ("nosq-no-delay", SimConfig::nosq_no_delay(max_insts)),
+        ("nosq-delay", SimConfig::nosq(max_insts)),
+        ("perfect-smb", SimConfig::perfect_smb(max_insts)),
+    ]
+}
+
+/// Runs a program through all five configurations.
+pub fn run_all(program: &Program, max_insts: u64) -> Vec<(&'static str, SimResult)> {
+    all_configs(max_insts)
+        .into_iter()
+        .map(|(name, cfg)| (name, simulate(program, cfg)))
+        .collect()
+}
