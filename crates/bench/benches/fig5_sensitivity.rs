@@ -16,9 +16,9 @@ const HISTORIES: [u32; 5] = [4, 6, 8, 10, 12];
 
 struct Row {
     profile: &'static Profile,
-    by_capacity: Vec<f64>,    // 512, 1k, 2k, 4k, inf
-    by_history: Vec<f64>,     // 4, 6, 8, 10, 12 bits
-    nd_by_history: Vec<f64>,  // no-delay mis/10k per history setting
+    by_capacity: Vec<f64>,   // 512, 1k, 2k, 4k, inf
+    by_history: Vec<f64>,    // 4, 6, 8, 10, 12 bits
+    nd_by_history: Vec<f64>, // no-delay mis/10k per history setting
 }
 
 fn main() {

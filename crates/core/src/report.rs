@@ -1,7 +1,10 @@
 //! Simulation results and derived metrics.
 
 /// Counters collected by one simulation run.
-#[derive(Copy, Clone, Debug, Default)]
+///
+/// All fields are exact integer counters, so `Eq` compares two runs
+/// bit-for-bit — the determinism regression suite relies on this.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimResult {
     /// Total cycles.
     pub cycles: u64,

@@ -1,0 +1,53 @@
+//! Determinism regression: the whole evaluation pipeline (Table 5,
+//! Figures 2-5) leans on `nosq_bench::SEED`-based reproducibility —
+//! synthesizing the same profile with the same seed and simulating it
+//! twice must yield byte-identical results. A nondeterministic
+//! simulator would silently invalidate every paper comparison.
+
+use nosq_core::{simulate, SimConfig};
+use nosq_trace::{synthesize, Profile};
+
+/// Two independent `synthesize` + `simulate` runs of the same
+/// (profile, seed, config) triple must agree on every metric.
+#[test]
+fn same_profile_and_seed_give_identical_results() {
+    let budget = 20_000;
+    for name in ["gzip", "gsm.e", "applu"] {
+        let profile = Profile::by_name(name).expect("profile exists");
+        for cfg in [
+            SimConfig::baseline_storesets(budget),
+            SimConfig::nosq(budget),
+            SimConfig::nosq_no_delay(budget),
+        ] {
+            let a = simulate(&synthesize(profile, nosq_bench::SEED), cfg.clone());
+            let b = simulate(&synthesize(profile, nosq_bench::SEED), cfg);
+            assert_eq!(a, b, "{name}: nondeterministic SimResult");
+        }
+    }
+}
+
+/// Different seeds must actually vary the workload (guards against a
+/// synthesizer that ignores its seed, which would make the determinism
+/// check above vacuous).
+#[test]
+fn different_seeds_give_different_programs() {
+    let profile = Profile::by_name("gzip").expect("profile exists");
+    let a = simulate(&synthesize(profile, 1), SimConfig::nosq(20_000));
+    let b = simulate(&synthesize(profile, 2), SimConfig::nosq(20_000));
+    assert_ne!(
+        (a.cycles, a.bypassed_loads),
+        (b.cycles, b.bypassed_loads),
+        "seed has no effect on the synthesized workload"
+    );
+}
+
+/// The bench harness itself (workload + run) is reproducible.
+#[test]
+fn bench_harness_run_is_reproducible() {
+    let profile = Profile::by_name("epic.e")
+        .or_else(|| Profile::by_name("gzip"))
+        .expect("profile exists");
+    let a = nosq_bench::run(profile, SimConfig::nosq(10_000));
+    let b = nosq_bench::run(profile, SimConfig::nosq(10_000));
+    assert_eq!(a, b, "nosq_bench::run is nondeterministic");
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for the subset of the `criterion` benchmark harness
+//! this workspace uses. The build container has no crates.io access, so
+//! this provides the same structure — `criterion_group!`/`criterion_main!`,
+//! `Criterion::{bench_function, benchmark_group}`, `Bencher::{iter,
+//! iter_batched}` — with a simple wall-clock median-of-samples measurement
+//! instead of criterion's full statistical machinery. Output is one
+//! `name … time/iter` line per benchmark, enough to compare hot paths
+//! across commits by eye.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `Bencher::iter_batched` amortizes setup cost. Only the variants the
+/// workspace uses carry meaning; all behave identically here (setup is
+/// excluded from timing either way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times a single benchmark routine.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter*` call.
+    ns_per_iter: f64,
+}
+
+/// Samples per benchmark (median is reported).
+const SAMPLES: usize = 7;
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { ns_per_iter: 0.0 }
+    }
+
+    /// Picks an iteration count so one sample takes roughly `target`.
+    fn calibrate(mut once: impl FnMut() -> Duration, target: Duration) -> u64 {
+        let mut iters = 1u64;
+        loop {
+            let t = once();
+            if t * (iters as u32).max(1) >= target || iters >= 1 << 20 {
+                return iters.max(1);
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    fn record(&mut self, mut sample: impl FnMut(u64) -> Duration) {
+        let iters = Bencher::calibrate(|| sample(1), Duration::from_millis(2));
+        let mut samples = [0.0f64; SAMPLES];
+        for s in &mut samples {
+            let t = sample(iters);
+            *s = t.as_secs_f64() * 1e9 / iters as f64;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[SAMPLES / 2];
+    }
+
+    /// Times `routine`, called back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.record(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Bounds live inputs: a sub-microsecond routine calibrates to ~1M
+        // iterations, and holding 1M setup outputs at once could be GBs.
+        const CHUNK: u64 = 1024;
+        self.record(|iters| {
+            let mut elapsed = Duration::ZERO;
+            let mut remaining = iters;
+            while remaining > 0 {
+                let n = remaining.min(CHUNK);
+                let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in inputs {
+                    std::hint::black_box(routine(input));
+                }
+                elapsed += start.elapsed();
+                remaining -= n;
+            }
+            elapsed
+        });
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<50} {value:>10.3} {unit}/iter");
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+        }
+    }
+
+    /// Prints the closing summary line (no-op placeholder).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is fixed-size.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/iter", |b| b.iter(|| 2u64 + 2));
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,370 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses. The build container has no crates.io access, so this provides
+//! the same API shape — `proptest!`, `prop_oneof!`, `prop_assert*!`,
+//! `prop_assume!`, `Strategy`/`Just`/`any`, `prop::collection::vec`,
+//! `ProptestConfig::with_cases` — backed by a fixed-seed deterministic
+//! generator. Unlike real proptest there is no shrinking: a failing case
+//! panics with the formatted assertion message and the case inputs'
+//! `Debug` output is up to the caller. Determinism means a failure
+//! reproduces exactly on re-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use core::ops::Range;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Generates values of an output type from random bits.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T, S: Strategy<Value = T> + ?Sized> Strategy for Box<S> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `options`; each draw picks one uniformly.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Full-range strategy for a primitive type (`any::<T>()`).
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use core::ops::Range;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vector of values from `element`, length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case bookkeeping used by the `proptest!` macro expansion.
+
+    /// Run configuration (`with_cases` is the only knob used here).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Runs `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not succeed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; draw a fresh case.
+        Reject,
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+}
+
+/// Namespaced strategy modules, mirroring `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Rejects the current case (draws a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the test (with a formatted message) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the test unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        $crate::prop_assert_eq!($left, $right, "assertion failed")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}: {:?} != {:?}", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each body runs over many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                // Fixed seed: deterministic across runs, varied across tests.
+                let mut seed = 0x6e6f_7371u64; // "nosq"
+                for b in stringify!($name).bytes() {
+                    seed = seed.wrapping_mul(131).wrapping_add(b as u64);
+                }
+                let mut rng = <$crate::__rand::rngs::SmallRng
+                    as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                let mut successes = 0u32;
+                let mut attempts = 0u32;
+                let max_attempts = config.cases.saturating_mul(20).max(20);
+                while successes < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest {}: too many rejected cases ({} attempts, {} successes)",
+                        stringify!($name), attempts, successes,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => successes += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!("proptest {} failed: {}", stringify!($name), msg),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            v in prop::collection::vec((0u8..8, 1u64..9), 1..20),
+            x in prop_oneof![Just(1i64), (0i32..5).prop_map(|i| i as i64 + 10)],
+            b in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (slot, width) in &v {
+                prop_assert!(*slot < 8 && (1..9).contains(width));
+            }
+            prop_assert!(x == 1i64 || (10i64..15).contains(&x));
+            // Rejects ~half the draws: exercises the Reject/retry path.
+            prop_assume!(b);
+            prop_assert_eq!(x, x, "identity");
+        }
+    }
+}
