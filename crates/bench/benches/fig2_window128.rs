@@ -5,20 +5,25 @@
 //! Bars per benchmark: (i) associative SQ + StoreSets scheduling,
 //! (ii) NoSQ without delay, (iii) NoSQ with delay, (iv) perfect SMB.
 
-use nosq_bench::{all_profiles, dyn_insts, parallel_over_profiles, suite_geomeans, SuiteTable};
-use nosq_core::{simulate, SimConfig, SimResult};
+use nosq_bench::{
+    all_profiles, dyn_insts, json_escape, parallel_over_profiles, rel_time, suite_geomeans,
+    write_artifact, SuiteTable,
+};
+use nosq_core::{simulate, SimConfig, SimReport};
 use nosq_trace::Profile;
+
+const CONFIG_NAMES: [&str; 4] = ["assoc-sq", "nosq-nd", "nosq-d", "perfect"];
 
 struct Row {
     profile: &'static Profile,
     ideal_ipc: f64,
     rel: [f64; 4],
+    reports: [SimReport; 4],
 }
 
 fn run_all(p: &'static Profile, n: u64) -> Row {
     let program = nosq_bench::workload(p);
     let ideal = simulate(&program, SimConfig::baseline_perfect(n));
-    let rel = |r: &SimResult| r.relative_time(&ideal);
     let sq = simulate(&program, SimConfig::baseline_storesets(n));
     let nd = simulate(&program, SimConfig::nosq_no_delay(n));
     let d = simulate(&program, SimConfig::nosq(n));
@@ -26,8 +31,45 @@ fn run_all(p: &'static Profile, n: u64) -> Row {
     Row {
         profile: p,
         ideal_ipc: ideal.ipc(),
-        rel: [rel(&sq), rel(&nd), rel(&d), rel(&smb)],
+        rel: [
+            rel_time(&sq, &ideal),
+            rel_time(&nd, &ideal),
+            rel_time(&d, &ideal),
+            rel_time(&smb, &ideal),
+        ],
+        reports: [sq, nd, d, smb],
     }
+}
+
+/// `NOSQ_ARTIFACT_DIR` artifacts: one JSON document with the full
+/// per-configuration reports, and one CSV with a row per
+/// (benchmark, configuration) pair.
+fn write_artifacts(rows: &[Row]) {
+    let mut json = String::from("[");
+    let mut csv = format!("benchmark,config,{}\n", SimReport::csv_header());
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"benchmark\":\"{}\",\"suite\":\"{}\"",
+            json_escape(r.profile.name),
+            r.profile.suite
+        ));
+        for (name, report) in CONFIG_NAMES.iter().zip(&r.reports) {
+            json.push_str(&format!(",\"{}\":{}", json_escape(name), report.to_json()));
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                r.profile.name,
+                name,
+                report.to_csv_row()
+            ));
+        }
+        json.push('}');
+    }
+    json.push(']');
+    write_artifact("fig2_window128.json", &json);
+    write_artifact("fig2_window128.csv", &csv);
 }
 
 fn main() {
@@ -55,12 +97,7 @@ fn main() {
         );
     }
     let mut summaries = Vec::new();
-    for (label, idx) in [
-        ("assoc-sq", 0),
-        ("nosq-nd", 1),
-        ("nosq-d", 2),
-        ("perfect", 3),
-    ] {
+    for (idx, label) in CONFIG_NAMES.iter().enumerate() {
         let values: Vec<_> = rows.iter().map(|r| (r.profile, r.rel[idx])).collect();
         for (suite, g) in suite_geomeans(&values) {
             summaries.push((
@@ -74,6 +111,7 @@ fn main() {
     }
     summaries.sort_by_key(|(s, _)| format!("{s}"));
     table.print(&summaries);
+    write_artifacts(&rows);
     println!("(paper: NoSQ-with-delay outperforms the conventional design by ~2% on average;");
     println!(" perfect SMB by ~3.7%; NoSQ-no-delay shows slowdowns on mis-prediction-heavy runs)");
     println!("(measured at {n} dynamic instructions per configuration)");

@@ -7,8 +7,8 @@
 //! (perfect SMB improves) and hard communication patterns (realistic
 //! NoSQ's average advantage drops from ~2% to ~1%).
 
-use nosq_bench::{dyn_insts, parallel_over_profiles, suite_geomeans, SuiteTable};
-use nosq_core::{simulate, SimConfig, SimResult};
+use nosq_bench::{dyn_insts, parallel_over_profiles, rel_time, suite_geomeans, SuiteTable};
+use nosq_core::{simulate, SimConfig};
 use nosq_trace::Profile;
 
 struct Row {
@@ -22,14 +22,18 @@ fn main() {
     let rows = parallel_over_profiles(&profiles, |p| {
         let program = nosq_bench::workload(p);
         let ideal = simulate(&program, SimConfig::baseline_perfect(n).with_window256());
-        let rel = |r: &SimResult| r.relative_time(&ideal);
         let sq = simulate(&program, SimConfig::baseline_storesets(n).with_window256());
         let nd = simulate(&program, SimConfig::nosq_no_delay(n).with_window256());
         let d = simulate(&program, SimConfig::nosq(n).with_window256());
         let smb = simulate(&program, SimConfig::perfect_smb(n).with_window256());
         Row {
             profile: p,
-            rel: [rel(&sq), rel(&nd), rel(&d), rel(&smb)],
+            rel: [
+                rel_time(&sq, &ideal),
+                rel_time(&nd, &ideal),
+                rel_time(&d, &ideal),
+                rel_time(&smb, &ideal),
+            ],
         }
     });
 

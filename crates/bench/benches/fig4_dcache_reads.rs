@@ -28,8 +28,8 @@ fn main() {
         let denom = base.dcache_reads().max(1) as f64;
         Row {
             profile: p,
-            ooo_frac: nosq.ooo_dcache_reads as f64 / denom,
-            backend_frac: nosq.backend_dcache_reads as f64 / denom,
+            ooo_frac: nosq.memory.ooo_dcache_reads as f64 / denom,
+            backend_frac: nosq.verification.backend_dcache_reads as f64 / denom,
             reexec_rate: nosq.reexec_rate(),
         }
     });
@@ -51,7 +51,7 @@ fn main() {
             ),
         );
     }
-    let summaries: Vec<_> = [Suite::MediaBench, Suite::SpecInt, Suite::SpecFp]
+    let summaries: Vec<_> = Suite::all()
         .into_iter()
         .filter_map(|suite| {
             let in_suite: Vec<&Row> = rows.iter().filter(|r| r.profile.suite == suite).collect();

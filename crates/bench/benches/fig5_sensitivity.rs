@@ -7,7 +7,7 @@
 //! better; the paper finds the default 2K-entry/8-bit predictor within a
 //! hair of unbounded size, with SPECint losing ~4% at 512 entries.
 
-use nosq_bench::{dyn_insts, parallel_over_profiles, suite_geomeans, SuiteTable};
+use nosq_bench::{dyn_insts, parallel_over_profiles, rel_time, suite_geomeans, SuiteTable};
 use nosq_core::{simulate, PredictorConfig, SimConfig};
 use nosq_trace::Profile;
 
@@ -28,9 +28,8 @@ fn main() {
         let program = nosq_bench::workload(p);
         let ideal = simulate(&program, SimConfig::baseline_perfect(n));
         let run_with = |pred: PredictorConfig| {
-            let mut cfg = SimConfig::nosq(n);
-            cfg.predictor = pred;
-            simulate(&program, cfg).relative_time(&ideal)
+            let cfg = SimConfig::nosq(n).into_builder().predictor(pred).build();
+            rel_time(&simulate(&program, cfg), &ideal)
         };
         let mut by_capacity: Vec<f64> = CAPACITIES
             .iter()
@@ -47,8 +46,10 @@ fn main() {
         let nd_by_history = HISTORIES
             .iter()
             .map(|&h| {
-                let mut cfg = SimConfig::nosq_no_delay(n);
-                cfg.predictor = PredictorConfig::with_history_bits(h);
+                let cfg = SimConfig::nosq_no_delay(n)
+                    .into_builder()
+                    .predictor(PredictorConfig::with_history_bits(h))
+                    .build();
                 simulate(&program, cfg).mispredicts_per_10k_loads()
             })
             .collect();

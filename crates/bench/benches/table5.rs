@@ -6,8 +6,11 @@
 //! delay vs delay, and % loads delayed): measured by simulating the NoSQ
 //! configurations. The paper's numbers are printed alongside.
 
-use nosq_bench::{all_profiles, dyn_insts, parallel_over_profiles, workload, SuiteTable};
-use nosq_core::{simulate, SimConfig};
+use nosq_bench::{
+    all_profiles, dyn_insts, json_escape, parallel_over_profiles, workload, write_artifact,
+    SuiteTable,
+};
+use nosq_core::{simulate, SimConfig, SimReport};
 use nosq_trace::analyze_program;
 
 struct Row {
@@ -17,6 +20,32 @@ struct Row {
     nd: f64,
     d: f64,
     delayed: f64,
+    nd_report: SimReport,
+    d_report: SimReport,
+}
+
+/// `NOSQ_ARTIFACT_DIR` artifact: the full NoSQ reports (with and
+/// without delay) per benchmark, serialized through
+/// [`SimReport::to_json`].
+fn write_json(rows: &[Row]) {
+    let mut json = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"benchmark\":\"{}\",\"suite\":\"{}\",\"comm_pct\":{:.4},\"partial_pct\":{:.4},\
+             \"nosq_no_delay\":{},\"nosq_delay\":{}}}",
+            json_escape(r.profile.name),
+            r.profile.suite,
+            r.comm,
+            r.partial,
+            r.nd_report.to_json(),
+            r.d_report.to_json(),
+        ));
+    }
+    json.push(']');
+    write_artifact("table5.json", &json);
 }
 
 fn main() {
@@ -34,6 +63,8 @@ fn main() {
             nd: nd.mispredicts_per_10k_loads(),
             d: d.mispredicts_per_10k_loads(),
             delayed: d.delayed_pct(),
+            nd_report: nd,
+            d_report: d,
         }
     });
 
@@ -71,12 +102,8 @@ fn main() {
             ),
         );
     }
-    let summaries: Vec<_> = [
-        nosq_trace::Suite::MediaBench,
-        nosq_trace::Suite::SpecInt,
-        nosq_trace::Suite::SpecFp,
-    ]
-    .into_iter()
+    let summaries: Vec<_> = nosq_trace::Suite::all()
+        .into_iter()
     .map(|suite| {
         let in_suite: Vec<&Row> = rows.iter().filter(|r| r.profile.suite == suite).collect();
         let mean = |f: &dyn Fn(&Row) -> f64| {
@@ -102,5 +129,6 @@ fn main() {
     })
     .collect();
     table.print(&summaries);
+    write_json(&rows);
     println!("(measured at {n} dynamic instructions per run; paper columns from Table 5)");
 }

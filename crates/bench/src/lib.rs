@@ -9,11 +9,19 @@
 //! `NOSQ_DYN_INSTS` environment variable (default 150,000 — enough for
 //! the predictors to reach steady state while keeping `cargo bench
 //! --workspace` to a few minutes). Increase it for tighter numbers.
+//!
+//! Set `NOSQ_ARTIFACT_DIR=<dir>` to make the harnesses that support it
+//! (Table 5, Figure 2) also write machine-readable JSON/CSV artifacts
+//! built from [`nosq_core::SimReport`]'s serialization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use nosq_core::{simulate, SimConfig, SimResult};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use nosq_core::{simulate, SimConfig, SimReport};
 use nosq_isa::Program;
 use nosq_trace::{synthesize, Profile, Suite};
 
@@ -34,24 +42,41 @@ pub fn workload(profile: &Profile) -> Program {
 }
 
 /// Runs one configuration over a profile's workload.
-pub fn run(profile: &Profile, cfg: SimConfig) -> SimResult {
+pub fn run(profile: &Profile, cfg: SimConfig) -> SimReport {
     let program = workload(profile);
     simulate(&program, cfg)
 }
 
 /// Runs several configurations over one shared workload (cheaper than
 /// re-synthesizing per configuration).
-pub fn run_many(profile: &Profile, cfgs: Vec<SimConfig>) -> Vec<SimResult> {
+pub fn run_many(profile: &Profile, cfgs: Vec<SimConfig>) -> Vec<SimReport> {
     let program = workload(profile);
     cfgs.into_iter()
         .map(|cfg| simulate(&program, cfg))
         .collect()
 }
 
-/// Maps each profile through `f` in parallel (profiles are independent).
+/// [`SimReport::relative_time`] with the reference checked: panics if
+/// the reference run retired no cycles (which would yield NaN). The
+/// paper's relative-execution-time figures are meaningless without a
+/// real reference run, so the harnesses fail loudly instead of
+/// plotting garbage.
+pub fn rel_time(r: &SimReport, reference: &SimReport) -> f64 {
+    let rel = r.relative_time(reference);
+    assert!(
+        !rel.is_nan(),
+        "reference run retired no cycles; relative time undefined"
+    );
+    rel
+}
+
+/// Maps each profile through `f` in parallel (profiles are
+/// independent). Work is distributed dynamically through an atomic
+/// cursor; each result lands in its own pre-allocated [`OnceLock`]
+/// slot, so no thread ever serializes on a shared collection lock.
 pub fn parallel_over_profiles<T, F>(profiles: &[&'static Profile], f: F) -> Vec<T>
 where
-    T: Send,
+    T: Send + Sync,
     F: Fn(&'static Profile) -> T + Sync,
 {
     let threads = std::thread::available_parallelism()
@@ -61,31 +86,69 @@ where
     if threads <= 1 {
         return profiles.iter().map(|p| f(p)).collect();
     }
-    let mut results: Vec<Option<T>> = Vec::new();
-    results.resize_with(profiles.len(), || None);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = std::sync::Mutex::new(&mut results);
+    let slots: Vec<OnceLock<T>> = (0..profiles.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= profiles.len() {
                     break;
                 }
                 let value = f(profiles[i]);
-                results_mutex.lock().expect("poisoned")[i] = Some(value);
+                assert!(slots[i].set(value).is_ok(), "slot {i} filled twice");
             });
         }
     });
-    results
+    slots
         .into_iter()
-        .map(|v| v.expect("every index filled"))
+        .map(|slot| slot.into_inner().expect("every index filled"))
         .collect()
 }
 
 /// All profiles, as static references.
 pub fn all_profiles() -> Vec<&'static Profile> {
     Profile::all().iter().collect()
+}
+
+/// The artifact output directory (`NOSQ_ARTIFACT_DIR`), if configured.
+pub fn artifact_dir() -> Option<PathBuf> {
+    std::env::var_os("NOSQ_ARTIFACT_DIR").map(PathBuf::from)
+}
+
+/// Writes a machine-readable artifact under `NOSQ_ARTIFACT_DIR` and
+/// returns its path; a no-op returning `None` when the variable is
+/// unset.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file cannot be
+/// written — a requested artifact that silently vanishes is worse than
+/// a failed run.
+pub fn write_artifact(file_name: &str, contents: &str) -> Option<PathBuf> {
+    let dir = artifact_dir()?;
+    std::fs::create_dir_all(&dir).expect("create NOSQ_ARTIFACT_DIR");
+    let path = dir.join(file_name);
+    std::fs::write(&path, contents).expect("write artifact");
+    println!("(wrote {})", path.display());
+    Some(path)
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats a suite-grouped table: prints a separator and a per-suite
@@ -114,7 +177,7 @@ impl SuiteTable {
     pub fn print(&self, summaries: &[(Suite, String)]) {
         println!("{}", self.header);
         println!("{}", "-".repeat(self.header.len().min(100)));
-        for suite in [Suite::MediaBench, Suite::SpecInt, Suite::SpecFp] {
+        for suite in Suite::all() {
             let mut any = false;
             for (s, line) in &self.rows {
                 if *s == suite {
@@ -136,7 +199,7 @@ impl SuiteTable {
 
 /// Per-suite geometric means of (benchmark → value) pairs.
 pub fn suite_geomeans(values: &[(&'static Profile, f64)]) -> Vec<(Suite, f64)> {
-    [Suite::MediaBench, Suite::SpecInt, Suite::SpecFp]
+    Suite::all()
         .into_iter()
         .map(|suite| {
             let vals: Vec<f64> = values
@@ -180,6 +243,16 @@ mod tests {
     }
 
     #[test]
+    fn rel_time_checks_the_reference() {
+        let p = Profile::by_name("gsm.e").unwrap();
+        let r = run(p, SimConfig::nosq(2_000));
+        assert!(rel_time(&r, &r) == 1.0);
+        let empty = SimReport::default();
+        let panicked = std::panic::catch_unwind(|| rel_time(&r, &empty));
+        assert!(panicked.is_err(), "NaN reference must panic");
+    }
+
+    #[test]
     fn suite_geomeans_group_correctly() {
         let a = Profile::by_name("gzip").unwrap();
         let b = Profile::by_name("applu").unwrap();
@@ -191,5 +264,12 @@ mod tests {
         assert!(g
             .iter()
             .any(|(s, v)| *s == Suite::SpecFp && (*v - 8.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain.name"), "plain.name");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

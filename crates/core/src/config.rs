@@ -75,6 +75,31 @@ impl SimConfig {
         }
     }
 
+    /// Starts a fluent [`SimConfigBuilder`] from the paper's defaults
+    /// (headline NoSQ-with-delay on the 128-entry-window machine).
+    ///
+    /// ```
+    /// use nosq_core::{LsuModel, SimConfig};
+    ///
+    /// let cfg = SimConfig::builder()
+    ///     .lsu(LsuModel::Nosq { delay: false })
+    ///     .window256()
+    ///     .max_insts(50_000)
+    ///     .build();
+    /// assert_eq!(cfg.machine.rob_size, 256);
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::base(LsuModel::Nosq { delay: true }, 150_000),
+        }
+    }
+
+    /// Reopens this configuration as a builder, for deriving variants
+    /// from a preset (`SimConfig::nosq(n).into_builder().window256()...`).
+    pub fn into_builder(self) -> SimConfigBuilder {
+        SimConfigBuilder { cfg: self }
+    }
+
     /// The idealized baseline: associative SQ + perfect scheduling (the
     /// denominator of every relative-execution-time figure).
     pub fn baseline_perfect(max_insts: u64) -> SimConfig {
@@ -113,9 +138,65 @@ impl SimConfig {
 
     /// Scales the machine to the 256-entry window of §4.4 (NoSQ's
     /// bypassing predictor is intentionally *not* enlarged).
-    pub fn with_window256(mut self) -> SimConfig {
-        self.machine = MachineConfig::paper_window256();
+    pub fn with_window256(self) -> SimConfig {
+        self.into_builder().window256().build()
+    }
+}
+
+/// Fluent builder for [`SimConfig`], replacing ad-hoc preset mutation.
+///
+/// Obtained from [`SimConfig::builder`] (paper defaults) or
+/// [`SimConfig::into_builder`] (derive from a preset). Every setter
+/// consumes and returns the builder; [`build`](Self::build) yields the
+/// finished configuration. The five paper presets remain available as
+/// named constructors ([`SimConfig::baseline_perfect`],
+/// [`SimConfig::baseline_storesets`], [`SimConfig::nosq_no_delay`],
+/// [`SimConfig::nosq`], [`SimConfig::perfect_smb`]).
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the machine parameters wholesale.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.cfg.machine = machine;
         self
+    }
+
+    /// Selects the load/store-unit model.
+    pub fn lsu(mut self, lsu: LsuModel) -> Self {
+        self.cfg.lsu = lsu;
+        self
+    }
+
+    /// Sets the bypassing-predictor sizing (NoSQ variants).
+    pub fn predictor(mut self, predictor: PredictorConfig) -> Self {
+        self.cfg.predictor = predictor;
+        self
+    }
+
+    /// Sets the dynamic-instruction budget.
+    pub fn max_insts(mut self, max_insts: u64) -> Self {
+        self.cfg.max_insts = max_insts;
+        self
+    }
+
+    /// Selects the paper's default 128-entry-window machine (§4.1).
+    pub fn window128(self) -> Self {
+        self.machine(MachineConfig::paper_default())
+    }
+
+    /// Selects the 256-entry-window machine of §4.4: window resources
+    /// doubled, branch predictor quadrupled — the bypassing predictor
+    /// is intentionally *not* enlarged.
+    pub fn window256(self) -> Self {
+        self.machine(MachineConfig::paper_window256())
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> SimConfig {
+        self.cfg
     }
 }
 
@@ -148,5 +229,34 @@ mod tests {
             PredictorConfig::paper_default().entries_per_table,
             "bypassing predictor must not scale with the window"
         );
+    }
+
+    #[test]
+    fn builder_defaults_match_the_headline_preset() {
+        let built = SimConfig::builder().max_insts(5_000).build();
+        assert_eq!(built.lsu, LsuModel::Nosq { delay: true });
+        assert_eq!(
+            built.machine.rob_size,
+            SimConfig::nosq(5_000).machine.rob_size
+        );
+        assert_eq!(built.max_insts, 5_000);
+    }
+
+    #[test]
+    fn builder_roundtrips_presets() {
+        let direct = SimConfig::baseline_storesets(9_000).with_window256();
+        let built = SimConfig::baseline_storesets(9_000)
+            .into_builder()
+            .window256()
+            .build();
+        assert_eq!(direct.lsu, built.lsu);
+        assert_eq!(direct.machine.rob_size, built.machine.rob_size);
+        assert_eq!(direct.max_insts, built.max_insts);
+    }
+
+    #[test]
+    fn builder_window_toggles_are_inverse() {
+        let cfg = SimConfig::builder().window256().window128().build();
+        assert_eq!(cfg.machine.rob_size, SimConfig::nosq(1).machine.rob_size);
     }
 }

@@ -21,10 +21,14 @@
 //! * [`bypass`] — partial-word shift & mask value transforms (§3.5),
 //! * [`pipeline`] — a cycle-level simulator modelling the baseline
 //!   associative-store-queue design, NoSQ (± delay), and perfect SMB
-//!   (§4's configurations),
-//! * [`config`] / [`report`] — run configuration and result metrics.
+//!   (§4's configurations), exposed as an incremental *session* API,
+//! * [`observer`] — pluggable instrumentation hooks for sessions,
+//! * [`config`] / [`report`] — fluent run configuration and structured
+//!   result metrics with JSON/CSV serialization.
 //!
-//! ## Quick start
+//! ## One-shot quick start
+//!
+//! The classic entry point runs a configuration to completion:
 //!
 //! ```
 //! use nosq_core::{simulate, SimConfig};
@@ -40,19 +44,75 @@
 //!     base.ipc()
 //! );
 //! ```
+//!
+//! ## Sessions: incremental execution and observers
+//!
+//! [`Simulator`] is a *session*: build a configuration with the fluent
+//! [`SimConfig::builder`], attach [`SimObserver`]s for time-resolved
+//! telemetry, advance with [`Simulator::step`] /
+//! [`Simulator::run_until`] (a [`StopCondition`]: cycles, committed
+//! instructions, or a custom predicate), read live
+//! [`Simulator::stats`], and close with [`Simulator::finish`]. Stepped
+//! and one-shot execution produce bit-identical [`SimReport`]s.
+//!
+//! ```
+//! use nosq_core::observer::IntervalIpc;
+//! use nosq_core::{LsuModel, SimConfig, Simulator, StopCondition};
+//! use nosq_trace::{synthesize, Profile};
+//!
+//! let program = synthesize(Profile::by_name("gzip").unwrap(), 42);
+//! let cfg = SimConfig::builder()
+//!     .lsu(LsuModel::Nosq { delay: true })
+//!     .max_insts(20_000)
+//!     .build();
+//!
+//! let mut warmup = IntervalIpc::new(1_000); // predictor warm-up curve
+//! let mut sim = Simulator::new(&program, cfg);
+//! sim.attach_observer(Box::new(&mut warmup));
+//!
+//! sim.run_until(StopCondition::Insts(5_000)); // inspect mid-flight
+//! let early_ipc = sim.stats().ipc();
+//! sim.run_until(StopCondition::Done);
+//! let report = sim.finish();
+//!
+//! assert!(report.ipc() >= 0.0 && early_ipc >= 0.0);
+//! println!("{}", report.to_json()); // machine-readable artifact
+//! # let _ = warmup.samples();
+//! ```
+//!
+//! ## Migrating from `simulate()` + `SimResult`
+//!
+//! `simulate()` is still here and still the right call for
+//! run-to-completion experiments — it now returns [`SimReport`], which
+//! reorganizes the old flat `SimResult` counters into typed groups:
+//! top-level `cycles`/`insts` are unchanged, while e.g. `r.loads`
+//! became `r.memory.loads`, `r.bypass_mispredicts` became
+//! `r.verification.bypass_mispredicts`, and `r.iq_dispatch_stalls`
+//! became `r.stalls.iq_dispatch_stalls`. Derived metrics
+//! ([`SimReport::ipc`], [`SimReport::relative_time`], …) kept their
+//! names; `relative_time` now returns NaN (instead of a silent `0.0`)
+//! when the reference run has zero cycles.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bypass;
 pub mod config;
+pub mod observer;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
 pub mod srq;
 
-pub use config::{LsuModel, Scheduling, SimConfig};
-pub use pipeline::{simulate, Simulator};
+pub use config::{LsuModel, Scheduling, SimConfig, SimConfigBuilder};
+pub use observer::{
+    BypassEvent, CommitEvent, CycleEvent, ReexecEvent, SimObserver, SquashCause, SquashEvent,
+};
+pub use pipeline::{simulate, Simulator, StopCondition};
 pub use predictor::{BypassingPredictor, PathHistory, Prediction, PredictorConfig};
-pub use report::{geometric_mean, SimResult};
+#[allow(deprecated)]
+pub use report::SimResult;
+pub use report::{
+    geometric_mean, FrontendMetrics, MemoryMetrics, SimReport, StallMetrics, VerificationMetrics,
+};
 pub use srq::{StoreInfo, StoreRegisterQueue};

@@ -28,8 +28,11 @@ use nosq_uarch::{MemoryHierarchy, Ssn, SsnCounters, StoreSets, Tlb, Tssbf, Tssbf
 
 use crate::bypass::{bypass_value, needs_shift_mask};
 use crate::config::{LsuModel, Scheduling, SimConfig};
+use crate::observer::{
+    BypassEvent, CommitEvent, CycleEvent, ReexecEvent, SimObserver, SquashCause, SquashEvent,
+};
 use crate::predictor::{BypassingPredictor, PathHistory, Prediction};
-use crate::report::SimResult;
+use crate::report::SimReport;
 use crate::srq::{StoreInfo, StoreRegisterQueue};
 
 use nodes::{NodeId, RegState};
@@ -106,10 +109,57 @@ struct Fetched {
     mispredicted_branch: bool,
 }
 
+/// When an incremental [`Simulator::run_until`] call should return.
+///
+/// Cycle and instruction targets are *absolute* session totals, not
+/// deltas: a condition that is already satisfied returns immediately
+/// without advancing the pipeline. The simulation also stops (for any
+/// condition) once it finishes the program.
+pub enum StopCondition<'a> {
+    /// Run until the program completes.
+    Done,
+    /// Run until the session has executed at least this many cycles.
+    Cycles(u64),
+    /// Run until at least this many instructions have committed.
+    Insts(u64),
+    /// Run until the predicate over the live statistics returns `true`.
+    /// Checked once per cycle, before stepping.
+    Predicate(Box<dyn FnMut(&SimReport) -> bool + 'a>),
+}
+
+impl<'a> StopCondition<'a> {
+    /// Builds a [`StopCondition::Predicate`] without the `Box` noise.
+    pub fn predicate(f: impl FnMut(&SimReport) -> bool + 'a) -> StopCondition<'a> {
+        StopCondition::Predicate(Box::new(f))
+    }
+}
+
+impl std::fmt::Debug for StopCondition<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopCondition::Done => write!(f, "Done"),
+            StopCondition::Cycles(n) => write!(f, "Cycles({n})"),
+            StopCondition::Insts(n) => write!(f, "Insts({n})"),
+            StopCondition::Predicate(_) => write!(f, "Predicate(..)"),
+        }
+    }
+}
+
 /// The simulator for one (program, configuration) pair.
+///
+/// A `Simulator` is a *session*: construct it with [`Simulator::new`],
+/// optionally [attach observers](Simulator::attach_observer), advance it
+/// incrementally with [`step`](Simulator::step) /
+/// [`run_until`](Simulator::run_until) while reading
+/// [`stats`](Simulator::stats) snapshots, and close it with
+/// [`finish`](Simulator::finish) for the final [`SimReport`]. The
+/// one-shot [`run`](Simulator::run) / [`simulate`] wrappers do exactly
+/// that in a single call, and interleaved stepping reproduces the
+/// one-shot counters bit for bit.
 pub struct Simulator<'p> {
     cfg: SimConfig,
     clock: u64,
+    cycle_cap: u64,
     next_uid: u64,
     // Instruction supply.
     stream: Tracer<'p>,
@@ -142,8 +192,9 @@ pub struct Simulator<'p> {
     predictor: BypassingPredictor,
     storesets: StoreSets,
     draining_for_wrap: bool,
-    // Results.
-    stats: SimResult,
+    // Results / instrumentation.
+    stats: SimReport,
+    observers: Vec<Box<dyn SimObserver + 'p>>,
     done: bool,
     mispredict_pcs: std::collections::HashMap<u64, u64>,
 }
@@ -154,6 +205,7 @@ impl<'p> Simulator<'p> {
         let m = &cfg.machine;
         Simulator {
             clock: 0,
+            cycle_cap: 1_000_000 + cfg.max_insts.saturating_mul(300),
             next_uid: 0,
             stream: Tracer::new(program, cfg.max_insts),
             stream_done: false,
@@ -186,38 +238,96 @@ impl<'p> Simulator<'p> {
             predictor: BypassingPredictor::new(cfg.predictor),
             storesets: StoreSets::new(4096),
             draining_for_wrap: false,
-            stats: SimResult::default(),
+            stats: SimReport::default(),
+            observers: Vec::new(),
             cfg,
             done: false,
             mispredict_pcs: std::collections::HashMap::new(),
         }
     }
 
-    /// Runs to completion and returns the collected statistics.
+    /// Installs an observer on this session. Hooks fire in attachment
+    /// order; attach a `Box::new(&mut obs)` borrow to read the
+    /// observer's state back after [`finish`](Simulator::finish).
+    ///
+    /// Observers receive events only for cycles executed *after*
+    /// attachment, so install them before the first
+    /// [`step`](Simulator::step).
+    pub fn attach_observer(&mut self, obs: Box<dyn SimObserver + 'p>) {
+        self.observers.push(obs);
+    }
+
+    /// Whether the program has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Live statistics for the session so far. `cycles` tracks the
+    /// current clock, so derived metrics (e.g. [`SimReport::ipc`]) are
+    /// meaningful mid-run.
+    pub fn stats(&self) -> &SimReport {
+        &self.stats
+    }
+
+    /// Advances the pipeline by exactly one cycle. Returns `true` while
+    /// the program is still running; once it reports `false` (program
+    /// complete), further calls are no-ops.
     ///
     /// # Panics
     ///
     /// Panics if the pipeline deadlocks (an internal invariant
     /// violation), bounded by a generous cycle cap.
-    pub fn run(mut self) -> SimResult {
-        let cycle_cap = 1_000_000 + self.cfg.max_insts.saturating_mul(300);
-        while !self.done {
-            self.clock += 1;
-            assert!(
-                self.clock < cycle_cap,
-                "pipeline deadlock at cycle {} (retired {} insts)",
-                self.clock,
-                self.stats.insts
-            );
-            self.drain_backend_exits();
-            self.commit_stage();
-            self.issue_stage();
-            self.dispatch_stage();
-            self.fetch_stage();
-            self.wrap_stage();
-            self.check_done();
+    pub fn step(&mut self) -> bool {
+        if self.done {
+            return false;
         }
+        self.clock += 1;
+        assert!(
+            self.clock < self.cycle_cap,
+            "pipeline deadlock at cycle {} (retired {} insts)",
+            self.clock,
+            self.stats.insts
+        );
+        self.drain_backend_exits();
+        self.commit_stage();
+        self.issue_stage();
+        self.dispatch_stage();
+        self.fetch_stage();
+        self.wrap_stage();
+        self.check_done();
         self.stats.cycles = self.clock;
+        if !self.observers.is_empty() {
+            let ev = CycleEvent {
+                cycle: self.clock,
+                insts: self.stats.insts,
+            };
+            self.emit(|o| o.on_cycle(&ev));
+        }
+        !self.done
+    }
+
+    /// Steps until `stop` is satisfied or the program completes,
+    /// whichever comes first. Returns `true` if the program completed.
+    pub fn run_until(&mut self, mut stop: StopCondition) -> bool {
+        loop {
+            let met = match &mut stop {
+                StopCondition::Done => false, // only completion stops it
+                StopCondition::Cycles(n) => self.clock >= *n,
+                StopCondition::Insts(n) => self.stats.insts >= *n,
+                StopCondition::Predicate(f) => f(&self.stats),
+            };
+            if met || self.done {
+                return self.done;
+            }
+            self.step();
+        }
+    }
+
+    /// Closes the session and returns the report for everything
+    /// executed so far (the full program after a
+    /// [`run_until(Done)`](Simulator::run_until), or a prefix if
+    /// stopped early).
+    pub fn finish(self) -> SimReport {
         if !self.mispredict_pcs.is_empty() {
             let mut v: Vec<_> = self.mispredict_pcs.iter().collect();
             v.sort_by_key(|(_, c)| std::cmp::Reverse(**c));
@@ -226,6 +336,26 @@ impl<'p> Simulator<'p> {
             }
         }
         self.stats
+    }
+
+    /// Runs to completion and returns the collected statistics —
+    /// [`run_until(Done)`](Simulator::run_until) plus
+    /// [`finish`](Simulator::finish) in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (an internal invariant
+    /// violation), bounded by a generous cycle cap.
+    pub fn run(mut self) -> SimReport {
+        self.run_until(StopCondition::Done);
+        self.finish()
+    }
+
+    /// Fans an event out to every attached observer.
+    fn emit(&mut self, f: impl Fn(&mut dyn SimObserver)) {
+        for obs in self.observers.iter_mut() {
+            f(obs.as_mut());
+        }
     }
 
     fn check_done(&mut self) {
@@ -307,8 +437,30 @@ impl<'p> Simulator<'p> {
             }
 
             self.retire_bookkeeping(&entry);
+            if !self.observers.is_empty() {
+                let ev = CommitEvent {
+                    cycle: self.clock,
+                    pc: entry.d.rec.pc,
+                    class,
+                };
+                self.emit(|o| o.on_commit(&ev));
+            }
             if squash {
+                let squashed = (self.rob.len() + self.fetch_buffer.len()) as u64;
                 self.squash_younger_than_head();
+                if !self.observers.is_empty() {
+                    let ev = SquashEvent {
+                        cycle: self.clock,
+                        cause: if self.cfg.lsu.is_nosq() {
+                            SquashCause::BypassMispredict
+                        } else {
+                            SquashCause::OrderingViolation
+                        },
+                        load_pc: entry.d.rec.pc,
+                        squashed,
+                    };
+                    self.emit(|o| o.on_squash(&ev));
+                }
                 break;
             }
         }
@@ -329,7 +481,7 @@ impl<'p> Simulator<'p> {
         if let Some(info) = self.srq.get_mut(entry.ssn) {
             info.commit_visible = visible;
         }
-        self.stats.stores += 1;
+        self.stats.memory.stores += 1;
         if entry.holds_sq {
             self.sq_used -= 1;
         }
@@ -367,12 +519,12 @@ impl<'p> Simulator<'p> {
         let ls = entry.load.as_ref().expect("load state");
         let d = &entry.d;
         let width = d.rec.inst.mem_width().expect("load width");
-        self.stats.loads += 1;
+        self.stats.memory.loads += 1;
         if let Some(dep) = d.mem_dep {
             if dep.inst_distance < self.cfg.machine.rob_size as u64 {
-                self.stats.comm_loads += 1;
+                self.stats.memory.comm_loads += 1;
                 if d.is_partial_word_comm() {
-                    self.stats.partial_comm_loads += 1;
+                    self.stats.memory.partial_comm_loads += 1;
                 }
             }
         }
@@ -380,13 +532,13 @@ impl<'p> Simulator<'p> {
             self.lq_used -= 1;
         }
         if ls.oracle {
-            self.stats.reexec_filtered += 1;
+            self.stats.verification.reexec_filtered += 1;
             return false;
         }
 
         let mut mispredict = false;
         if reexec {
-            self.stats.backend_dcache_reads += 1;
+            self.stats.verification.backend_dcache_reads += 1;
             // All older stores have committed: this read is correct.
             let raw = self.timing_mem.read(d.rec.addr, width.bytes());
             let ext = match d.rec.inst {
@@ -399,8 +551,17 @@ impl<'p> Simulator<'p> {
             if ndata != ls.exec_value {
                 mispredict = true;
             }
+            if !self.observers.is_empty() {
+                let ev = ReexecEvent {
+                    cycle: self.clock,
+                    pc: d.rec.pc,
+                    addr: d.rec.addr,
+                    mismatch: mispredict,
+                };
+                self.emit(|o| o.on_reexec(&ev));
+            }
         } else {
-            self.stats.reexec_filtered += 1;
+            self.stats.verification.reexec_filtered += 1;
             // The filter said the value is provably correct — except for a
             // predicted shift, which is verified without replay (§3.5).
             if let LoadMode::Bypassed { .. } = ls.mode {
@@ -423,7 +584,7 @@ impl<'p> Simulator<'p> {
         match self.cfg.lsu {
             LsuModel::BaselineSq { .. } => {
                 if mispredict {
-                    self.stats.ordering_squashes += 1;
+                    self.stats.verification.ordering_squashes += 1;
                     if let Some(dep_ssn) = d.dep_ssn() {
                         if let Some(info) = self.srq.get(Ssn(dep_ssn)) {
                             self.storesets.train_violation(d.rec.pc, info.pc);
@@ -442,7 +603,7 @@ impl<'p> Simulator<'p> {
         let mut history = PathHistory::new();
         history.restore(entry.path_snap);
         if mispredict {
-            self.stats.bypass_mispredicts += 1;
+            self.stats.verification.bypass_mispredicts += 1;
             if std::env::var_os("NOSQ_DEBUG_MISPREDICTS").is_some() {
                 *self.mispredict_pcs.entry(d.rec.pc).or_insert(0) += 1;
             }
@@ -708,7 +869,7 @@ impl<'p> Simulator<'p> {
                 LoadMode::Bypassed { .. } => (1, 0), // shift & mask uop
                 _ => {
                     let lat = self.hierarchy.load_latency(e.d.rec.addr);
-                    self.stats.ooo_dcache_reads += 1;
+                    self.stats.memory.ooo_dcache_reads += 1;
                     (1 + lat, 0)
                 }
             },
@@ -780,7 +941,7 @@ impl<'p> Simulator<'p> {
                             // construction (address-checked).
                             exec_value = d.rec.load_value;
                             ssn_nvul = dep_ssn;
-                            self.stats.sq_forwards += 1;
+                            self.stats.memory.sq_forwards += 1;
                         }
                         // Otherwise: the load speculated past an
                         // unexecuted store; exec_value is stale and SVW
@@ -842,7 +1003,7 @@ impl<'p> Simulator<'p> {
                 } else {
                     needs_sq = true;
                     if self.sq_used >= m.sq_size {
-                        self.stats.sq_dispatch_stalls += 1;
+                        self.stats.stalls.sq_dispatch_stalls += 1;
                         return false;
                     }
                 }
@@ -866,7 +1027,7 @@ impl<'p> Simulator<'p> {
         }
 
         if needs_iq && self.iq_used >= m.iq_size {
-            self.stats.iq_dispatch_stalls += 1;
+            self.stats.stalls.iq_dispatch_stalls += 1;
             return false;
         }
         let pure_bypass = matches!(
@@ -874,7 +1035,7 @@ impl<'p> Simulator<'p> {
             Some((LoadMode::Bypassed { partial: false }, _, _))
         );
         if needs_dest && !pure_bypass && !self.regs.can_alloc() {
-            self.stats.reg_dispatch_stalls += 1;
+            self.stats.stalls.reg_dispatch_stalls += 1;
             return false;
         }
 
@@ -1087,7 +1248,16 @@ impl<'p> Simulator<'p> {
                 ls.oracle = self.cfg.lsu == LsuModel::NosqOracle;
                 match mode {
                     LoadMode::Bypassed { partial } => {
-                        self.stats.bypassed_loads += 1;
+                        self.stats.memory.bypassed_loads += 1;
+                        if !self.observers.is_empty() {
+                            let ev = BypassEvent {
+                                cycle: self.clock,
+                                pc: d.rec.pc,
+                                partial,
+                                distance: ls.pred.map(|p| p.dist),
+                            };
+                            self.emit(|o| o.on_bypass(&ev));
+                        }
                         let info = self.srq.get(ssn_byp.expect("bypass ssn")).copied();
                         let info = info.expect("bypassing store in flight");
                         ls.ssn_nvul = info.ssn;
@@ -1116,7 +1286,7 @@ impl<'p> Simulator<'p> {
                         if partial && !ls.oracle {
                             // Injected shift & mask: new register, consumes
                             // the store's data node, 1-cycle ALU.
-                            self.stats.shift_mask_uops += 1;
+                            self.stats.memory.shift_mask_uops += 1;
                             let node = self.regs.alloc();
                             entry.prev_node = self.regs.remap(rd.expect("load dest"), Some(node));
                             entry.map_reg = rd;
@@ -1135,7 +1305,7 @@ impl<'p> Simulator<'p> {
                         }
                     }
                     LoadMode::Delayed => {
-                        self.stats.delayed_loads += 1;
+                        self.stats.memory.delayed_loads += 1;
                         ls.wait_commit = ssn_byp;
                         let node = self.regs.alloc();
                         entry.prev_node = self.regs.remap(rd.expect("load dest"), Some(node));
@@ -1215,7 +1385,7 @@ impl<'p> Simulator<'p> {
             }
 
             if mispredicted {
-                self.stats.branch_mispredicts += 1;
+                self.stats.frontend.branch_mispredicts += 1;
                 self.fetch_stalled_on = Some(uid);
             }
             let is_control = d.rec.inst.is_control();
@@ -1257,13 +1427,17 @@ impl<'p> Simulator<'p> {
             self.storesets.clear();
             self.ssn.acknowledge_wrap();
             self.draining_for_wrap = false;
-            self.stats.ssn_wrap_drains += 1;
+            self.stats.verification.ssn_wrap_drains += 1;
         }
     }
 }
 
-/// Runs one simulation over `program` with `cfg` and returns the
-/// statistics.
+/// Runs one simulation over `program` with `cfg` to completion and
+/// returns the report — the classic one-shot entry point, now a thin
+/// wrapper over the session API ([`Simulator::run`]).
+///
+/// For incremental execution, live statistics, or observer hooks, use
+/// [`Simulator`] directly.
 ///
 /// ```
 /// use nosq_isa::{Assembler, Reg, MemWidth, Extension};
@@ -1278,10 +1452,10 @@ impl<'p> Simulator<'p> {
 /// asm.halt();
 /// let prog = asm.finish();
 ///
-/// let result = simulate(&prog, SimConfig::nosq(100));
-/// assert_eq!(result.loads, 1);
-/// assert_eq!(result.stores, 1);
+/// let report = simulate(&prog, SimConfig::nosq(100));
+/// assert_eq!(report.memory.loads, 1);
+/// assert_eq!(report.memory.stores, 1);
 /// ```
-pub fn simulate(program: &Program, cfg: SimConfig) -> SimResult {
+pub fn simulate(program: &Program, cfg: SimConfig) -> SimReport {
     Simulator::new(program, cfg).run()
 }

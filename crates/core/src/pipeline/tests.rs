@@ -5,7 +5,7 @@ use nosq_isa::{Assembler, Cond, Extension, MemWidth, Reg};
 
 use crate::config::{LsuModel, Scheduling, SimConfig};
 use crate::pipeline::simulate;
-use crate::report::SimResult;
+use crate::report::SimReport;
 
 fn all_configs(max: u64) -> Vec<(&'static str, SimConfig)> {
     vec![
@@ -53,7 +53,7 @@ fn stream_loop(iters: i64) -> nosq_isa::Program {
     asm.finish()
 }
 
-fn run_all(prog: &nosq_isa::Program, max: u64) -> Vec<(&'static str, SimResult)> {
+fn run_all(prog: &nosq_isa::Program, max: u64) -> Vec<(&'static str, SimReport)> {
     all_configs(max)
         .into_iter()
         .map(|(name, cfg)| (name, simulate(prog, cfg)))
@@ -68,8 +68,8 @@ fn all_configs_commit_the_same_instructions() {
     assert!(insts > 1000, "{insts}");
     for (name, r) in &results {
         assert_eq!(r.insts, insts, "{name} committed a different count");
-        assert_eq!(r.loads, 200, "{name} load count");
-        assert_eq!(r.stores, 400, "{name} store count");
+        assert_eq!(r.memory.loads, 200, "{name} load count");
+        assert_eq!(r.memory.stores, 400, "{name} store count");
         assert!(r.cycles > 0 && r.ipc() > 0.1, "{name}: {} cycles", r.cycles);
     }
 }
@@ -81,15 +81,15 @@ fn nosq_bypasses_communicating_loads() {
     // Every loop load communicates at distance 1; after the first
     // mispredict trains the predictor, the rest bypass.
     assert!(
-        r.bypassed_loads > 450,
+        r.memory.bypassed_loads > 450,
         "bypassed {} of {} loads",
-        r.bypassed_loads,
-        r.loads
+        r.memory.bypassed_loads,
+        r.memory.loads
     );
     assert!(
-        r.bypass_mispredicts <= 3,
+        r.verification.bypass_mispredicts <= 3,
         "mispredicts {}",
-        r.bypass_mispredicts
+        r.verification.bypass_mispredicts
     );
 }
 
@@ -116,17 +116,21 @@ fn bypassed_loads_skip_the_data_cache() {
 fn non_communicating_loads_do_not_bypass() {
     let prog = stream_loop(300);
     let r = simulate(&prog, SimConfig::nosq(100_000));
-    assert_eq!(r.bypassed_loads, 0);
-    assert_eq!(r.bypass_mispredicts, 0);
-    assert_eq!(r.comm_loads, 0);
+    assert_eq!(r.memory.bypassed_loads, 0);
+    assert_eq!(r.verification.bypass_mispredicts, 0);
+    assert_eq!(r.memory.comm_loads, 0);
 }
 
 #[test]
 fn perfect_smb_never_mispredicts() {
     let prog = spill_loop(400);
     let r = simulate(&prog, SimConfig::perfect_smb(100_000));
-    assert_eq!(r.bypass_mispredicts, 0);
-    assert!(r.bypassed_loads >= 395, "bypassed {}", r.bypassed_loads);
+    assert_eq!(r.verification.bypass_mispredicts, 0);
+    assert!(
+        r.memory.bypassed_loads >= 395,
+        "bypassed {}",
+        r.memory.bypassed_loads
+    );
 }
 
 #[test]
@@ -141,7 +145,7 @@ fn baseline_perfect_never_squashes() {
             ..SimConfig::baseline_perfect(100_000)
         },
     );
-    assert_eq!(r.ordering_squashes, 0);
+    assert_eq!(r.verification.ordering_squashes, 0);
 }
 
 #[test]
@@ -171,12 +175,20 @@ fn partial_word_bypass_uses_shift_mask() {
     asm.halt();
     let prog = asm.finish();
     let r = simulate(&prog, SimConfig::nosq(100_000));
-    assert!(r.bypassed_loads > 300, "bypassed {}", r.bypassed_loads);
-    assert!(r.shift_mask_uops > 300, "uops {}", r.shift_mask_uops);
     assert!(
-        r.bypass_mispredicts < 10,
+        r.memory.bypassed_loads > 300,
+        "bypassed {}",
+        r.memory.bypassed_loads
+    );
+    assert!(
+        r.memory.shift_mask_uops > 300,
+        "uops {}",
+        r.memory.shift_mask_uops
+    );
+    assert!(
+        r.verification.bypass_mispredicts < 10,
         "mispredicts {}",
-        r.bypass_mispredicts
+        r.verification.bypass_mispredicts
     );
 }
 
@@ -202,17 +214,17 @@ fn multi_source_loads_mispredict_without_delay_but_not_with() {
     let no_delay = simulate(&prog, SimConfig::nosq_no_delay(200_000));
     let with_delay = simulate(&prog, SimConfig::nosq(200_000));
     assert!(
-        no_delay.bypass_mispredicts > 50,
+        no_delay.verification.bypass_mispredicts > 50,
         "no-delay mispredicts {}",
-        no_delay.bypass_mispredicts
+        no_delay.verification.bypass_mispredicts
     );
     assert!(
-        with_delay.bypass_mispredicts < no_delay.bypass_mispredicts / 4,
+        with_delay.verification.bypass_mispredicts < no_delay.verification.bypass_mispredicts / 4,
         "delay {} vs no-delay {}",
-        with_delay.bypass_mispredicts,
-        no_delay.bypass_mispredicts
+        with_delay.verification.bypass_mispredicts,
+        no_delay.verification.bypass_mispredicts
     );
-    assert!(with_delay.delayed_loads > 0);
+    assert!(with_delay.memory.delayed_loads > 0);
     // Delay costs time but the program still completes correctly.
     assert_eq!(no_delay.insts, with_delay.insts);
 }
@@ -248,14 +260,17 @@ fn storesets_learns_to_avoid_ordering_squashes() {
     let prog = asm.finish();
 
     let r = simulate(&prog, SimConfig::baseline_storesets(200_000));
-    assert!(r.ordering_squashes > 0, "expected initial violations");
     assert!(
-        r.ordering_squashes < 30,
+        r.verification.ordering_squashes > 0,
+        "expected initial violations"
+    );
+    assert!(
+        r.verification.ordering_squashes < 30,
         "storesets failed to learn: {} squashes",
-        r.ordering_squashes
+        r.verification.ordering_squashes
     );
     let ideal = simulate(&prog, SimConfig::baseline_perfect(200_000));
-    assert_eq!(ideal.ordering_squashes, 0);
+    assert_eq!(ideal.verification.ordering_squashes, 0);
 }
 
 #[test]
@@ -277,12 +292,16 @@ fn float32_sts_lds_bypass_roundtrips() {
     asm.halt();
     let prog = asm.finish();
     let r = simulate(&prog, SimConfig::nosq(100_000));
-    assert!(r.bypassed_loads > 200, "bypassed {}", r.bypassed_loads);
-    assert!(r.shift_mask_uops > 200, "float bypass needs the uop");
     assert!(
-        r.bypass_mispredicts < 10,
+        r.memory.bypassed_loads > 200,
+        "bypassed {}",
+        r.memory.bypassed_loads
+    );
+    assert!(r.memory.shift_mask_uops > 200, "float bypass needs the uop");
+    assert!(
+        r.verification.bypass_mispredicts < 10,
         "mispredicts {}",
-        r.bypass_mispredicts
+        r.verification.bypass_mispredicts
     );
 }
 
@@ -307,8 +326,12 @@ fn ssn_wraparound_drains_cleanly() {
     let mut cfg = SimConfig::nosq(100_000);
     cfg.machine.ssn_bits = 7; // wrap every 128 stores; 600 stores → 4 wraps
     let r = simulate(&prog, cfg);
-    assert!(r.ssn_wrap_drains >= 3, "drains {}", r.ssn_wrap_drains);
-    assert_eq!(r.stores, 600);
+    assert!(
+        r.verification.ssn_wrap_drains >= 3,
+        "drains {}",
+        r.verification.ssn_wrap_drains
+    );
+    assert_eq!(r.memory.stores, 600);
     // Equivalent run without wraps must commit identically.
     let r2 = simulate(&prog, SimConfig::nosq(100_000));
     assert_eq!(r.insts, r2.insts);
@@ -340,9 +363,9 @@ fn branch_mispredicts_are_charged() {
     let prog = asm.finish();
     let r = simulate(&prog, SimConfig::baseline_perfect(100_000));
     assert!(
-        r.branch_mispredicts > 50,
+        r.frontend.branch_mispredicts > 50,
         "mispredicts {}",
-        r.branch_mispredicts
+        r.frontend.branch_mispredicts
     );
     // Compare against the same loop without the data-dependent branch
     // by checking IPC sanity only.

@@ -21,6 +21,13 @@ pub enum Suite {
     SpecFp,
 }
 
+impl Suite {
+    /// All suites, in the paper's table/figure order.
+    pub const fn all() -> [Suite; 3] {
+        [Suite::MediaBench, Suite::SpecInt, Suite::SpecFp]
+    }
+}
+
 impl std::fmt::Display for Suite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -177,6 +184,19 @@ mod tests {
         assert_eq!(Profile::suite(Suite::MediaBench).count(), 18);
         assert_eq!(Profile::suite(Suite::SpecInt).count(), 16);
         assert_eq!(Profile::suite(Suite::SpecFp).count(), 13);
+    }
+
+    #[test]
+    fn suite_all_covers_every_profile_in_order() {
+        assert_eq!(
+            Suite::all(),
+            [Suite::MediaBench, Suite::SpecInt, Suite::SpecFp]
+        );
+        let covered: usize = Suite::all()
+            .into_iter()
+            .map(|s| Profile::suite(s).count())
+            .sum();
+        assert_eq!(covered, Profile::all().len());
     }
 
     #[test]

@@ -79,7 +79,7 @@ fn report(name: &str, program: &Program) {
     let r = simulate(program, SimConfig::nosq(300_000));
     println!(
         "{name:<28} loads {:>6}  bypassed {:>6}  shift&mask {:>6}  delayed {:>5}  mispredicts {:>4}",
-        r.loads, r.bypassed_loads, r.shift_mask_uops, r.delayed_loads, r.bypass_mispredicts
+        r.memory.loads, r.memory.bypassed_loads, r.memory.shift_mask_uops, r.memory.delayed_loads, r.verification.bypass_mispredicts
     );
 }
 

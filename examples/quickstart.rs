@@ -48,19 +48,19 @@ fn main() {
     );
     println!(
         "loads                    {:>12}        {:>12}",
-        baseline.loads, nosq.loads
+        baseline.memory.loads, nosq.memory.loads
     );
     println!(
         "SQ forwards              {:>12}        {:>12}",
-        baseline.sq_forwards, "-"
+        baseline.memory.sq_forwards, "-"
     );
     println!(
         "bypassed loads           {:>12}        {:>12}",
-        "-", nosq.bypassed_loads
+        "-", nosq.memory.bypassed_loads
     );
     println!(
         "bypass mis-predictions   {:>12}        {:>12}",
-        "-", nosq.bypass_mispredicts
+        "-", nosq.verification.bypass_mispredicts
     );
     println!(
         "data-cache reads         {:>12}        {:>12}",
@@ -70,7 +70,7 @@ fn main() {
     println!();
     println!(
         "NoSQ executed {} of {} loads without a store queue — or a cache access —",
-        nosq.bypassed_loads, nosq.loads
+        nosq.memory.bypassed_loads, nosq.memory.loads
     );
     println!(
         "and ran {:.1}% {} than the conventional design.",
@@ -81,4 +81,7 @@ fn main() {
             "slower"
         }
     );
+    println!();
+    println!("NoSQ report as JSON (SimReport::to_json):");
+    println!("{}", nosq.to_json());
 }

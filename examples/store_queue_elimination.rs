@@ -6,7 +6,7 @@
 //! cargo run --release -p nosq-examples --example store_queue_elimination
 //! ```
 
-use nosq_core::{simulate, SimConfig, SimResult};
+use nosq_core::{simulate, SimConfig, SimReport};
 use nosq_trace::{synthesize, Profile};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         let profile = Profile::by_name(name).expect("known benchmark");
         let program = synthesize(profile, 42);
         let ideal = simulate(&program, SimConfig::baseline_perfect(budget));
-        let rel = |r: &SimResult| r.relative_time(&ideal);
+        let rel = |r: &SimReport| r.relative_time(&ideal);
         let sq = simulate(&program, SimConfig::baseline_storesets(budget));
         let nd = simulate(&program, SimConfig::nosq_no_delay(budget));
         let d = simulate(&program, SimConfig::nosq(budget));

@@ -24,8 +24,11 @@ fn check_profile(name: &str, budget: u64) {
     }
     for (cfg_name, r) in run_all(&program, budget) {
         assert_eq!(r.insts, insts, "{name}/{cfg_name}: committed instructions");
-        assert_eq!(r.loads, loads, "{name}/{cfg_name}: committed loads");
-        assert_eq!(r.stores, stores, "{name}/{cfg_name}: committed stores");
+        assert_eq!(r.memory.loads, loads, "{name}/{cfg_name}: committed loads");
+        assert_eq!(
+            r.memory.stores, stores,
+            "{name}/{cfg_name}: committed stores"
+        );
         assert!(r.cycles > 0, "{name}/{cfg_name}: ran no cycles");
     }
 }
@@ -68,5 +71,5 @@ fn window256_commits_identically() {
     let small = simulate(&program, SimConfig::nosq(30_000));
     let big = simulate(&program, SimConfig::nosq(30_000).with_window256());
     assert_eq!(small.insts, big.insts);
-    assert_eq!(small.loads, big.loads);
+    assert_eq!(small.memory.loads, big.memory.loads);
 }

@@ -4,7 +4,7 @@
 //! twice must yield byte-identical results. A nondeterministic
 //! simulator would silently invalidate every paper comparison.
 
-use nosq_core::{simulate, SimConfig};
+use nosq_core::{simulate, SimConfig, Simulator, StopCondition};
 use nosq_trace::{synthesize, Profile};
 
 /// Two independent `synthesize` + `simulate` runs of the same
@@ -21,7 +21,7 @@ fn same_profile_and_seed_give_identical_results() {
         ] {
             let a = simulate(&synthesize(profile, nosq_bench::SEED), cfg.clone());
             let b = simulate(&synthesize(profile, nosq_bench::SEED), cfg);
-            assert_eq!(a, b, "{name}: nondeterministic SimResult");
+            assert_eq!(a, b, "{name}: nondeterministic SimReport");
         }
     }
 }
@@ -35,9 +35,61 @@ fn different_seeds_give_different_programs() {
     let a = simulate(&synthesize(profile, 1), SimConfig::nosq(20_000));
     let b = simulate(&synthesize(profile, 2), SimConfig::nosq(20_000));
     assert_ne!(
-        (a.cycles, a.bypassed_loads),
-        (b.cycles, b.bypassed_loads),
+        (a.cycles, a.memory.bypassed_loads),
+        (b.cycles, b.memory.bypassed_loads),
         "seed has no effect on the synthesized workload"
+    );
+}
+
+/// Session equivalence: chopping one simulation into an arbitrary
+/// interleaving of `step()` and `run_until()` segments must reproduce
+/// the one-shot `simulate()` report **bit for bit** — the incremental
+/// session API is a pure re-packaging of the same cycle loop, never a
+/// different machine.
+#[test]
+fn stepped_execution_matches_one_shot_bit_for_bit() {
+    let budget = 20_000;
+    let profile = Profile::by_name("g721.e").expect("profile exists");
+    let program = synthesize(profile, nosq_bench::SEED);
+    for cfg in [
+        SimConfig::baseline_storesets(budget),
+        SimConfig::nosq(budget),
+        SimConfig::nosq_no_delay(budget),
+        SimConfig::perfect_smb(budget),
+    ] {
+        let one_shot = simulate(&program, cfg.clone());
+
+        let mut sim = Simulator::new(&program, cfg);
+        // Mix every granularity the API offers.
+        for _ in 0..257 {
+            sim.step();
+        }
+        let here = sim.stats().cycles;
+        sim.run_until(StopCondition::Cycles(here + 1_000));
+        sim.run_until(StopCondition::Insts(5_000));
+        sim.run_until(StopCondition::predicate(|s| s.memory.loads >= 1_000));
+        sim.run_until(StopCondition::Done);
+        assert!(sim.is_done());
+        let stepped = sim.finish();
+
+        assert_eq!(one_shot, stepped, "stepped session diverged");
+    }
+}
+
+/// Already-satisfied stop conditions must not advance the pipeline.
+#[test]
+fn satisfied_stop_conditions_do_not_step() {
+    let profile = Profile::by_name("gzip").expect("profile exists");
+    let program = synthesize(profile, nosq_bench::SEED);
+    let mut sim = Simulator::new(&program, SimConfig::nosq(10_000));
+    sim.run_until(StopCondition::Cycles(500));
+    let at_500 = *sim.stats();
+    sim.run_until(StopCondition::Cycles(400)); // already past
+    sim.run_until(StopCondition::Insts(at_500.insts)); // already met
+    assert_eq!(
+        *sim.stats(),
+        at_500,
+        "satisfied conditions advanced the clock"
     );
 }
 

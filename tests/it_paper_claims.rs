@@ -83,7 +83,7 @@ fn delay_suppresses_mispredictions() {
         d.mispredicts_per_10k_loads(),
         nd.mispredicts_per_10k_loads()
     );
-    assert!(d.delayed_loads > 0, "delay mechanism unused");
+    assert!(d.memory.delayed_loads > 0, "delay mechanism unused");
 }
 
 /// §4.5: NoSQ reduces data-cache reads in proportion to bypassing

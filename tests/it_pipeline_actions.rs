@@ -28,13 +28,17 @@ fn spill_loop(iters: i64) -> Program {
 fn table3_bypassed_loads_skip_ooo_cache_access() {
     let prog = spill_loop(2_000);
     let r = simulate(&prog, SimConfig::nosq(100_000));
-    assert!(r.bypassed_loads > 1_800, "bypassed {}", r.bypassed_loads);
+    assert!(
+        r.memory.bypassed_loads > 1_800,
+        "bypassed {}",
+        r.memory.bypassed_loads
+    );
     // Every OOO read corresponds to a non-bypassed (or replayed) load.
     assert!(
-        r.ooo_dcache_reads < r.loads - r.bypassed_loads + 50,
+        r.memory.ooo_dcache_reads < r.memory.loads - r.memory.bypassed_loads + 50,
         "ooo reads {} vs non-bypassed {}",
-        r.ooo_dcache_reads,
-        r.loads - r.bypassed_loads
+        r.memory.ooo_dcache_reads,
+        r.memory.loads - r.memory.bypassed_loads
     );
 }
 
@@ -46,10 +50,10 @@ fn table4_svw_filters_reexecutions() {
     let prog = spill_loop(2_000);
     let r = simulate(&prog, SimConfig::nosq(100_000));
     assert!(
-        r.reexec_filtered > r.loads * 9 / 10,
+        r.verification.reexec_filtered > r.memory.loads * 9 / 10,
         "filtered {} of {}",
-        r.reexec_filtered,
-        r.loads
+        r.verification.reexec_filtered,
+        r.memory.loads
     );
     assert!(
         r.reexec_rate() < 0.05,
@@ -93,8 +97,12 @@ fn table1_baseline_forwards_from_store_queue() {
     asm.halt();
     let prog = asm.finish();
     let r = simulate(&prog, SimConfig::baseline_perfect(100_000));
-    assert!(r.sq_forwards > 600, "forwards {}", r.sq_forwards);
-    assert_eq!(r.ordering_squashes, 0);
+    assert!(
+        r.memory.sq_forwards > 600,
+        "forwards {}",
+        r.memory.sq_forwards
+    );
+    assert_eq!(r.verification.ordering_squashes, 0);
     assert!(
         r.reexec_rate() < 0.05,
         "re-execution rate {}",
@@ -123,10 +131,10 @@ fn nosq_has_no_store_queue_capacity_stalls() {
     let base_r = simulate(&prog, SimConfig::baseline_perfect(100_000));
     let nosq_r = simulate(&prog, SimConfig::nosq(100_000));
     assert!(
-        base_r.sq_dispatch_stalls > 0,
+        base_r.stalls.sq_dispatch_stalls > 0,
         "expected SQ capacity stalls in the baseline"
     );
-    assert_eq!(nosq_r.sq_dispatch_stalls, 0);
+    assert_eq!(nosq_r.stalls.sq_dispatch_stalls, 0);
     // Commit bandwidth (one store per cycle) bounds both designs here;
     // NoSQ must stay within its longer back-end drain of the baseline.
     assert!(
@@ -146,10 +154,10 @@ fn bypassing_does_not_increase_register_stalls() {
     let base = simulate(&program, SimConfig::baseline_storesets(40_000));
     let nosq = simulate(&program, SimConfig::nosq(40_000));
     assert!(
-        nosq.reg_dispatch_stalls <= base.reg_dispatch_stalls + 1_000,
+        nosq.stalls.reg_dispatch_stalls <= base.stalls.reg_dispatch_stalls + 1_000,
         "nosq {} vs baseline {}",
-        nosq.reg_dispatch_stalls,
-        base.reg_dispatch_stalls
+        nosq.stalls.reg_dispatch_stalls,
+        base.stalls.reg_dispatch_stalls
     );
 }
 
@@ -158,7 +166,10 @@ fn bypassing_does_not_increase_register_stalls() {
 #[test]
 fn shift_mask_only_for_partial_word() {
     let full = simulate(&spill_loop(1_000), SimConfig::nosq(100_000));
-    assert_eq!(full.shift_mask_uops, 0, "full-word bypass needs no uop");
+    assert_eq!(
+        full.memory.shift_mask_uops, 0,
+        "full-word bypass needs no uop"
+    );
 
     let mut asm = Assembler::new();
     let (base, c, v, t, i) = (
@@ -183,11 +194,14 @@ fn shift_mask_only_for_partial_word() {
     asm.halt();
     let partial = simulate(&asm.finish(), SimConfig::nosq(100_000));
     assert!(
-        partial.shift_mask_uops > 800,
+        partial.memory.shift_mask_uops > 800,
         "uops {}",
-        partial.shift_mask_uops
+        partial.memory.shift_mask_uops
     );
-    assert_eq!(partial.shift_mask_uops, partial.bypassed_loads);
+    assert_eq!(
+        partial.memory.shift_mask_uops,
+        partial.memory.bypassed_loads
+    );
 }
 
 /// §2: SSN wrap-around drains the pipeline and clears SSN-holding
@@ -200,11 +214,11 @@ fn ssn_wraparound_is_architecturally_invisible() {
     let wrapped = simulate(&prog, wrap_cfg);
     let normal = simulate(&prog, SimConfig::nosq(100_000));
     assert!(
-        wrapped.ssn_wrap_drains >= 10,
+        wrapped.verification.ssn_wrap_drains >= 10,
         "drains {}",
-        wrapped.ssn_wrap_drains
+        wrapped.verification.ssn_wrap_drains
     );
     assert_eq!(wrapped.insts, normal.insts);
-    assert_eq!(wrapped.loads, normal.loads);
+    assert_eq!(wrapped.memory.loads, normal.memory.loads);
     assert!(wrapped.cycles >= normal.cycles);
 }

@@ -83,7 +83,10 @@ fn float_profiles_exercise_float_conversion() {
     let p = Profile::by_name("mesa.o").unwrap();
     let program = synthesize(p, 42);
     let r = simulate(&program, SimConfig::nosq(30_000));
-    assert!(r.shift_mask_uops > 0, "expected partial-word bypasses");
+    assert!(
+        r.memory.shift_mask_uops > 0,
+        "expected partial-word bypasses"
+    );
 }
 
 /// Different seeds produce different programs but the same calibration.

@@ -1,6 +1,6 @@
 //! Shared helpers for the NoSQ integration tests.
 
-use nosq_core::{simulate, SimConfig, SimResult};
+use nosq_core::{simulate, SimConfig, SimReport};
 use nosq_isa::Program;
 
 /// The five configurations of the paper's evaluation.
@@ -18,7 +18,7 @@ pub fn all_configs(max_insts: u64) -> Vec<(&'static str, SimConfig)> {
 }
 
 /// Runs a program through all five configurations.
-pub fn run_all(program: &Program, max_insts: u64) -> Vec<(&'static str, SimResult)> {
+pub fn run_all(program: &Program, max_insts: u64) -> Vec<(&'static str, SimReport)> {
     all_configs(max_insts)
         .into_iter()
         .map(|(name, cfg)| (name, simulate(program, cfg)))
