@@ -6,9 +6,10 @@
 //! (ii) NoSQ without delay, (iii) NoSQ with delay, (iv) perfect SMB.
 
 use nosq_bench::{
-    all_profiles, dyn_insts, json_escape, parallel_over_profiles, rel_time, suite_geomeans,
-    write_artifact, SuiteTable,
+    all_profiles, dyn_insts, parallel_over_profiles, rel_time, suite_geomeans, write_artifact,
+    SuiteTable,
 };
+use nosq_core::ser::{JsonArray, JsonObject};
 use nosq_core::{simulate, SimConfig, SimReport};
 use nosq_trace::Profile;
 
@@ -45,19 +46,14 @@ fn run_all(p: &'static Profile, n: u64) -> Row {
 /// per-configuration reports, and one CSV with a row per
 /// (benchmark, configuration) pair.
 fn write_artifacts(rows: &[Row]) {
-    let mut json = String::from("[");
+    let mut json = JsonArray::new();
     let mut csv = format!("benchmark,config,{}\n", SimReport::csv_header());
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!(
-            "{{\"benchmark\":\"{}\",\"suite\":\"{}\"",
-            json_escape(r.profile.name),
-            r.profile.suite
-        ));
+    for r in rows {
+        let mut obj = JsonObject::new();
+        obj.field_str("benchmark", r.profile.name)
+            .field_str("suite", &r.profile.suite.to_string());
         for (name, report) in CONFIG_NAMES.iter().zip(&r.reports) {
-            json.push_str(&format!(",\"{}\":{}", json_escape(name), report.to_json()));
+            obj.field_raw(name, &report.to_json());
             csv.push_str(&format!(
                 "{},{},{}\n",
                 r.profile.name,
@@ -65,10 +61,9 @@ fn write_artifacts(rows: &[Row]) {
                 report.to_csv_row()
             ));
         }
-        json.push('}');
+        json.push_raw(&obj.finish());
     }
-    json.push(']');
-    write_artifact("fig2_window128.json", &json);
+    write_artifact("fig2_window128.json", &json.finish());
     write_artifact("fig2_window128.csv", &csv);
 }
 

@@ -6,9 +6,14 @@
 //! Values are execution time relative to the ideal baseline, so lower is
 //! better; the paper finds the default 2K-entry/8-bit predictor within a
 //! hair of unbounded size, with SPECint losing ~4% at 512 entries.
+//!
+//! The whole sweep is one `nosq-lab` campaign — 16 configurations ×
+//! the selected profiles — sharded by the engine's lock-free executor;
+//! this harness only formats the resulting matrix.
 
-use nosq_bench::{dyn_insts, parallel_over_profiles, rel_time, suite_geomeans, SuiteTable};
-use nosq_core::{simulate, PredictorConfig, SimConfig};
+use nosq_bench::{dyn_insts, rel_time, suite_geomeans, SuiteTable};
+use nosq_core::{PredictorConfig, SimConfig};
+use nosq_lab::{run_campaign, Campaign, RunOptions};
 use nosq_trace::Profile;
 
 const CAPACITIES: [usize; 4] = [512, 1024, 2048, 4096];
@@ -21,45 +26,76 @@ struct Row {
     nd_by_history: Vec<f64>, // no-delay mis/10k per history setting
 }
 
+/// The Figure-5 grid as one campaign: the ideal baseline, the capacity
+/// sweep, the history sweep, and the no-delay history sweep (the delay
+/// mechanism masks history starvation in execution time — starved loads
+/// park instead of squashing — so the underlying accuracy is reported
+/// from the no-delay runs).
+fn campaign(n: u64) -> Campaign {
+    let nosq_with =
+        |pred: PredictorConfig| SimConfig::nosq(n).into_builder().predictor(pred).build();
+    let mut b = Campaign::builder("fig5_sensitivity")
+        .selected_profiles()
+        .max_insts(n)
+        .baseline("ideal")
+        .config("ideal", SimConfig::baseline_perfect(n));
+    for c in CAPACITIES {
+        b = b.config(
+            format!("cap{c}"),
+            nosq_with(PredictorConfig::with_capacity(c)),
+        );
+    }
+    b = b.config("capInf", nosq_with(PredictorConfig::unbounded()));
+    for h in HISTORIES {
+        b = b.config(
+            format!("hist{h}"),
+            nosq_with(PredictorConfig::with_history_bits(h)),
+        );
+        b = b.config(
+            format!("nd-hist{h}"),
+            SimConfig::nosq_no_delay(n)
+                .into_builder()
+                .predictor(PredictorConfig::with_history_bits(h))
+                .build(),
+        );
+    }
+    b.build()
+        .expect("the Figure-5 campaign is statically valid")
+}
+
 fn main() {
     let n = dyn_insts();
-    let profiles = Profile::selected();
-    let rows = parallel_over_profiles(&profiles, |p| {
-        let program = nosq_bench::workload(p);
-        let ideal = simulate(&program, SimConfig::baseline_perfect(n));
-        let run_with = |pred: PredictorConfig| {
-            let cfg = SimConfig::nosq(n).into_builder().predictor(pred).build();
-            rel_time(&simulate(&program, cfg), &ideal)
-        };
-        let mut by_capacity: Vec<f64> = CAPACITIES
-            .iter()
-            .map(|&c| run_with(PredictorConfig::with_capacity(c)))
-            .collect();
-        by_capacity.push(run_with(PredictorConfig::unbounded()));
-        let by_history = HISTORIES
-            .iter()
-            .map(|&h| run_with(PredictorConfig::with_history_bits(h)))
-            .collect();
-        // The delay mechanism masks history starvation in execution time
-        // (starved loads park instead of squashing), so also report the
-        // underlying no-delay accuracy, where the sensitivity is visible.
-        let nd_by_history = HISTORIES
-            .iter()
-            .map(|&h| {
-                let cfg = SimConfig::nosq_no_delay(n)
-                    .into_builder()
-                    .predictor(PredictorConfig::with_history_bits(h))
-                    .build();
-                simulate(&program, cfg).mispredicts_per_10k_loads()
-            })
-            .collect();
-        Row {
-            profile: p,
-            by_capacity,
-            by_history,
-            nd_by_history,
-        }
-    });
+    let campaign = campaign(n);
+    let result = run_campaign(&campaign, &RunOptions::default());
+
+    let at = |name: &str| campaign.config_index(name).expect("config exists");
+    let ideal = at("ideal");
+    let rows: Vec<Row> = campaign
+        .profiles
+        .iter()
+        .enumerate()
+        .map(|(p, profile)| {
+            let rel = |name: &str| rel_time(result.report(p, at(name)), result.report(p, ideal));
+            let mut by_capacity: Vec<f64> =
+                CAPACITIES.iter().map(|c| rel(&format!("cap{c}"))).collect();
+            by_capacity.push(rel("capInf"));
+            let by_history = HISTORIES.iter().map(|h| rel(&format!("hist{h}"))).collect();
+            let nd_by_history = HISTORIES
+                .iter()
+                .map(|h| {
+                    result
+                        .report(p, at(&format!("nd-hist{h}")))
+                        .mispredicts_per_10k_loads()
+                })
+                .collect();
+            Row {
+                profile,
+                by_capacity,
+                by_history,
+                nd_by_history,
+            }
+        })
+        .collect();
 
     let mut cap_table = SuiteTable::new(format!(
         "{:<9} | {:>7} {:>7} {:>7} {:>7} {:>7}   (capacity sweep; relative execution time)",

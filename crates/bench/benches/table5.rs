@@ -5,68 +5,19 @@
 //! 128-instruction window. Right half (mis-predictions per 10k loads, no
 //! delay vs delay, and % loads delayed): measured by simulating the NoSQ
 //! configurations. The paper's numbers are printed alongside.
+//!
+//! The sweep itself runs through the `nosq-lab` campaign engine (the
+//! same grid the `nosq table5` CLI command runs); this harness only
+//! formats the rows next to the paper's columns.
 
-use nosq_bench::{
-    all_profiles, dyn_insts, json_escape, parallel_over_profiles, workload, write_artifact,
-    SuiteTable,
-};
-use nosq_core::{simulate, SimConfig, SimReport};
-use nosq_trace::analyze_program;
-
-struct Row {
-    profile: &'static nosq_trace::Profile,
-    comm: f64,
-    partial: f64,
-    nd: f64,
-    d: f64,
-    delayed: f64,
-    nd_report: SimReport,
-    d_report: SimReport,
-}
-
-/// `NOSQ_ARTIFACT_DIR` artifact: the full NoSQ reports (with and
-/// without delay) per benchmark, serialized through
-/// [`SimReport::to_json`].
-fn write_json(rows: &[Row]) {
-    let mut json = String::from("[");
-    for (i, r) in rows.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!(
-            "{{\"benchmark\":\"{}\",\"suite\":\"{}\",\"comm_pct\":{:.4},\"partial_pct\":{:.4},\
-             \"nosq_no_delay\":{},\"nosq_delay\":{}}}",
-            json_escape(r.profile.name),
-            r.profile.suite,
-            r.comm,
-            r.partial,
-            r.nd_report.to_json(),
-            r.d_report.to_json(),
-        ));
-    }
-    json.push(']');
-    write_artifact("table5.json", &json);
-}
+use nosq_bench::{dyn_insts, write_artifact, SuiteTable};
+use nosq_lab::reports::{table5, table5_json};
+use nosq_lab::RunOptions;
 
 fn main() {
     let n = dyn_insts();
-    let profiles = all_profiles();
-    let rows: Vec<Row> = parallel_over_profiles(&profiles, |p| {
-        let program = workload(p);
-        let comm = analyze_program(&program, n, 128);
-        let nd = simulate(&program, SimConfig::nosq_no_delay(n));
-        let d = simulate(&program, SimConfig::nosq(n));
-        Row {
-            profile: p,
-            comm: comm.comm_pct(),
-            partial: comm.partial_pct(),
-            nd: nd.mispredicts_per_10k_loads(),
-            d: d.mispredicts_per_10k_loads(),
-            delayed: d.delayed_pct(),
-            nd_report: nd,
-            d_report: d,
-        }
-    });
+    let (rows, _result) = table5(n, &RunOptions::default())
+        .unwrap_or_else(|e| panic!("invalid NOSQ_DYN_INSTS budget {n}: {e}"));
 
     let mut table = SuiteTable::new(format!(
         "{:<9} | {:>6} {:>6} | {:>6} {:>6} | {:>7} {:>7} | {:>7} {:>7} | {:>6} {:>6}",
@@ -89,46 +40,46 @@ fn main() {
             format!(
                 "{:<9} | {:>6.1} {:>6.1} | {:>6.1} {:>6.1} | {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {:>6.1} {:>6.1}",
                 p.name,
-                r.comm,
+                r.comm_pct,
                 p.comm_pct,
-                r.partial,
+                r.partial_pct,
                 p.partial_pct,
-                r.nd,
+                r.no_delay.mispredicts_per_10k_loads(),
                 p.mispred_no_delay,
-                r.d,
+                r.delay.mispredicts_per_10k_loads(),
                 p.mispred_delay,
-                r.delayed,
+                r.delay.delayed_pct(),
                 p.delayed_pct
             ),
         );
     }
     let summaries: Vec<_> = nosq_trace::Suite::all()
         .into_iter()
-    .map(|suite| {
-        let in_suite: Vec<&Row> = rows.iter().filter(|r| r.profile.suite == suite).collect();
-        let mean = |f: &dyn Fn(&Row) -> f64| {
-            in_suite.iter().map(|r| f(r)).sum::<f64>() / in_suite.len() as f64
-        };
-        (
-            suite,
-            format!(
-                "{:<9} | {:>6.1} {:>6} | {:>6.1} {:>6} | {:>7.1} {:>7} | {:>7.1} {:>7} | {:>6.1} {:>6}",
-                format!("{suite}.avg"),
-                mean(&|r| r.comm),
-                "",
-                mean(&|r| r.partial),
-                "",
-                mean(&|r| r.nd),
-                "",
-                mean(&|r| r.d),
-                "",
-                mean(&|r| r.delayed),
-                ""
-            ),
-        )
-    })
-    .collect();
+        .map(|suite| {
+            let in_suite: Vec<_> = rows.iter().filter(|r| r.profile.suite == suite).collect();
+            let mean = |f: &dyn Fn(&nosq_lab::reports::Table5Row) -> f64| {
+                in_suite.iter().map(|r| f(r)).sum::<f64>() / in_suite.len() as f64
+            };
+            (
+                suite,
+                format!(
+                    "{:<9} | {:>6.1} {:>6} | {:>6.1} {:>6} | {:>7.1} {:>7} | {:>7.1} {:>7} | {:>6.1} {:>6}",
+                    format!("{suite}.avg"),
+                    mean(&|r| r.comm_pct),
+                    "",
+                    mean(&|r| r.partial_pct),
+                    "",
+                    mean(&|r| r.no_delay.mispredicts_per_10k_loads()),
+                    "",
+                    mean(&|r| r.delay.mispredicts_per_10k_loads()),
+                    "",
+                    mean(&|r| r.delay.delayed_pct()),
+                    ""
+                ),
+            )
+        })
+        .collect();
     table.print(&summaries);
-    write_json(&rows);
+    write_artifact("table5.json", &table5_json(&rows));
     println!("(measured at {n} dynamic instructions per run; paper columns from Table 5)");
 }

@@ -18,15 +18,15 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
 use nosq_core::{simulate, SimConfig, SimReport};
 use nosq_isa::Program;
 use nosq_trace::{synthesize, Profile, Suite};
 
 /// Workload seed shared by all harnesses (results are deterministic).
-pub const SEED: u64 = 42;
+/// Tied to the campaign engine's default so bench-driven and
+/// engine-driven figures always measure the same synthesized workloads.
+pub const SEED: u64 = nosq_lab::DEFAULT_SEED;
 
 /// Dynamic instructions per simulation (`NOSQ_DYN_INSTS`, default 150k).
 pub fn dyn_insts() -> u64 {
@@ -71,39 +71,15 @@ pub fn rel_time(r: &SimReport, reference: &SimReport) -> f64 {
 }
 
 /// Maps each profile through `f` in parallel (profiles are
-/// independent). Work is distributed dynamically through an atomic
-/// cursor; each result lands in its own pre-allocated [`OnceLock`]
-/// slot, so no thread ever serializes on a shared collection lock.
+/// independent). Backed by the `nosq-lab` executor: a lock-free
+/// atomic-cursor job pickup with per-worker result buffers, merged back
+/// into profile order — no mutex, no per-slot cells.
 pub fn parallel_over_profiles<T, F>(profiles: &[&'static Profile], f: F) -> Vec<T>
 where
-    T: Send + Sync,
+    T: Send,
     F: Fn(&'static Profile) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(profiles.len().max(1));
-    if threads <= 1 {
-        return profiles.iter().map(|p| f(p)).collect();
-    }
-    let slots: Vec<OnceLock<T>> = (0..profiles.len()).map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= profiles.len() {
-                    break;
-                }
-                let value = f(profiles[i]);
-                assert!(slots[i].set(value).is_ok(), "slot {i} filled twice");
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every index filled"))
-        .collect()
+    nosq_lab::parallel_map_indexed(profiles.len(), 0, |i| f(profiles[i]))
 }
 
 /// All profiles, as static references.
@@ -132,23 +108,6 @@ pub fn write_artifact(file_name: &str, contents: &str) -> Option<PathBuf> {
     std::fs::write(&path, contents).expect("write artifact");
     println!("(wrote {})", path.display());
     Some(path)
-}
-
-/// Escapes a string for inclusion in a JSON string literal.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 /// Formats a suite-grouped table: prints a separator and a per-suite
@@ -264,12 +223,5 @@ mod tests {
         assert!(g
             .iter()
             .any(|(s, v)| *s == Suite::SpecFp && (*v - 8.0).abs() < 1e-12));
-    }
-
-    #[test]
-    fn json_escape_handles_specials() {
-        assert_eq!(json_escape("plain.name"), "plain.name");
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

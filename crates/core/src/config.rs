@@ -4,6 +4,85 @@ use nosq_uarch::MachineConfig;
 
 use crate::predictor::PredictorConfig;
 
+/// Why a [`SimConfigBuilder::try_build`] rejected a configuration.
+///
+/// The simulator's structures index with power-of-two set counts and
+/// treat zero-sized resources as deadlock, so a degenerate machine
+/// either panics deep inside the pipeline or silently models different
+/// hardware than requested. `try_build` surfaces both classes up front.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A machine resource that must be non-zero is zero.
+    ZeroResource(&'static str),
+    /// A set-associative table's geometry is inconsistent (`ways == 0`,
+    /// `ways > entries`, or `entries` not divisible by `ways`).
+    TableGeometry {
+        /// Which table.
+        table: &'static str,
+        /// Configured total entries.
+        entries: usize,
+        /// Configured associativity.
+        ways: usize,
+    },
+    /// A set-associative table's set count is not a power of two. The
+    /// indexing functions mask/round to powers of two, so a
+    /// non-power-of-two request silently models a larger table.
+    NonPowerOfTwoSets {
+        /// Which table.
+        table: &'static str,
+        /// The implied (non-power-of-two) set count.
+        sets: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroResource(what) => {
+                write!(f, "machine resource `{what}` must be non-zero")
+            }
+            ConfigError::TableGeometry {
+                table,
+                entries,
+                ways,
+            } => write!(
+                f,
+                "{table}: invalid geometry ({entries} entries, {ways} ways); \
+                 ways must be in 1..=entries and divide entries evenly"
+            ),
+            ConfigError::NonPowerOfTwoSets { table, sets } => write!(
+                f,
+                "{table}: {sets} sets is not a power of two; indexing assumes \
+                 power-of-two set counts, so the modelled capacity would differ \
+                 from the requested one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checks one set-associative table's geometry: consistent ways and a
+/// power-of-two set count (the indexing assumption shared by the
+/// bypassing predictor, BTB, and DTLB).
+fn check_table(table: &'static str, entries: usize, ways: usize) -> Result<(), ConfigError> {
+    if entries == 0 {
+        return Err(ConfigError::ZeroResource(table));
+    }
+    if ways == 0 || ways > entries || !entries.is_multiple_of(ways) {
+        return Err(ConfigError::TableGeometry {
+            table,
+            entries,
+            ways,
+        });
+    }
+    let sets = entries / ways;
+    if !sets.is_power_of_two() {
+        return Err(ConfigError::NonPowerOfTwoSets { table, sets });
+    }
+    Ok(())
+}
+
 /// Baseline load-scheduling policy (paper §4.3).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Scheduling {
@@ -141,6 +220,36 @@ impl SimConfig {
     pub fn with_window256(self) -> SimConfig {
         self.into_builder().window256().build()
     }
+
+    /// Validates this configuration against the simulator's structural
+    /// assumptions; see [`ConfigError`] for what is rejected. The paper
+    /// presets always validate.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let m = &self.machine;
+        for (what, value) in [
+            ("max_insts", self.max_insts as usize),
+            ("width", m.width),
+            ("rob_size", m.rob_size),
+            ("iq_size", m.iq_size),
+            ("lq_size", m.lq_size),
+            ("phys_regs", m.phys_regs),
+            ("ssn_bits", m.ssn_bits as usize),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroResource(what));
+            }
+        }
+        if matches!(self.lsu, LsuModel::BaselineSq { .. }) && m.sq_size == 0 {
+            return Err(ConfigError::ZeroResource("sq_size"));
+        }
+        check_table("btb", m.btb_entries, m.btb_ways)?;
+        check_table("dtlb", m.dtlb_entries, m.dtlb_ways)?;
+        let p = &self.predictor;
+        if self.lsu.is_nosq() && !p.unbounded {
+            check_table("bypassing predictor", p.entries_per_table, p.ways)?;
+        }
+        Ok(())
+    }
 }
 
 /// Fluent builder for [`SimConfig`], replacing ad-hoc preset mutation.
@@ -194,9 +303,31 @@ impl SimConfigBuilder {
         self.machine(MachineConfig::paper_window256())
     }
 
+    /// Finishes the configuration, validating it first.
+    ///
+    /// Rejects degenerate machines — zero-sized window resources or
+    /// instruction budget, zero-entry predictor tables, and
+    /// non-power-of-two set counts where the indexing assumes powers of
+    /// two; see [`ConfigError`].
+    pub fn try_build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
     /// Finishes the configuration.
+    ///
+    /// Forwards to [`try_build`](Self::try_build) and panics on a
+    /// validation error; use `try_build` to handle invalid
+    /// configurations gracefully.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
     pub fn build(self) -> SimConfig {
-        self.cfg
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("invalid SimConfig: {e}"),
+        }
     }
 }
 
@@ -258,5 +389,103 @@ mod tests {
     fn builder_window_toggles_are_inverse() {
         let cfg = SimConfig::builder().window256().window128().build();
         assert_eq!(cfg.machine.rob_size, SimConfig::nosq(1).machine.rob_size);
+    }
+
+    #[test]
+    fn paper_presets_validate() {
+        for cfg in [
+            SimConfig::baseline_perfect(1),
+            SimConfig::baseline_storesets(1),
+            SimConfig::nosq_no_delay(1),
+            SimConfig::nosq(1),
+            SimConfig::perfect_smb(1),
+            SimConfig::nosq(1).with_window256(),
+        ] {
+            assert_eq!(cfg.validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_zero_resources() {
+        let mut machine = MachineConfig::paper_default();
+        machine.rob_size = 0;
+        let err = SimConfig::builder().machine(machine).try_build().err();
+        assert_eq!(err, Some(ConfigError::ZeroResource("rob_size")));
+        let err = SimConfig::builder().max_insts(0).try_build().err();
+        assert_eq!(err, Some(ConfigError::ZeroResource("max_insts")));
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_predictors() {
+        let zero = PredictorConfig {
+            entries_per_table: 0,
+            ..PredictorConfig::paper_default()
+        };
+        assert_eq!(
+            SimConfig::builder().predictor(zero).try_build().err(),
+            Some(ConfigError::ZeroResource("bypassing predictor"))
+        );
+        let lopsided = PredictorConfig {
+            entries_per_table: 1000, // 250 sets: not a power of two
+            ..PredictorConfig::paper_default()
+        };
+        assert_eq!(
+            SimConfig::builder().predictor(lopsided).try_build().err(),
+            Some(ConfigError::NonPowerOfTwoSets {
+                table: "bypassing predictor",
+                sets: 250
+            })
+        );
+        let no_ways = PredictorConfig {
+            ways: 0,
+            ..PredictorConfig::paper_default()
+        };
+        assert!(matches!(
+            SimConfig::builder().predictor(no_ways).try_build(),
+            Err(ConfigError::TableGeometry { .. })
+        ));
+        // The unbounded predictor ignores capacity, and the baseline SQ
+        // models never consult the predictor tables at all.
+        let unbounded = PredictorConfig {
+            entries_per_table: 0,
+            unbounded: true,
+            ..PredictorConfig::paper_default()
+        };
+        assert!(SimConfig::builder()
+            .predictor(unbounded)
+            .try_build()
+            .is_ok());
+        assert!(SimConfig::baseline_storesets(1)
+            .into_builder()
+            .predictor(zero)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn build_panics_on_invalid_config() {
+        let r = std::panic::catch_unwind(|| SimConfig::builder().max_insts(0).build());
+        assert!(r.is_err(), "build() must forward try_build's rejection");
+    }
+
+    #[test]
+    fn config_errors_render() {
+        let msgs = [
+            ConfigError::ZeroResource("rob_size").to_string(),
+            ConfigError::TableGeometry {
+                table: "btb",
+                entries: 7,
+                ways: 3,
+            }
+            .to_string(),
+            ConfigError::NonPowerOfTwoSets {
+                table: "dtlb",
+                sets: 12,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("rob_size"));
+        assert!(msgs[1].contains("btb") && msgs[1].contains("7"));
+        assert!(msgs[2].contains("power of two"));
     }
 }

@@ -23,8 +23,12 @@
 //!   associative-store-queue design, NoSQ (± delay), and perfect SMB
 //!   (§4's configurations), exposed as an incremental *session* API,
 //! * [`observer`] — pluggable instrumentation hooks for sessions,
-//! * [`config`] / [`report`] — fluent run configuration and structured
-//!   result metrics with JSON/CSV serialization.
+//! * [`config`] / [`report`] — fluent run configuration (with validated
+//!   [`SimConfigBuilder::try_build`]) and structured result metrics with
+//!   JSON/CSV serialization,
+//! * [`ser`] — the tiny hand-rolled JSON/CSV writers shared by every
+//!   artifact emitter in the workspace (this crate's [`SimReport`], the
+//!   `nosq-bench` harnesses, and the `nosq-lab` campaign engine).
 //!
 //! ## One-shot quick start
 //!
@@ -102,9 +106,10 @@ pub mod observer;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
+pub mod ser;
 pub mod srq;
 
-pub use config::{LsuModel, Scheduling, SimConfig, SimConfigBuilder};
+pub use config::{ConfigError, LsuModel, Scheduling, SimConfig, SimConfigBuilder};
 pub use observer::{
     BypassEvent, CommitEvent, CycleEvent, ReexecEvent, SimObserver, SquashCause, SquashEvent,
 };

@@ -7,7 +7,10 @@
 //! top-level `cycles`/`insts` pair. All counters are exact, so `Eq`
 //! compares two runs bit-for-bit (the determinism regression suite relies
 //! on this). [`SimReport::to_json`] and [`SimReport::to_csv_row`] emit
-//! machine-readable artifacts without any external serialization crate.
+//! machine-readable artifacts through the shared [`crate::ser`] writers,
+//! without any external serialization crate.
+
+use crate::ser::{csv_row, JsonObject};
 
 /// Front-end (fetch / branch prediction) counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -233,23 +236,17 @@ impl SimReport {
 
     /// Encodes the report as a self-contained JSON object: the counter
     /// groups nested as sub-objects plus a `derived` object with the
-    /// [floating-point metrics](Self::ipc). All values are finite, so
-    /// the output is always valid JSON.
+    /// [floating-point metrics](Self::ipc). Built on the shared
+    /// [`crate::ser`] writers, so the output is always valid JSON.
     pub fn to_json(&self) -> String {
         let counters = self.counters();
-        let mut out = String::with_capacity(1024);
-        out.push('{');
+        let mut obj = JsonObject::new();
         // Top-level (empty-group) counters first, then each group as a
         // nested object in order of first appearance — independent of
         // how `counters()` interleaves them.
-        let mut first = true;
         for &(group, name, value) in &counters {
             if group.is_empty() {
-                if !first {
-                    out.push(',');
-                }
-                first = false;
-                out.push_str(&format!("\"{name}\":{value}"));
+                obj.field_u64(name, value);
             }
         }
         let mut groups: Vec<&str> = Vec::new();
@@ -259,44 +256,33 @@ impl SimReport {
             }
         }
         for group in groups {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!("\"{group}\":{{"));
-            let mut first_in_group = true;
+            let mut nested = JsonObject::new();
             for &(g, name, value) in &counters {
                 if g == group {
-                    if !first_in_group {
-                        out.push(',');
-                    }
-                    first_in_group = false;
-                    out.push_str(&format!("\"{name}\":{value}"));
+                    nested.field_u64(name, value);
                 }
             }
-            out.push('}');
+            obj.field_raw(group, &nested.finish());
         }
-        if !first {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\"derived\":{{\"ipc\":{:.6},\"bypassed_pct\":{:.6},\"delayed_pct\":{:.6},\
-             \"mispredicts_per_10k_loads\":{:.6},\"reexec_rate\":{:.6},\"dcache_reads\":{}}}",
-            self.ipc(),
-            self.bypassed_pct(),
-            self.delayed_pct(),
-            self.mispredicts_per_10k_loads(),
-            self.reexec_rate(),
-            self.dcache_reads(),
-        ));
-        out.push('}');
-        out
+        let mut derived = JsonObject::new();
+        derived
+            .field_f64("ipc", self.ipc())
+            .field_f64("bypassed_pct", self.bypassed_pct())
+            .field_f64("delayed_pct", self.delayed_pct())
+            .field_f64(
+                "mispredicts_per_10k_loads",
+                self.mispredicts_per_10k_loads(),
+            )
+            .field_f64("reexec_rate", self.reexec_rate())
+            .field_u64("dcache_reads", self.dcache_reads());
+        obj.field_raw("derived", &derived.finish());
+        obj.finish()
     }
 
     /// The CSV header matching [`Self::to_csv_row`]: dotted
     /// `group.name` column names in the stable counter order.
     pub fn csv_header() -> String {
-        COUNTER_FIELDS
+        let cells: Vec<String> = COUNTER_FIELDS
             .iter()
             .map(|&(group, name, _)| {
                 if group.is_empty() {
@@ -305,18 +291,18 @@ impl SimReport {
                     format!("{group}.{name}")
                 }
             })
-            .collect::<Vec<_>>()
-            .join(",")
+            .collect();
+        csv_row(&cells)
     }
 
     /// Encodes the counters as one CSV row in [`Self::csv_header`]'s
     /// column order.
     pub fn to_csv_row(&self) -> String {
-        COUNTER_FIELDS
+        let cells: Vec<String> = COUNTER_FIELDS
             .iter()
             .map(|&(_, _, get)| get(self).to_string())
-            .collect::<Vec<_>>()
-            .join(",")
+            .collect();
+        csv_row(&cells)
     }
 }
 

@@ -1,0 +1,227 @@
+//! Tiny hand-rolled serialization helpers shared by every artifact
+//! emitter in the workspace.
+//!
+//! The build environment has no crates.io access, so there is no serde;
+//! instead [`SimReport`](crate::SimReport), the bench harnesses, and the
+//! `nosq-lab` campaign engine all emit JSON/CSV through the writers in
+//! this module. Centralizing the escaping and row-building rules here
+//! keeps every artifact byte-deterministic and structurally valid — the
+//! escaping corner cases live in exactly one place.
+//!
+//! ```
+//! use nosq_core::ser::{csv_row, JsonObject};
+//!
+//! let mut obj = JsonObject::new();
+//! obj.field_str("benchmark", "gcc \"expr\"");
+//! obj.field_u64("cycles", 1024);
+//! obj.field_f64("ipc", 1.5);
+//! assert_eq!(
+//!     obj.finish(),
+//!     r#"{"benchmark":"gcc \"expr\"","cycles":1024,"ipc":1.500000}"#
+//! );
+//! assert_eq!(csv_row(&["a,b".into(), "1".into()]), "\"a,b\",1");
+//! ```
+
+/// Escapes a string for inclusion in a JSON string literal (without the
+/// surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float for JSON with six fractional digits. Non-finite
+/// values (which JSON cannot represent) become `null`, never `NaN`/`inf`
+/// garbage in the output.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Incremental JSON object writer: append fields, then
+/// [`finish`](JsonObject::finish). Comma placement is handled
+/// internally, so the output never contains `{,` / `,}` separators.
+#[derive(Clone, Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, name: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(name));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a float field via [`json_f64`].
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&json_f64(value));
+        self
+    }
+
+    /// Appends an escaped string field.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends a pre-serialized JSON value verbatim (a nested object,
+    /// array, or literal).
+    pub fn field_raw(&mut self, name: &str, raw: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Closes the object and returns the serialized text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental JSON array writer, the sibling of [`JsonObject`].
+#[derive(Clone, Debug, Default)]
+pub struct JsonArray {
+    buf: String,
+    any: bool,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> JsonArray {
+        JsonArray::default()
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+    }
+
+    /// Appends a pre-serialized JSON value verbatim.
+    pub fn push_raw(&mut self, raw: &str) -> &mut Self {
+        self.sep();
+        self.buf.push_str(raw);
+        self
+    }
+
+    /// Appends an escaped string element.
+    pub fn push_str(&mut self, value: &str) -> &mut Self {
+        self.sep();
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Closes the array and returns the serialized text.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+/// Quotes a CSV cell when (and only when) it needs quoting — embedded
+/// commas, double quotes, or newlines — doubling interior quotes per
+/// RFC 4180.
+pub fn csv_field(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
+    }
+}
+
+/// Joins cells into one CSV row (no trailing newline), quoting each
+/// through [`csv_field`].
+pub fn csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| csv_field(c))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain.name"), "plain.name");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_f64_never_emits_nonfinite() {
+        assert_eq!(json_f64(1.25), "1.250000");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_writer_places_commas() {
+        let mut o = JsonObject::new();
+        assert_eq!(o.clone().finish(), "{}");
+        o.field_u64("a", 1).field_str("b", "x").field_f64("c", 0.5);
+        o.field_raw("d", "[1,2]");
+        assert_eq!(
+            o.finish(),
+            "{\"a\":1,\"b\":\"x\",\"c\":0.500000,\"d\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn array_writer_places_commas() {
+        let mut a = JsonArray::new();
+        assert_eq!(a.clone().finish(), "[]");
+        a.push_raw("1").push_str("two").push_raw("{}");
+        assert_eq!(a.finish(), "[1,\"two\",{}]");
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(
+            csv_row(&["x".into(), "1,2".into(), "3".into()]),
+            "x,\"1,2\",3"
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Aggregation of campaign results into comparative artifacts.
+//!
+//! A [`CampaignResult`] flattens into a deterministic set of
+//! machine-readable files built on the shared [`nosq_core::ser`]
+//! writers:
+//!
+//! * `<name>.matrix.csv` — one row per (benchmark, configuration) with
+//!   every [`SimReport`] counter column,
+//! * `<name>.matrix.json` — the same matrix with nested reports,
+//! * `<name>.summary.json` — per-configuration IPC geomeans (overall
+//!   and per suite) plus, when the campaign names a baseline,
+//!   relative-execution-time geomeans against it,
+//! * `<name>.speedup.csv` — per-benchmark relative execution time per
+//!   configuration (baseline campaigns only).
+//!
+//! Artifact bytes depend only on the campaign definition and the
+//! simulation results, never on thread count or timing.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use nosq_core::ser::{csv_row, json_f64, JsonArray, JsonObject};
+use nosq_core::{geometric_mean, SimReport};
+use nosq_trace::Suite;
+
+use crate::executor::CampaignResult;
+
+/// One named artifact file (contents already serialized).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Artifact {
+    /// File name (campaign-prefixed, extension included).
+    pub file_name: String,
+    /// Full file contents.
+    pub contents: String,
+}
+
+/// Builds every artifact for a campaign result, in a stable order.
+pub fn artifacts(result: &CampaignResult) -> Vec<Artifact> {
+    let mut out = vec![
+        Artifact {
+            file_name: format!("{}.matrix.csv", result.campaign.name),
+            contents: matrix_csv(result),
+        },
+        Artifact {
+            file_name: format!("{}.matrix.json", result.campaign.name),
+            contents: matrix_json(result),
+        },
+        Artifact {
+            file_name: format!("{}.summary.json", result.campaign.name),
+            contents: summary_json(result),
+        },
+    ];
+    if result.campaign.baseline.is_some() {
+        out.push(Artifact {
+            file_name: format!("{}.speedup.csv", result.campaign.name),
+            contents: speedup_csv(result),
+        });
+    }
+    out
+}
+
+/// Writes artifacts into `dir` (created if missing); returns the paths.
+pub fn write_artifacts(dir: &Path, artifacts: &[Artifact]) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    artifacts
+        .iter()
+        .map(|a| {
+            let path = dir.join(&a.file_name);
+            std::fs::write(&path, &a.contents)?;
+            Ok(path)
+        })
+        .collect()
+}
+
+fn matrix_csv(result: &CampaignResult) -> String {
+    let c = &result.campaign;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "benchmark,suite,config,{}\n",
+        SimReport::csv_header()
+    ));
+    for (p, profile) in c.profiles.iter().enumerate() {
+        for (ci, config) in c.configs.iter().enumerate() {
+            let head = csv_row(&[
+                profile.name.to_owned(),
+                profile.suite.to_string(),
+                config.name.clone(),
+            ]);
+            out.push_str(&format!("{head},{}\n", result.report(p, ci).to_csv_row()));
+        }
+    }
+    out
+}
+
+fn matrix_json(result: &CampaignResult) -> String {
+    let c = &result.campaign;
+    let mut arr = JsonArray::new();
+    for (p, profile) in c.profiles.iter().enumerate() {
+        for (ci, config) in c.configs.iter().enumerate() {
+            let mut obj = JsonObject::new();
+            obj.field_str("benchmark", profile.name)
+                .field_str("suite", &profile.suite.to_string())
+                .field_str("config", &config.name)
+                .field_raw("report", &result.report(p, ci).to_json());
+            arr.push_raw(&obj.finish());
+        }
+    }
+    arr.finish()
+}
+
+/// Geometric mean of `value` over all profiles, and per suite (suites
+/// with no profiles in the campaign are omitted).
+fn geomeans(result: &CampaignResult, value: impl Fn(usize) -> f64) -> (f64, Vec<(Suite, f64)>) {
+    let profiles = &result.campaign.profiles;
+    let all: Vec<f64> = (0..profiles.len()).map(&value).collect();
+    let by_suite = Suite::all()
+        .into_iter()
+        .filter_map(|suite| {
+            let vals: Vec<f64> = profiles
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.suite == suite)
+                .map(|(i, _)| value(i))
+                .collect();
+            if vals.is_empty() {
+                None
+            } else {
+                Some((suite, geometric_mean(&vals)))
+            }
+        })
+        .collect();
+    (geometric_mean(&all), by_suite)
+}
+
+fn geomean_entry(name: &str, overall: f64, by_suite: &[(Suite, f64)], key: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_str("config", name).field_f64(key, overall);
+    let mut suites = JsonObject::new();
+    for (suite, value) in by_suite {
+        suites.field_f64(&suite.to_string(), *value);
+    }
+    obj.field_raw("suites", &suites.finish());
+    obj.finish()
+}
+
+fn summary_json(result: &CampaignResult) -> String {
+    let c = &result.campaign;
+    let mut obj = JsonObject::new();
+    obj.field_str("campaign", &c.name)
+        .field_u64("configs", c.configs.len() as u64)
+        .field_u64("profiles", c.profiles.len() as u64)
+        .field_u64("jobs", c.jobs() as u64)
+        .field_u64("seed", c.seed);
+
+    let mut ipc = JsonArray::new();
+    for (ci, config) in c.configs.iter().enumerate() {
+        let (overall, by_suite) = geomeans(result, |p| result.report(p, ci).ipc());
+        ipc.push_raw(&geomean_entry(
+            &config.name,
+            overall,
+            &by_suite,
+            "geomean_ipc",
+        ));
+    }
+    obj.field_raw("ipc", &ipc.finish());
+
+    if let Some(base) = c.baseline {
+        obj.field_str("baseline", &c.configs[base].name);
+        let mut rel = JsonArray::new();
+        for (ci, config) in c.configs.iter().enumerate() {
+            let (overall, by_suite) = geomeans(result, |p| {
+                result.report(p, ci).relative_time(result.report(p, base))
+            });
+            rel.push_raw(&geomean_entry(
+                &config.name,
+                overall,
+                &by_suite,
+                "geomean_rel_time",
+            ));
+        }
+        obj.field_raw("rel_time", &rel.finish());
+    }
+    obj.finish()
+}
+
+fn speedup_csv(result: &CampaignResult) -> String {
+    let c = &result.campaign;
+    let base = c.baseline.expect("speedup table requires a baseline");
+    let mut header = vec!["benchmark".to_owned(), "suite".to_owned()];
+    header.extend(c.configs.iter().map(|cfg| cfg.name.clone()));
+    let mut out = csv_row(&header);
+    out.push('\n');
+    for (p, profile) in c.profiles.iter().enumerate() {
+        let mut cells = vec![profile.name.to_owned(), profile.suite.to_string()];
+        for ci in 0..c.configs.len() {
+            let rel = result.report(p, ci).relative_time(result.report(p, base));
+            cells.push(json_f64(rel)); // `{:.6}`, `null` for NaN
+        }
+        out.push_str(&csv_row(&cells));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, Preset};
+    use crate::executor::{run_campaign, RunOptions};
+    use crate::json;
+
+    fn small_result() -> CampaignResult {
+        let campaign = Campaign::builder("unit")
+            .preset(Preset::Nosq)
+            .preset(Preset::BaselineStoresets)
+            .profiles(["gzip", "applu"])
+            .max_insts(1_200)
+            .baseline("baseline-storesets")
+            .build()
+            .unwrap();
+        run_campaign(&campaign, &RunOptions::default())
+    }
+
+    #[test]
+    fn artifacts_are_complete_and_parse() {
+        let result = small_result();
+        let arts = artifacts(&result);
+        let names: Vec<_> = arts.iter().map(|a| a.file_name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "unit.matrix.csv",
+                "unit.matrix.json",
+                "unit.summary.json",
+                "unit.speedup.csv"
+            ]
+        );
+        // JSON artifacts parse with the in-crate parser.
+        let matrix = json::parse(&arts[1].contents).unwrap();
+        assert_eq!(matrix.as_array().unwrap().len(), 4);
+        let summary = json::parse(&arts[2].contents).unwrap();
+        assert_eq!(summary.get("jobs").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            summary.get("baseline").unwrap().as_str(),
+            Some("baseline-storesets")
+        );
+        assert_eq!(summary.get("ipc").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            summary.get("rel_time").unwrap().as_array().unwrap().len(),
+            2
+        );
+        // CSV row counts: header + jobs (matrix), header + profiles
+        // (speedup).
+        assert_eq!(arts[0].contents.lines().count(), 1 + 4);
+        assert_eq!(arts[3].contents.lines().count(), 1 + 2);
+        // The baseline column is exactly 1.0 against itself.
+        for line in arts[3].contents.lines().skip(1) {
+            assert!(line.ends_with(",1.000000"), "{line}");
+        }
+    }
+
+    #[test]
+    fn summary_suite_geomeans_cover_present_suites_only() {
+        let result = small_result();
+        let arts = artifacts(&result);
+        let summary = json::parse(&arts[2].contents).unwrap();
+        let suites = summary.get("ipc").unwrap().as_array().unwrap()[0]
+            .get("suites")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.clone())
+            .collect::<Vec<_>>();
+        // gzip is SPECint, applu is SPECfp; no MediaBench profile ran.
+        assert_eq!(suites, ["SPECint", "SPECfp"]);
+    }
+
+    #[test]
+    fn write_artifacts_persists_files() {
+        let result = small_result();
+        let arts = artifacts(&result);
+        let dir = std::env::temp_dir().join(format!("nosq-lab-test-{}", std::process::id()));
+        let paths = write_artifacts(&dir, &arts).unwrap();
+        assert_eq!(paths.len(), arts.len());
+        for (path, art) in paths.iter().zip(&arts) {
+            assert_eq!(&std::fs::read_to_string(path).unwrap(), &art.contents);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,398 @@
+//! `nosq` — run NoSQ experiment campaigns from the command line.
+//!
+//! ```text
+//! nosq run <spec-file> [--threads N] [--out DIR] [--max-insts N] [--progress]
+//! nosq table5          [--threads N] [--out DIR] [--max-insts N]
+//! nosq smoke           [--threads N] [--out DIR]
+//! nosq list [profiles|presets]
+//! ```
+//!
+//! Artifacts land in `--out`, else `$NOSQ_ARTIFACT_DIR`, else
+//! `./nosq-artifacts`. See `crates/lab/src/spec.rs` (or the README's
+//! "Running campaigns" section) for the spec-file format.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nosq_lab::reports::{table5, table5_json, Table5Row};
+use nosq_lab::{
+    artifacts, json, run_campaign, write_artifacts, Artifact, Campaign, Preset, RunOptions,
+};
+use nosq_trace::{Profile, Suite};
+
+const USAGE: &str = "\
+nosq — NoSQ experiment-campaign runner
+
+USAGE:
+    nosq run <spec-file> [OPTIONS]   run a campaign from a spec file
+    nosq table5 [OPTIONS]            regenerate paper Table 5 (47 benchmarks)
+    nosq smoke [OPTIONS]             sub-second self-check campaign
+    nosq list [profiles|presets]     show available benchmarks / presets
+    nosq help                        this text
+
+OPTIONS:
+    --threads N      worker threads (default: one per CPU)
+    --out DIR        artifact directory (default: $NOSQ_ARTIFACT_DIR or ./nosq-artifacts)
+    --max-insts N    override the per-job dynamic-instruction budget
+    --progress       live progress line on stderr
+";
+
+/// The built-in smoke campaign: 2 presets × 3 profiles, small budget.
+/// Written as a JSON spec so `nosq smoke` also exercises the parser.
+const SMOKE_SPEC: &str = r#"{
+    "name": "smoke",
+    "configs": ["nosq", "baseline-storesets"],
+    "profiles": ["gzip", "gsm.e", "applu"],
+    "max_insts": 4000,
+    "baseline": "baseline-storesets"
+}"#;
+
+struct Options {
+    threads: usize,
+    out: PathBuf,
+    max_insts: Option<u64>,
+    progress: bool,
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("nosq: error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn usage_error(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("nosq: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (positional, options) = match parse_options(&args[1..]) {
+        Ok(parsed) => parsed,
+        Err(msg) => return usage_error(msg),
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        "list" => cmd_list(positional.first().map(String::as_str)),
+        "run" => match positional.as_slice() {
+            [spec] => cmd_run(spec, &options),
+            _ => usage_error("`nosq run` takes exactly one spec file"),
+        },
+        cmd @ ("table5" | "smoke") if !positional.is_empty() => {
+            usage_error(format!("`nosq {cmd}` takes no positional arguments"))
+        }
+        "table5" => cmd_table5(&options),
+        "smoke" => cmd_smoke(&options),
+        other => usage_error(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
+    let mut options = Options {
+        threads: 0,
+        out: std::env::var_os("NOSQ_ARTIFACT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("nosq-artifacts")),
+        max_insts: None,
+        progress: false,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                options.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "`--threads` expects an integer".to_owned())?;
+            }
+            "--out" => options.out = PathBuf::from(value_of("--out")?),
+            "--max-insts" => {
+                let v: u64 = value_of("--max-insts")?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "`--max-insts` expects an integer".to_owned())?;
+                options.max_insts = Some(v);
+            }
+            "--progress" => options.progress = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, options))
+}
+
+fn run_options(options: &Options) -> RunOptions {
+    RunOptions {
+        threads: options.threads,
+        progress: options.progress,
+        ..RunOptions::default()
+    }
+}
+
+fn cmd_list(what: Option<&str>) -> ExitCode {
+    match what {
+        None | Some("profiles") => {
+            for suite in Suite::all() {
+                println!("{suite}:");
+                for p in Profile::suite(suite) {
+                    println!("  {}", p.name);
+                }
+            }
+            if what.is_none() {
+                println!();
+                list_presets();
+            }
+            ExitCode::SUCCESS
+        }
+        Some("presets") => {
+            list_presets();
+            ExitCode::SUCCESS
+        }
+        Some(other) => usage_error(format!("unknown list `{other}`")),
+    }
+}
+
+fn list_presets() {
+    println!("presets:");
+    for preset in Preset::all() {
+        println!("  {}", preset.name());
+    }
+}
+
+/// Runs a campaign, writes its artifacts, prints the summary. The body
+/// of `nosq run`, shared by `nosq smoke`.
+fn execute(campaign: &Campaign, options: &Options) -> Result<Vec<Artifact>, ExitCode> {
+    let result = run_campaign(campaign, &run_options(options));
+    let files = artifacts(&result);
+    let paths = write_artifacts(&options.out, &files).map_err(|e| {
+        fail(format!(
+            "writing artifacts to {}: {e}",
+            options.out.display()
+        ))
+    })?;
+
+    println!(
+        "campaign `{}`: {} configs × {} profiles = {} jobs on {} thread{} in {:.2?}",
+        campaign.name,
+        campaign.configs.len(),
+        campaign.profiles.len(),
+        campaign.jobs(),
+        result.threads,
+        if result.threads == 1 { "" } else { "s" },
+        result.elapsed,
+    );
+    println!("\n{:<24} {:>12}", "config", "geomean IPC");
+    for (ci, config) in campaign.configs.iter().enumerate() {
+        let ipcs: Vec<f64> = (0..campaign.profiles.len())
+            .map(|p| result.report(p, ci).ipc())
+            .collect();
+        let mut line = format!(
+            "{:<24} {:>12.3}",
+            config.name,
+            nosq_core::geometric_mean(&ipcs)
+        );
+        if let Some(base) = campaign.baseline {
+            let rels: Vec<f64> = (0..campaign.profiles.len())
+                .map(|p| result.report(p, ci).relative_time(result.report(p, base)))
+                .collect();
+            line.push_str(&format!(
+                "   rel-time {:.3}",
+                nosq_core::geometric_mean(&rels)
+            ));
+        }
+        println!("{line}");
+    }
+    println!();
+    for path in &paths {
+        println!("wrote {}", path.display());
+    }
+    Ok(files)
+}
+
+fn cmd_run(spec_path: &str, options: &Options) -> ExitCode {
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("reading {spec_path}: {e}")),
+    };
+    let mut campaign = match Campaign::from_spec(&text) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("{spec_path}: {e}")),
+    };
+    if let Some(n) = options.max_insts {
+        campaign = match rebudget(campaign, n) {
+            Ok(c) => c,
+            Err(e) => return fail(e),
+        };
+    }
+    match execute(&campaign, options) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
+/// Re-applies a CLI `--max-insts` override to every configuration.
+fn rebudget(mut campaign: Campaign, max_insts: u64) -> Result<Campaign, String> {
+    for named in &mut campaign.configs {
+        named.config = named
+            .config
+            .clone()
+            .into_builder()
+            .max_insts(max_insts)
+            .try_build()
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(campaign)
+}
+
+fn cmd_table5(options: &Options) -> ExitCode {
+    let max_insts = options.max_insts.unwrap_or(nosq_lab::DEFAULT_MAX_INSTS);
+    let (rows, result) = match table5(max_insts, &run_options(options)) {
+        Ok(out) => out,
+        Err(e) => return fail(e),
+    };
+    print_table5(&rows);
+    let mut files = artifacts(&result);
+    files.push(Artifact {
+        file_name: "table5.json".to_owned(),
+        contents: table5_json(&rows),
+    });
+    match write_artifacts(&options.out, &files) {
+        Ok(paths) => {
+            for path in &paths {
+                println!("wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("writing artifacts: {e}")),
+    }
+}
+
+fn print_table5(rows: &[Table5Row]) {
+    println!(
+        "{:<10} {:>7} {:>7} {:>9} {:>9} {:>7}",
+        "benchmark", "comm%", "part%", "mis/10k-nd", "mis/10k-d", "del%"
+    );
+    for suite in Suite::all() {
+        let in_suite: Vec<&Table5Row> = rows.iter().filter(|r| r.profile.suite == suite).collect();
+        if in_suite.is_empty() {
+            continue;
+        }
+        for r in &in_suite {
+            println!(
+                "{:<10} {:>7.1} {:>7.1} {:>9.1} {:>9.1} {:>7.1}",
+                r.profile.name,
+                r.comm_pct,
+                r.partial_pct,
+                r.no_delay.mispredicts_per_10k_loads(),
+                r.delay.mispredicts_per_10k_loads(),
+                r.delay.delayed_pct(),
+            );
+        }
+        let mean = |f: &dyn Fn(&Table5Row) -> f64| {
+            in_suite.iter().map(|r| f(r)).sum::<f64>() / in_suite.len() as f64
+        };
+        println!(
+            "{:<10} {:>7.1} {:>7.1} {:>9.1} {:>9.1} {:>7.1}\n",
+            format!("{suite}.avg"),
+            mean(&|r| r.comm_pct),
+            mean(&|r| r.partial_pct),
+            mean(&|r| r.no_delay.mispredicts_per_10k_loads()),
+            mean(&|r| r.delay.mispredicts_per_10k_loads()),
+            mean(&|r| r.delay.delayed_pct()),
+        );
+    }
+}
+
+/// `nosq smoke`: run the built-in campaign, then *prove* the artifacts
+/// are present, well-formed, and thread-count-independent — the CI
+/// gate for the whole engine. Any failure exits non-zero.
+fn cmd_smoke(options: &Options) -> ExitCode {
+    let mut campaign = match Campaign::from_spec(SMOKE_SPEC) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("built-in smoke spec: {e}")),
+    };
+    if let Some(n) = options.max_insts {
+        campaign = match rebudget(campaign, n) {
+            Ok(c) => c,
+            Err(e) => return fail(e),
+        };
+    }
+    let files = match execute(&campaign, options) {
+        Ok(files) => files,
+        Err(code) => return code,
+    };
+
+    // 1. Every artifact exists on disk with the exact bytes produced.
+    for artifact in &files {
+        let path = options.out.join(&artifact.file_name);
+        match std::fs::read_to_string(&path) {
+            Ok(on_disk) if on_disk == artifact.contents => {}
+            Ok(_) => return fail(format!("{} differs from produced bytes", path.display())),
+            Err(e) => return fail(format!("missing artifact {}: {e}", path.display())),
+        }
+        if artifact.contents.is_empty() {
+            return fail(format!("artifact {} is empty", artifact.file_name));
+        }
+    }
+
+    // 2. JSON artifacts parse; CSV artifacts have the right shape.
+    for artifact in &files {
+        if artifact.file_name.ends_with(".json") {
+            if let Err(e) = json::parse(&artifact.contents) {
+                return fail(format!("{} is malformed: {e}", artifact.file_name));
+            }
+        } else if artifact.file_name.ends_with(".csv") {
+            let mut lines = artifact.contents.lines();
+            let header_cols = lines.next().map_or(0, |h| h.split(',').count());
+            if header_cols < 3 || lines.any(|l| l.split(',').count() != header_cols) {
+                return fail(format!("{} has ragged rows", artifact.file_name));
+            }
+        }
+    }
+    let matrix = files
+        .iter()
+        .find(|a| a.file_name.ends_with(".matrix.json"))
+        .expect("matrix artifact exists");
+    let parsed = json::parse(&matrix.contents).expect("validated above");
+    if parsed.as_array().map(<[_]>::len) != Some(campaign.jobs()) {
+        return fail("matrix.json does not cover the whole job grid");
+    }
+
+    // 3. Serial and forced-multi-thread re-runs both aggregate to
+    //    byte-identical artifacts (the executor's determinism
+    //    contract). The explicit 2-thread run keeps the check real on
+    //    single-core machines, where the auto thread count is 1.
+    for threads in [1usize, 2] {
+        let rerun = run_campaign(
+            &campaign,
+            &RunOptions {
+                threads,
+                ..RunOptions::default()
+            },
+        );
+        if artifacts(&rerun) != files {
+            return fail(format!(
+                "{threads}-thread re-run produced different artifact bytes"
+            ));
+        }
+    }
+
+    println!(
+        "smoke OK: {} artifacts validated, determinism checked",
+        files.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,583 @@
+//! Declarative experiment campaigns: a named grid of simulator
+//! configurations × a workload selection.
+//!
+//! A [`Campaign`] is the unit the executor runs: every configuration in
+//! [`Campaign::configs`] is simulated over every profile in
+//! [`Campaign::profiles`]. Campaigns are built programmatically through
+//! [`Campaign::builder`] or parsed from a spec file with
+//! [`Campaign::from_spec`] (see [`crate::spec`] for the format). The
+//! grid dimensions mirror the paper's evaluation: pipeline preset
+//! (Table 5 / Figure 2), window size (§4.4), bypassing-predictor
+//! capacity and path-history length (Figure 5).
+
+use nosq_core::{ConfigError, PredictorConfig, SimConfig};
+use nosq_trace::{Profile, Suite};
+
+/// Workload seed shared by every campaign unless overridden; matches
+/// the bench harness's historical seed, so engine-backed runs reproduce
+/// the pre-engine numbers exactly.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Default dynamic-instruction budget per job (the bench harness
+/// default).
+pub const DEFAULT_MAX_INSTS: u64 = 150_000;
+
+/// A campaign construction / spec-parsing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description (with position info when parsing).
+    pub msg: String,
+}
+
+impl SpecError {
+    pub(crate) fn new(msg: impl Into<String>) -> SpecError {
+        SpecError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ConfigError> for SpecError {
+    fn from(e: ConfigError) -> SpecError {
+        SpecError::new(format!("invalid configuration: {e}"))
+    }
+}
+
+/// The five pipeline configurations of the paper's evaluation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// Associative store queue + oracle load scheduling (the
+    /// relative-time denominator).
+    BaselinePerfect,
+    /// Associative store queue + StoreSets scheduling.
+    BaselineStoresets,
+    /// NoSQ without the confidence-based delay mechanism.
+    NosqNoDelay,
+    /// NoSQ with delay — the headline design.
+    Nosq,
+    /// NoSQ with a perfect bypassing predictor.
+    PerfectSmb,
+}
+
+impl Preset {
+    /// All presets, in Figure 2's bar order (ideal baseline first).
+    pub const fn all() -> [Preset; 5] {
+        [
+            Preset::BaselinePerfect,
+            Preset::BaselineStoresets,
+            Preset::NosqNoDelay,
+            Preset::Nosq,
+            Preset::PerfectSmb,
+        ]
+    }
+
+    /// The preset's canonical spec-file name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preset::BaselinePerfect => "baseline-perfect",
+            Preset::BaselineStoresets => "baseline-storesets",
+            Preset::NosqNoDelay => "nosq-nd",
+            Preset::Nosq => "nosq",
+            Preset::PerfectSmb => "perfect-smb",
+        }
+    }
+
+    /// Parses a preset name; accepts the canonical names plus the
+    /// aliases the bench harnesses historically printed (`assoc-sq`,
+    /// `nosq-d`, `ideal`, …).
+    pub fn from_name(name: &str) -> Option<Preset> {
+        match name {
+            "baseline-perfect" | "ideal" | "perfect-scheduling" => Some(Preset::BaselinePerfect),
+            "baseline-storesets" | "assoc-sq" | "storesets" => Some(Preset::BaselineStoresets),
+            "nosq-nd" | "nosq-no-delay" => Some(Preset::NosqNoDelay),
+            "nosq" | "nosq-d" => Some(Preset::Nosq),
+            "perfect-smb" | "perfect" => Some(Preset::PerfectSmb),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the preset at an instruction budget.
+    pub fn config(&self, max_insts: u64) -> SimConfig {
+        match self {
+            Preset::BaselinePerfect => SimConfig::baseline_perfect(max_insts),
+            Preset::BaselineStoresets => SimConfig::baseline_storesets(max_insts),
+            Preset::NosqNoDelay => SimConfig::nosq_no_delay(max_insts),
+            Preset::Nosq => SimConfig::nosq(max_insts),
+            Preset::PerfectSmb => SimConfig::perfect_smb(max_insts),
+        }
+    }
+}
+
+/// Which benchmarks a campaign runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// All 47 Table-5 profiles.
+    All,
+    /// The paper's Figure 3-5 benchmark selection.
+    Selected,
+    /// Every profile in one suite.
+    Suite(Suite),
+    /// An explicit list of profile names.
+    Profiles(Vec<String>),
+}
+
+impl Workload {
+    /// Resolves the selection to concrete profiles, in deterministic
+    /// (paper-table) order.
+    pub fn resolve(&self) -> Result<Vec<&'static Profile>, SpecError> {
+        match self {
+            Workload::All => Ok(Profile::all().iter().collect()),
+            Workload::Selected => Ok(Profile::selected()),
+            Workload::Suite(suite) => Ok(Profile::suite(*suite).collect()),
+            Workload::Profiles(names) => names
+                .iter()
+                .map(|n| {
+                    Profile::by_name(n)
+                        .ok_or_else(|| SpecError::new(format!("unknown profile `{n}`")))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parses a suite name (case-insensitive; `mediabench` / `specint` /
+/// `specfp`).
+pub fn suite_from_name(name: &str) -> Option<Suite> {
+    match name.to_ascii_lowercase().as_str() {
+        "mediabench" | "media" => Some(Suite::MediaBench),
+        "specint" | "spec-int" | "int" => Some(Suite::SpecInt),
+        "specfp" | "spec-fp" | "fp" => Some(Suite::SpecFp),
+        _ => None,
+    }
+}
+
+/// One named point of the configuration grid.
+#[derive(Clone, Debug)]
+pub struct NamedConfig {
+    /// Unique name within the campaign (column label in artifacts).
+    pub name: String,
+    /// The fully-resolved simulator configuration.
+    pub config: SimConfig,
+}
+
+/// A fully-resolved campaign: `configs × profiles` jobs.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Campaign name (artifact file prefix).
+    pub name: String,
+    /// Configuration grid, in deterministic order.
+    pub configs: Vec<NamedConfig>,
+    /// Benchmark profiles, in deterministic order.
+    pub profiles: Vec<&'static Profile>,
+    /// Index into [`Self::configs`] of the reference configuration for
+    /// speedup tables, if one was named.
+    pub baseline: Option<usize>,
+    /// Workload-synthesis seed.
+    pub seed: u64,
+}
+
+impl Campaign {
+    /// Starts a [`CampaignBuilder`].
+    pub fn builder(name: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder {
+            name: name.into(),
+            presets: Vec::new(),
+            explicit: Vec::new(),
+            workload: None,
+            max_insts: DEFAULT_MAX_INSTS,
+            windows: Vec::new(),
+            capacities: Vec::new(),
+            histories: Vec::new(),
+            baseline: None,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Total number of (config, profile) jobs in the grid.
+    pub fn jobs(&self) -> usize {
+        self.configs.len() * self.profiles.len()
+    }
+
+    /// Looks up a configuration column by name.
+    pub fn config_index(&self, name: &str) -> Option<usize> {
+        self.configs.iter().position(|c| c.name == name)
+    }
+}
+
+/// Fluent construction of a [`Campaign`].
+///
+/// The configuration grid is the cross-product of the added
+/// [presets](Self::preset) with any [window](Self::window),
+/// [predictor-capacity](Self::capacity), and
+/// [history-bits](Self::history_bits) sweep values, plus any
+/// [explicit configurations](Self::config). Grid names are derived
+/// deterministically: the preset name, then `@w<window>` / `@c<cap>` /
+/// `@h<bits>` suffixes for each swept dimension.
+#[derive(Clone, Debug)]
+pub struct CampaignBuilder {
+    name: String,
+    presets: Vec<Preset>,
+    explicit: Vec<(String, SimConfig)>,
+    workload: Option<Workload>,
+    max_insts: u64,
+    windows: Vec<u32>,
+    capacities: Vec<usize>,
+    histories: Vec<u32>,
+    baseline: Option<String>,
+    seed: u64,
+}
+
+impl CampaignBuilder {
+    /// Renames the campaign.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Adds a preset to the grid (duplicates are rejected at build).
+    pub fn preset(mut self, preset: Preset) -> Self {
+        self.presets.push(preset);
+        self
+    }
+
+    /// Adds an explicit named configuration outside the preset grid
+    /// (its `max_insts` is overridden by the campaign budget).
+    pub fn config(mut self, name: impl Into<String>, config: SimConfig) -> Self {
+        self.explicit.push((name.into(), config));
+        self
+    }
+
+    /// Sets the workload selection.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Selects all 47 profiles.
+    pub fn all_profiles(self) -> Self {
+        self.workload(Workload::All)
+    }
+
+    /// Selects the paper's Figure 3-5 benchmark subset.
+    pub fn selected_profiles(self) -> Self {
+        self.workload(Workload::Selected)
+    }
+
+    /// Selects one suite.
+    pub fn suite(self, suite: Suite) -> Self {
+        self.workload(Workload::Suite(suite))
+    }
+
+    /// Selects explicit profiles by name.
+    pub fn profiles<I, S>(self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names = names.into_iter().map(Into::into).collect();
+        self.workload(Workload::Profiles(names))
+    }
+
+    /// Sets the per-job dynamic-instruction budget.
+    pub fn max_insts(mut self, max_insts: u64) -> Self {
+        self.max_insts = max_insts;
+        self
+    }
+
+    /// Sets the workload-synthesis seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a window size (128 or 256) to the sweep.
+    pub fn window(mut self, window: u32) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// Adds a total bypassing-predictor capacity (entries across both
+    /// tables; 0 means unbounded) to the sweep.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacities.push(capacity);
+        self
+    }
+
+    /// Adds a path-history length (bits) to the sweep.
+    pub fn history_bits(mut self, bits: u32) -> Self {
+        self.histories.push(bits);
+        self
+    }
+
+    /// Names the reference configuration for speedup artifacts.
+    pub fn baseline(mut self, name: impl Into<String>) -> Self {
+        self.baseline = Some(name.into());
+        self
+    }
+
+    /// Expands the grid, resolves the workload, and validates every
+    /// configuration through [`SimConfig::validate`].
+    pub fn build(self) -> Result<Campaign, SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::new("campaign name must not be empty"));
+        }
+        if !self
+            .name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(SpecError::new(format!(
+                "campaign name `{}` must be alphanumeric plus `-`/`_`/`.` \
+                 (it becomes an artifact file prefix)",
+                self.name
+            )));
+        }
+        if self.presets.is_empty() && self.explicit.is_empty() {
+            return Err(SpecError::new("campaign has no configurations"));
+        }
+        let windows: &[u32] = if self.windows.is_empty() {
+            &[128]
+        } else {
+            &self.windows
+        };
+        let window_swept =
+            self.windows.len() > 1 || self.windows.first().is_some_and(|w| *w != 128);
+
+        let mut configs: Vec<NamedConfig> = Vec::new();
+        // Both insertion paths below hand `push` a `try_build()`-checked
+        // config, so validation lives in exactly one place.
+        let push = |name: String, config: SimConfig, configs: &mut Vec<NamedConfig>| {
+            if configs.iter().any(|c| c.name == name) {
+                return Err(SpecError::new(format!(
+                    "duplicate configuration name `{name}`"
+                )));
+            }
+            configs.push(NamedConfig { name, config });
+            Ok(())
+        };
+        for preset in &self.presets {
+            for &window in windows {
+                let caps: Vec<Option<usize>> = if self.capacities.is_empty() {
+                    vec![None]
+                } else {
+                    self.capacities.iter().map(|&c| Some(c)).collect()
+                };
+                for cap in &caps {
+                    let hists: Vec<Option<u32>> = if self.histories.is_empty() {
+                        vec![None]
+                    } else {
+                        self.histories.iter().map(|&h| Some(h)).collect()
+                    };
+                    for hist in &hists {
+                        let mut name = preset.name().to_owned();
+                        if window_swept {
+                            name.push_str(&format!("@w{window}"));
+                        }
+                        let mut builder = preset.config(self.max_insts).into_builder();
+                        builder = match window {
+                            128 => builder.window128(),
+                            256 => builder.window256(),
+                            other => {
+                                return Err(SpecError::new(format!(
+                                    "unsupported window size {other} (the paper models 128 and 256)"
+                                )))
+                            }
+                        };
+                        let mut predictor = PredictorConfig::paper_default();
+                        if let Some(cap) = *cap {
+                            name.push_str(&format!("@c{cap}"));
+                            predictor = if cap == 0 {
+                                PredictorConfig::unbounded()
+                            } else {
+                                PredictorConfig::with_capacity(cap)
+                            };
+                        }
+                        if let Some(bits) = *hist {
+                            name.push_str(&format!("@h{bits}"));
+                            predictor.history_bits = bits;
+                        }
+                        if cap.is_some() || hist.is_some() {
+                            builder = builder.predictor(predictor);
+                        }
+                        let config = builder.try_build()?;
+                        push(name, config, &mut configs)?;
+                    }
+                }
+            }
+        }
+        for (name, config) in self.explicit {
+            let config = config
+                .into_builder()
+                .max_insts(self.max_insts)
+                .try_build()?;
+            push(name, config, &mut configs)?;
+        }
+
+        let workload = self
+            .workload
+            .ok_or_else(|| SpecError::new("campaign has no workload selection"))?;
+        let profiles = workload.resolve()?;
+        if profiles.is_empty() {
+            return Err(SpecError::new("workload selection resolved to no profiles"));
+        }
+
+        let baseline = match &self.baseline {
+            None => None,
+            Some(name) => Some(
+                configs
+                    .iter()
+                    .position(|c| &c.name == name)
+                    // A preset alias (`assoc-sq`, `ideal`, …) names the
+                    // canonical grid column.
+                    .or_else(|| {
+                        let canonical = Preset::from_name(name)?.name();
+                        configs.iter().position(|c| c.name == canonical)
+                    })
+                    .ok_or_else(|| {
+                        SpecError::new(format!(
+                            "baseline `{name}` does not name a configuration (have: {})",
+                            configs
+                                .iter()
+                                .map(|c| c.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?,
+            ),
+        };
+
+        Ok(Campaign {
+            name: self.name,
+            configs,
+            profiles,
+            baseline,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names_roundtrip() {
+        for preset in Preset::all() {
+            assert_eq!(Preset::from_name(preset.name()), Some(preset));
+        }
+        assert_eq!(
+            Preset::from_name("assoc-sq"),
+            Some(Preset::BaselineStoresets)
+        );
+        assert_eq!(Preset::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn simple_grid_builds() {
+        let c = Campaign::builder("t")
+            .preset(Preset::Nosq)
+            .preset(Preset::BaselineStoresets)
+            .profiles(["gzip", "applu"])
+            .max_insts(1_000)
+            .baseline("baseline-storesets")
+            .build()
+            .unwrap();
+        assert_eq!(c.jobs(), 4);
+        assert_eq!(c.configs[0].name, "nosq");
+        assert_eq!(c.baseline, Some(1));
+        assert_eq!(c.configs[0].config.max_insts, 1_000);
+    }
+
+    #[test]
+    fn sweeps_expand_with_deterministic_names() {
+        let c = Campaign::builder("s")
+            .preset(Preset::Nosq)
+            .window(128)
+            .window(256)
+            .capacity(512)
+            .capacity(0)
+            .profiles(["gzip"])
+            .max_insts(100)
+            .build()
+            .unwrap();
+        let names: Vec<_> = c.configs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "nosq@w128@c512",
+                "nosq@w128@c0",
+                "nosq@w256@c512",
+                "nosq@w256@c0"
+            ]
+        );
+        assert_eq!(c.configs[2].config.machine.rob_size, 256);
+        assert!(c.configs[1].config.predictor.unbounded);
+        assert_eq!(c.configs[0].config.predictor.entries_per_table, 256);
+    }
+
+    #[test]
+    fn history_sweep_sets_bits() {
+        let c = Campaign::builder("h")
+            .preset(Preset::NosqNoDelay)
+            .history_bits(4)
+            .history_bits(12)
+            .profiles(["gzip"])
+            .max_insts(100)
+            .build()
+            .unwrap();
+        assert_eq!(c.configs[0].name, "nosq-nd@h4");
+        assert_eq!(c.configs[0].config.predictor.history_bits, 4);
+        assert_eq!(c.configs[1].config.predictor.history_bits, 12);
+    }
+
+    #[test]
+    fn build_rejects_degenerate_campaigns() {
+        let no_configs = Campaign::builder("x").profiles(["gzip"]).build();
+        assert!(no_configs.is_err());
+        let no_workload = Campaign::builder("x").preset(Preset::Nosq).build();
+        assert!(no_workload.is_err());
+        let bad_profile = Campaign::builder("x")
+            .preset(Preset::Nosq)
+            .profiles(["not-a-benchmark"])
+            .build();
+        assert!(bad_profile.unwrap_err().msg.contains("not-a-benchmark"));
+        let bad_baseline = Campaign::builder("x")
+            .preset(Preset::Nosq)
+            .profiles(["gzip"])
+            .baseline("missing")
+            .build();
+        assert!(bad_baseline.unwrap_err().msg.contains("missing"));
+        let dup = Campaign::builder("x")
+            .preset(Preset::Nosq)
+            .preset(Preset::Nosq)
+            .profiles(["gzip"])
+            .build();
+        assert!(dup.unwrap_err().msg.contains("duplicate"));
+        let bad_name = Campaign::builder("a/b")
+            .preset(Preset::Nosq)
+            .profiles(["gzip"])
+            .build();
+        assert!(bad_name.is_err());
+        let zero_budget = Campaign::builder("x")
+            .preset(Preset::Nosq)
+            .profiles(["gzip"])
+            .max_insts(0)
+            .build();
+        assert!(zero_budget.unwrap_err().msg.contains("max_insts"));
+    }
+
+    #[test]
+    fn workload_selections_resolve() {
+        assert_eq!(Workload::All.resolve().unwrap().len(), 47);
+        assert_eq!(Workload::Selected.resolve().unwrap().len(), 15);
+        assert!(Workload::Suite(Suite::SpecFp).resolve().unwrap().len() >= 10);
+        assert_eq!(suite_from_name("SPECint"), Some(Suite::SpecInt));
+        assert_eq!(suite_from_name("nope"), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Engine-backed regeneration of the paper's headline tables.
+//!
+//! The Table-5 sweep — all 47 benchmarks under NoSQ with and without
+//! delay, next to the trace-measured communication columns — used to be
+//! a bespoke loop in the bench crate; it is now a [`Campaign`] run by
+//! the executor, shared between the `nosq table5` CLI command and the
+//! `table5` bench target.
+
+use nosq_core::ser::{JsonArray, JsonObject};
+use nosq_core::SimReport;
+use nosq_trace::{analyze_program, Profile};
+
+use crate::campaign::{Campaign, Preset, SpecError};
+use crate::executor::{
+    parallel_map_indexed, run_campaign_on, synthesize_programs, CampaignResult, RunOptions,
+};
+
+/// One Table-5 line: trace-measured communication plus the simulated
+/// NoSQ reports.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// The benchmark.
+    pub profile: &'static Profile,
+    /// Measured % of committed loads with in-window communication.
+    pub comm_pct: f64,
+    /// Measured % with partial-word communication.
+    pub partial_pct: f64,
+    /// NoSQ without delay.
+    pub no_delay: SimReport,
+    /// NoSQ with delay (the headline design).
+    pub delay: SimReport,
+}
+
+/// The Table-5 campaign: NoSQ without/with delay over all 47 profiles.
+/// Fallible because `max_insts` is user input (`--max-insts`,
+/// `NOSQ_DYN_INSTS`): a zero budget is rejected, not a panic.
+pub fn table5_campaign(max_insts: u64) -> Result<Campaign, SpecError> {
+    Campaign::builder("table5")
+        .preset(Preset::NosqNoDelay)
+        .preset(Preset::Nosq)
+        .all_profiles()
+        .max_insts(max_insts)
+        .build()
+}
+
+/// Runs Table 5 through the campaign engine: one grid run for the
+/// simulated columns plus a parallel trace-analysis pass for the
+/// communication columns (both over the same synthesized programs).
+/// Returns the rows in paper order along with the raw campaign result.
+pub fn table5(
+    max_insts: u64,
+    opts: &RunOptions,
+) -> Result<(Vec<Table5Row>, CampaignResult), SpecError> {
+    let campaign = table5_campaign(max_insts)?;
+    let programs = synthesize_programs(&campaign, opts.threads);
+    let comm = parallel_map_indexed(programs.len(), opts.threads, |i| {
+        analyze_program(&programs[i], max_insts, 128)
+    });
+    let result = run_campaign_on(&campaign, &programs, opts);
+    let nd = result
+        .campaign
+        .config_index("nosq-nd")
+        .expect("table5 campaign has nosq-nd");
+    let d = result
+        .campaign
+        .config_index("nosq")
+        .expect("table5 campaign has nosq");
+    let rows = result
+        .campaign
+        .profiles
+        .iter()
+        .enumerate()
+        .map(|(p, profile)| Table5Row {
+            profile,
+            comm_pct: comm[p].comm_pct(),
+            partial_pct: comm[p].partial_pct(),
+            no_delay: *result.report(p, nd),
+            delay: *result.report(p, d),
+        })
+        .collect();
+    Ok((rows, result))
+}
+
+/// Serializes Table-5 rows in the artifact format the bench harness has
+/// always written (`table5.json`): per benchmark, the measured
+/// communication percentages and the two full NoSQ reports.
+pub fn table5_json(rows: &[Table5Row]) -> String {
+    let mut arr = JsonArray::new();
+    for r in rows {
+        let mut obj = JsonObject::new();
+        obj.field_str("benchmark", r.profile.name)
+            .field_str("suite", &r.profile.suite.to_string())
+            .field_raw("comm_pct", &format!("{:.4}", r.comm_pct))
+            .field_raw("partial_pct", &format!("{:.4}", r.partial_pct))
+            .field_raw("nosq_no_delay", &r.no_delay.to_json())
+            .field_raw("nosq_delay", &r.delay.to_json());
+        arr.push_raw(&obj.finish());
+    }
+    arr.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_campaign_covers_the_grid() {
+        let c = table5_campaign(1_000).unwrap();
+        assert_eq!(c.profiles.len(), 47);
+        assert_eq!(c.configs.len(), 2);
+        assert_eq!(c.config_index("nosq-nd"), Some(0));
+        assert_eq!(c.config_index("nosq"), Some(1));
+    }
+
+    #[test]
+    fn table5_rows_line_up() {
+        // Tiny budget: this is a structure test, not a numbers test.
+        let (rows, result) = table5(600, &RunOptions::default()).unwrap();
+        assert_eq!(rows.len(), 47);
+        assert_eq!(result.reports.len(), 94);
+        for (p, row) in rows.iter().enumerate() {
+            assert_eq!(row.profile.name, result.campaign.profiles[p].name);
+            assert!(row.no_delay.insts > 0);
+            assert!(row.comm_pct >= 0.0);
+        }
+        let json = table5_json(&rows[..2]);
+        let parsed = crate::json::parse(&json).unwrap();
+        assert_eq!(parsed.as_array().unwrap().len(), 2);
+        assert!(parsed.as_array().unwrap()[0].get("nosq_delay").is_some());
+    }
+}

@@ -1,0 +1,470 @@
+//! The campaign spec-file format: plain-text `key = value` lines or a
+//! JSON object, hand-parsed (no serde in this environment).
+//!
+//! A spec names a campaign, picks configurations, and selects a
+//! workload. Both syntaxes carry the same keys; a document whose first
+//! non-whitespace character is `{` is parsed as JSON, anything else as
+//! the line format.
+//!
+//! # Line format
+//!
+//! ```text
+//! # Figure-5-style sensitivity sweep on the selected benchmarks.
+//! name      = sensitivity
+//! configs   = nosq, nosq-nd            # preset names (see below)
+//! workload  = selected                 # or: all | suite = specint
+//! max_insts = 50000                    # per-job budget (default 150000)
+//! windows   = 128, 256                 # optional window sweep
+//! capacities = 512, 2048, 0            # optional predictor sweep (0 = unbounded)
+//! histories = 4, 8, 12                 # optional path-history sweep
+//! baseline  = nosq@w128@c2048@h8       # optional speedup reference; swept
+//!                                      # dimensions suffix the grid names
+//! seed      = 42                       # optional workload seed
+//! ```
+//!
+//! Explicit benchmarks replace `workload`: `profiles = gzip, gsm.e`.
+//!
+//! # JSON format
+//!
+//! ```json
+//! {
+//!   "name": "sensitivity",
+//!   "configs": ["nosq", "nosq-nd"],
+//!   "workload": "selected",
+//!   "max_insts": 50000,
+//!   "windows": [128, 256],
+//!   "capacities": [512, 2048, 0],
+//!   "histories": [4, 8, 12],
+//!   "baseline": "nosq@w128@c2048@h8",
+//!   "seed": 42
+//! }
+//! ```
+//!
+//! # Configuration names
+//!
+//! `configs` entries are preset names: `baseline-perfect` (alias
+//! `ideal`), `baseline-storesets` (alias `assoc-sq`), `nosq-nd`,
+//! `nosq`, `perfect-smb`. Sweep dimensions multiply the presets into a
+//! grid; grid points are named `preset@w<window>@c<cap>@h<bits>` with
+//! suffixes only for swept dimensions.
+
+use crate::campaign::{suite_from_name, Campaign, CampaignBuilder, Preset, SpecError, Workload};
+use crate::json::{self, Json};
+
+impl Campaign {
+    /// Parses a campaign spec (line format or JSON, auto-detected) and
+    /// builds it — every configuration is validated, profile names
+    /// resolved, and the baseline cross-checked.
+    pub fn from_spec(text: &str) -> Result<Campaign, SpecError> {
+        if text.trim_start().starts_with('{') {
+            from_json(text)
+        } else {
+            from_lines(text)
+        }
+    }
+}
+
+/// Splits a comma-separated list, trimming each item and dropping
+/// empties (so trailing commas are harmless).
+fn split_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, SpecError> {
+    value.replace('_', "").parse().map_err(|_| {
+        SpecError::new(format!(
+            "`{key}` expects an unsigned integer, got `{value}`"
+        ))
+    })
+}
+
+/// Narrows a parsed value to `u32` — window sizes and history bits must
+/// reject out-of-range input rather than silently truncate it.
+fn narrow_u32(key: &str, n: u64) -> Result<u32, SpecError> {
+    u32::try_from(n).map_err(|_| SpecError::new(format!("`{key}` value `{n}` is out of range")))
+}
+
+fn apply_configs(mut b: CampaignBuilder, names: &[String]) -> Result<CampaignBuilder, SpecError> {
+    for name in names {
+        let preset = Preset::from_name(name).ok_or_else(|| {
+            SpecError::new(format!(
+                "unknown preset `{name}` (expected one of: {})",
+                Preset::all().map(|p| p.name()).join(", ")
+            ))
+        })?;
+        b = b.preset(preset);
+    }
+    Ok(b)
+}
+
+fn apply_workload_word(b: CampaignBuilder, word: &str) -> Result<CampaignBuilder, SpecError> {
+    match word {
+        "all" => Ok(b.all_profiles()),
+        "selected" => Ok(b.selected_profiles()),
+        other => match suite_from_name(other) {
+            Some(suite) => Ok(b.suite(suite)),
+            None => Err(SpecError::new(format!(
+                "`workload` must be `all`, `selected`, or a suite name; got `{other}`"
+            ))),
+        },
+    }
+}
+
+fn from_lines(text: &str) -> Result<Campaign, SpecError> {
+    let mut b = Campaign::builder("unnamed");
+    let mut named = false;
+    let mut selected = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(at) => &raw[..at],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| SpecError::new(format!("line {}: {msg}", idx + 1));
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| at(format!("expected `key = value`, got `{line}`")))?;
+        let (key, value) = (key.trim(), value.trim());
+        if value.is_empty() {
+            return Err(at(format!("`{key}` has no value")));
+        }
+        let wrap = |r: Result<CampaignBuilder, SpecError>| r.map_err(|e| at(e.msg));
+        b = match key {
+            "name" => {
+                named = true;
+                b.name(value)
+            }
+            "configs" => wrap(apply_configs(b, &split_list(value)))?,
+            "profiles" => {
+                selected = true;
+                b.profiles(split_list(value))
+            }
+            "workload" => {
+                selected = true;
+                wrap(apply_workload_word(b, value))?
+            }
+            "suite" => {
+                selected = true;
+                let suite =
+                    suite_from_name(value).ok_or_else(|| at(format!("unknown suite `{value}`")))?;
+                b.suite(suite)
+            }
+            "max_insts" => {
+                let n = parse_u64(key, value).map_err(|e| at(e.msg))?;
+                b.max_insts(n)
+            }
+            "seed" => {
+                let n = parse_u64(key, value).map_err(|e| at(e.msg))?;
+                b.seed(n)
+            }
+            "baseline" => b.baseline(value),
+            "windows" | "window" => {
+                let mut nb = b;
+                for w in split_list(value) {
+                    let w = parse_u64(key, &w).and_then(|n| narrow_u32(key, n));
+                    nb = nb.window(w.map_err(|e| at(e.msg))?);
+                }
+                nb
+            }
+            "capacities" | "capacity" => {
+                let mut nb = b;
+                for c in split_list(value) {
+                    let c = parse_u64(key, &c).map_err(|e| at(e.msg))?;
+                    nb = nb.capacity(c as usize);
+                }
+                nb
+            }
+            "histories" | "history_bits" => {
+                let mut nb = b;
+                for h in split_list(value) {
+                    let h = parse_u64(key, &h).and_then(|n| narrow_u32(key, n));
+                    nb = nb.history_bits(h.map_err(|e| at(e.msg))?);
+                }
+                nb
+            }
+            other => return Err(at(format!("unknown key `{other}`"))),
+        };
+    }
+    if !named {
+        return Err(SpecError::new("spec is missing `name`"));
+    }
+    if !selected {
+        return Err(SpecError::new(
+            "spec is missing a workload selection (`profiles`, `workload`, or `suite`)",
+        ));
+    }
+    b.build()
+}
+
+fn str_list(key: &str, value: &Json) -> Result<Vec<String>, SpecError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| SpecError::new(format!("`{key}` must be an array of strings")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| SpecError::new(format!("`{key}` must contain only strings")))
+        })
+        .collect()
+}
+
+fn u64_list(key: &str, value: &Json) -> Result<Vec<u64>, SpecError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| SpecError::new(format!("`{key}` must be an array of integers")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| SpecError::new(format!("`{key}` must contain only integers")))
+        })
+        .collect()
+}
+
+fn json_u64(key: &str, value: &Json) -> Result<u64, SpecError> {
+    value
+        .as_u64()
+        .ok_or_else(|| SpecError::new(format!("`{key}` must be an unsigned integer")))
+}
+
+fn from_json(text: &str) -> Result<Campaign, SpecError> {
+    let doc = json::parse(text).map_err(|e| SpecError::new(e.to_string()))?;
+    let fields = doc
+        .as_object()
+        .ok_or_else(|| SpecError::new("spec must be a JSON object"))?;
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| SpecError::new("spec is missing a string `name`"))?;
+    let mut b = Campaign::builder(name);
+    let mut selected = false;
+    for (key, value) in fields {
+        b = match key.as_str() {
+            "name" => b,
+            "configs" => apply_configs(b, &str_list(key, value)?)?,
+            "profiles" => {
+                selected = true;
+                b.workload(Workload::Profiles(str_list(key, value)?))
+            }
+            "workload" => {
+                selected = true;
+                let word = value
+                    .as_str()
+                    .ok_or_else(|| SpecError::new("`workload` must be a string"))?;
+                apply_workload_word(b, word)?
+            }
+            "suite" => {
+                selected = true;
+                let word = value
+                    .as_str()
+                    .ok_or_else(|| SpecError::new("`suite` must be a string"))?;
+                let suite = suite_from_name(word)
+                    .ok_or_else(|| SpecError::new(format!("unknown suite `{word}`")))?;
+                b.suite(suite)
+            }
+            "max_insts" => b.max_insts(json_u64(key, value)?),
+            "seed" => b.seed(json_u64(key, value)?),
+            "baseline" => {
+                let word = value
+                    .as_str()
+                    .ok_or_else(|| SpecError::new("`baseline` must be a string"))?;
+                b.baseline(word)
+            }
+            "windows" => {
+                let mut nb = b;
+                for w in u64_list(key, value)? {
+                    nb = nb.window(narrow_u32(key, w)?);
+                }
+                nb
+            }
+            "capacities" => {
+                let mut nb = b;
+                for c in u64_list(key, value)? {
+                    nb = nb.capacity(c as usize);
+                }
+                nb
+            }
+            "histories" => {
+                let mut nb = b;
+                for h in u64_list(key, value)? {
+                    nb = nb.history_bits(narrow_u32(key, h)?);
+                }
+                nb
+            }
+            other => return Err(SpecError::new(format!("unknown key `{other}`"))),
+        };
+    }
+    if !selected {
+        return Err(SpecError::new(
+            "spec is missing a workload selection (`profiles`, `workload`, or `suite`)",
+        ));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE_SPEC: &str = "
+# comment-only line
+name = demo
+configs = nosq, assoc-sq   # trailing comment
+profiles = gzip, gsm.e, applu
+max_insts = 9_000
+baseline = assoc-sq
+";
+
+    #[test]
+    fn line_format_parses() {
+        let c = Campaign::from_spec(LINE_SPEC).unwrap();
+        assert_eq!(c.name, "demo");
+        assert_eq!(c.configs.len(), 2);
+        assert_eq!(c.configs[1].name, "baseline-storesets");
+        assert_eq!(c.profiles.len(), 3);
+        assert_eq!(c.baseline, Some(1));
+        assert_eq!(c.configs[0].config.max_insts, 9_000);
+    }
+
+    #[test]
+    fn json_format_parses() {
+        let c = Campaign::from_spec(
+            r#"{
+                "name": "demo",
+                "configs": ["nosq", "nosq-nd"],
+                "workload": "selected",
+                "max_insts": 5000,
+                "histories": [4, 8],
+                "baseline": "nosq@h4"
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(c.configs.len(), 4);
+        assert_eq!(c.configs[0].name, "nosq@h4");
+        assert_eq!(c.baseline, Some(0));
+        assert!(!c.profiles.is_empty());
+    }
+
+    #[test]
+    fn the_two_formats_agree() {
+        let a = Campaign::from_spec(LINE_SPEC).unwrap();
+        let b = Campaign::from_spec(
+            r#"{"name":"demo","configs":["nosq","assoc-sq"],
+                "profiles":["gzip","gsm.e","applu"],
+                "max_insts":9000,"baseline":"assoc-sq"}"#,
+        )
+        .unwrap();
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.configs.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            b.configs.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+        assert_eq!(a.profiles.len(), b.profiles.len());
+        assert_eq!(a.baseline, b.baseline);
+    }
+
+    #[test]
+    fn line_errors_carry_line_numbers() {
+        let err =
+            Campaign::from_spec("name = x\nconfigs = warp-drive\nprofiles = gzip").unwrap_err();
+        assert!(err.msg.contains("line 2"), "{err}");
+        assert!(err.msg.contains("warp-drive"), "{err}");
+        let err = Campaign::from_spec("name = x\nbudget = 5\n").unwrap_err();
+        assert!(err.msg.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn json_errors_are_descriptive() {
+        let err = Campaign::from_spec("{\"name\": \"x\", \"configs\": [1]}").unwrap_err();
+        assert!(err.msg.contains("configs"), "{err}");
+        let err = Campaign::from_spec("{\"name\": \"x\",}").unwrap_err();
+        assert!(err.msg.contains("JSON"), "{err}");
+        let err = Campaign::from_spec("{\"configs\": [\"nosq\"]}").unwrap_err();
+        assert!(err.msg.contains("name"), "{err}");
+    }
+
+    #[test]
+    fn missing_sections_are_rejected() {
+        assert!(Campaign::from_spec("configs = nosq\nprofiles = gzip")
+            .unwrap_err()
+            .msg
+            .contains("name"));
+        assert!(Campaign::from_spec("name = x\nconfigs = nosq")
+            .unwrap_err()
+            .msg
+            .contains("workload"));
+    }
+
+    #[test]
+    fn module_doc_examples_build() {
+        // The module docs (and the README) show these specs verbatim;
+        // keep them honest — sweeps suffix the grid names, so the
+        // baseline must be a full grid name.
+        let line = "
+name      = sensitivity
+configs   = nosq, nosq-nd
+workload  = selected
+max_insts = 50000
+windows   = 128, 256
+capacities = 512, 2048, 0
+histories = 4, 8, 12
+baseline  = nosq@w128@c2048@h8
+seed      = 42
+";
+        let a = Campaign::from_spec(line).unwrap();
+        let b = Campaign::from_spec(
+            r#"{
+  "name": "sensitivity",
+  "configs": ["nosq", "nosq-nd"],
+  "workload": "selected",
+  "max_insts": 50000,
+  "windows": [128, 256],
+  "capacities": [512, 2048, 0],
+  "histories": [4, 8, 12],
+  "baseline": "nosq@w128@c2048@h8",
+  "seed": 42
+}"#,
+        )
+        .unwrap();
+        assert_eq!(a.configs.len(), 2 * 2 * 3 * 3);
+        assert_eq!(a.baseline, b.baseline);
+        assert!(a.baseline.is_some());
+    }
+
+    #[test]
+    fn out_of_range_sweep_values_are_rejected_not_truncated() {
+        // 2^32 + 128 would truncate to a valid window of 128.
+        let spec = format!(
+            "name = x\nconfigs = nosq\nprofiles = gzip\nwindows = {}",
+            (1u64 << 32) + 128
+        );
+        let err = Campaign::from_spec(&spec).unwrap_err();
+        assert!(err.msg.contains("out of range"), "{err}");
+        let err = Campaign::from_spec(&format!(
+            "{{\"name\":\"x\",\"configs\":[\"nosq\"],\"profiles\":[\"gzip\"],\
+             \"histories\":[{}]}}",
+            (1u64 << 32) + 8
+        ))
+        .unwrap_err();
+        assert!(err.msg.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn suite_key_selects_a_suite() {
+        let c = Campaign::from_spec("name = s\nconfigs = nosq\nsuite = specfp\nmax_insts = 100")
+            .unwrap();
+        assert!(c
+            .profiles
+            .iter()
+            .all(|p| p.suite == nosq_trace::Suite::SpecFp));
+    }
+}

@@ -1,0 +1,71 @@
+//! Chunked-session equivalence property: splitting a simulation into
+//! *arbitrary* `run_until(Cycles(..))` chunk sequences yields a
+//! [`SimReport`] identical to the one-shot run — the invariant the
+//! `nosq-lab` executor's chunked job loop (and any future
+//! checkpoint/resume machinery) rests on.
+//!
+//! `it_determinism.rs` pins one fixed interleaving; this suite lets the
+//! (vendored, deterministic) proptest stand-in pick the chunk sizes.
+
+use proptest::prelude::*;
+
+use nosq_core::{simulate, SimConfig, SimReport, Simulator, StopCondition};
+use nosq_isa::Program;
+use nosq_trace::{synthesize, Profile};
+
+const BUDGET: u64 = 6_000;
+
+fn program() -> Program {
+    let profile = Profile::by_name("g721.e").expect("profile exists");
+    synthesize(profile, nosq_bench::SEED)
+}
+
+fn config(idx: usize) -> SimConfig {
+    match idx {
+        0 => SimConfig::nosq(BUDGET),
+        1 => SimConfig::nosq_no_delay(BUDGET),
+        2 => SimConfig::baseline_storesets(BUDGET),
+        _ => SimConfig::perfect_smb(BUDGET),
+    }
+}
+
+/// Runs the session by cycling through `chunks` as successive
+/// `run_until(Cycles(now + chunk))` targets until completion.
+fn run_chunked(program: &Program, cfg: SimConfig, chunks: &[u64]) -> SimReport {
+    let mut sim = Simulator::new(program, cfg);
+    let mut i = 0;
+    while !sim.is_done() {
+        let target = sim.stats().cycles + chunks[i % chunks.len()];
+        sim.run_until(StopCondition::Cycles(target));
+        i += 1;
+    }
+    sim.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any chunk sequence, any configuration: bit-identical reports.
+    #[test]
+    fn arbitrary_chunking_matches_one_shot(
+        chunks in prop::collection::vec(1u64..4_000, 1..10),
+        cfg_idx in 0usize..4,
+    ) {
+        let program = program();
+        let cfg = config(cfg_idx);
+        let one_shot = simulate(&program, cfg.clone());
+        let chunked = run_chunked(&program, cfg, &chunks);
+        prop_assert_eq!(one_shot, chunked, "chunks {:?} diverged", chunks);
+    }
+}
+
+/// Degenerate chunking — every chunk one cycle — is just `step()` in
+/// disguise and must agree too (cheap fixed case kept outside the
+/// property loop).
+#[test]
+fn single_cycle_chunking_matches_one_shot() {
+    let program = program();
+    let cfg = SimConfig::nosq(2_000);
+    let one_shot = simulate(&program, cfg.clone());
+    assert_eq!(one_shot, run_chunked(&program, cfg, &[1]));
+}
