@@ -1,0 +1,160 @@
+//! Measured simulation throughput: simulated MIPS (millions of dynamic
+//! instructions per wall-clock second) for representative profiles
+//! across all five pipeline configurations, plus tracer-only
+//! throughput, written to `BENCH_throughput.json` at the repo root.
+//!
+//! This is the workspace's performance trajectory anchor: every hot-path
+//! change should move these numbers, and nothing else in the evaluation
+//! pipeline measures wall-clock at all (artifact bytes are deterministic
+//! by design; throughput is the one thing that is allowed to vary).
+//!
+//! Budget per point comes from `NOSQ_DYN_INSTS` (default 150k).
+
+use std::time::Instant;
+
+use nosq_bench::{dyn_insts, workload};
+use nosq_core::ser::{json_f64, JsonArray, JsonObject};
+use nosq_core::SimConfig;
+use nosq_trace::{Profile, TraceBuffer, Tracer};
+
+/// The representative profile set: both SPEC suites and MediaBench.
+const PROFILES: [&str; 4] = ["gzip", "gcc", "applu", "gsm.e"];
+
+/// The five pipeline configurations of the paper's evaluation.
+fn configs(n: u64) -> Vec<(&'static str, SimConfig)> {
+    vec![
+        ("assoc-sq", SimConfig::baseline_perfect(n)),
+        ("baseline-storesets", SimConfig::baseline_storesets(n)),
+        ("nosq-no-delay", SimConfig::nosq_no_delay(n)),
+        ("nosq", SimConfig::nosq(n)),
+        ("perfect-smb", SimConfig::perfect_smb(n)),
+    ]
+}
+
+struct Point {
+    profile: &'static str,
+    config: &'static str,
+    insts: u64,
+    cycles: u64,
+    wall_secs: f64,
+    mips: f64,
+}
+
+fn main() {
+    let n = dyn_insts();
+    let mut points = Vec::new();
+    let mut tracer_points = Vec::new();
+    let mut arena = nosq_core::SimArena::new();
+
+    println!(
+        "{:<9} {:<20} {:>10} {:>10} {:>9} {:>8}",
+        "profile", "config", "insts", "cycles", "wall(ms)", "MIPS"
+    );
+    for name in PROFILES {
+        let profile = Profile::by_name(name).expect("profile exists");
+        let program = workload(profile);
+
+        // Tracer throughput: the streaming functional front of the
+        // datapath (execution + dependence analysis, no buffering).
+        let started = Instant::now();
+        let traced = Tracer::with_arena(&program, n, &mut arena.trace).count() as u64;
+        let secs = started.elapsed().as_secs_f64();
+        let mips = traced as f64 / secs / 1.0e6;
+        println!(
+            "{:<9} {:<20} {:>10} {:>10} {:>9.1} {:>8.2}",
+            name,
+            "tracer-only",
+            traced,
+            "-",
+            secs * 1e3,
+            mips
+        );
+        tracer_points.push((name, traced, secs, mips));
+
+        // Pipeline throughput per configuration: one shared recorded
+        // trace (untimed prep — its cost is the tracer point above
+        // plus buffering, amortized across the sweep), arena recycled
+        // across runs exactly like a lab worker.
+        let trace = TraceBuffer::record_with_arena(&program, n, &mut arena.trace);
+        for (cname, cfg) in configs(n) {
+            let started = Instant::now();
+            let report =
+                nosq_core::Simulator::replay_with_arena(&program, cfg, &trace, &mut arena).run();
+            let secs = started.elapsed().as_secs_f64();
+            let mips = report.insts as f64 / secs / 1.0e6;
+            println!(
+                "{:<9} {:<20} {:>10} {:>10} {:>9.1} {:>8.2}",
+                name,
+                cname,
+                report.insts,
+                report.cycles,
+                secs * 1e3,
+                mips
+            );
+            points.push(Point {
+                profile: name,
+                config: cname,
+                insts: report.insts,
+                cycles: report.cycles,
+                wall_secs: secs,
+                mips,
+            });
+        }
+    }
+
+    let json = throughput_json(n, &points, &tracer_points);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    std::fs::write(path, &json).expect("write BENCH_throughput.json");
+    println!("(wrote {path})");
+
+    let agg_insts: u64 = points.iter().map(|p| p.insts).sum();
+    let agg_secs: f64 = points.iter().map(|p| p.wall_secs).sum();
+    println!(
+        "aggregate pipeline throughput: {:.2} MIPS over {} points",
+        agg_insts as f64 / agg_secs / 1.0e6,
+        points.len()
+    );
+}
+
+fn throughput_json(n: u64, points: &[Point], tracer: &[(&str, u64, f64, f64)]) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_u64("dyn_insts_budget", n);
+
+    let mut tr = JsonArray::new();
+    for (name, insts, secs, mips) in tracer {
+        let mut o = JsonObject::new();
+        o.field_str("profile", name)
+            .field_u64("insts", *insts)
+            .field_raw("wall_secs", &json_f64(*secs))
+            .field_raw("mips", &json_f64(*mips));
+        tr.push_raw(&o.finish());
+    }
+    obj.field_raw("tracer", &tr.finish());
+
+    let mut arr = JsonArray::new();
+    for p in points {
+        let mut o = JsonObject::new();
+        o.field_str("profile", p.profile)
+            .field_str("config", p.config)
+            .field_u64("insts", p.insts)
+            .field_u64("cycles", p.cycles)
+            .field_raw("wall_secs", &json_f64(p.wall_secs))
+            .field_raw("mips", &json_f64(p.mips));
+        arr.push_raw(&o.finish());
+    }
+    obj.field_raw("pipeline", &arr.finish());
+
+    let agg_insts: u64 = points.iter().map(|p| p.insts).sum();
+    let agg_secs: f64 = points.iter().map(|p| p.wall_secs).sum();
+    let tr_insts: u64 = tracer.iter().map(|t| t.1).sum();
+    let tr_secs: f64 = tracer.iter().map(|t| t.2).sum();
+    obj.field_raw(
+        "aggregate_pipeline_mips",
+        &json_f64(agg_insts as f64 / agg_secs / 1.0e6),
+    );
+    obj.field_raw(
+        "aggregate_tracer_mips",
+        &json_f64(tr_insts as f64 / tr_secs / 1.0e6),
+    );
+    obj.finish()
+}

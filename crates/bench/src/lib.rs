@@ -29,11 +29,24 @@ use nosq_trace::{synthesize, Profile, Suite};
 pub const SEED: u64 = nosq_lab::DEFAULT_SEED;
 
 /// Dynamic instructions per simulation (`NOSQ_DYN_INSTS`, default 150k).
+///
+/// # Panics
+///
+/// Panics if `NOSQ_DYN_INSTS` is set but not a positive integer
+/// (underscore separators allowed). Silently falling back to the
+/// default would make a whole benchmark campaign measure the wrong
+/// budget without anyone noticing.
 pub fn dyn_insts() -> u64 {
-    std::env::var("NOSQ_DYN_INSTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150_000)
+    let Some(raw) = std::env::var_os("NOSQ_DYN_INSTS") else {
+        return 150_000;
+    };
+    let text = raw
+        .to_str()
+        .unwrap_or_else(|| panic!("NOSQ_DYN_INSTS is not valid UTF-8: {raw:?}"));
+    match text.replace('_', "").parse() {
+        Ok(n) if n > 0 => n,
+        _ => panic!("NOSQ_DYN_INSTS must be a positive integer, got `{text}`"),
+    }
 }
 
 /// Synthesizes the calibrated workload for a profile.
@@ -183,6 +196,56 @@ mod tests {
         if std::env::var("NOSQ_DYN_INSTS").is_err() {
             assert_eq!(dyn_insts(), 150_000);
         }
+    }
+
+    /// Helper target for the subprocess tests below: evaluates
+    /// `dyn_insts()` whenever the variable is set, so a garbage value
+    /// panics (failing the subprocess) and a known-good value is
+    /// asserted.
+    #[test]
+    fn dyn_insts_probe_value() {
+        match std::env::var("NOSQ_DYN_INSTS").as_deref() {
+            Ok("2_500") => assert_eq!(dyn_insts(), 2_500),
+            Ok(_) => {
+                let _ = dyn_insts();
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// An unparsable `NOSQ_DYN_INSTS` must panic with the offending
+    /// value — checked in subprocesses so the parent test environment
+    /// stays untouched.
+    #[test]
+    fn dyn_insts_rejects_garbage() {
+        let exe = std::env::current_exe().expect("test binary path");
+        for bad in ["abc", "0", "-5", "1.5", ""] {
+            let out = std::process::Command::new(&exe)
+                .args(["--exact", "tests::dyn_insts_probe_value"])
+                .env("NOSQ_DYN_INSTS", bad)
+                .output()
+                .expect("spawn test subprocess");
+            assert!(
+                !out.status.success(),
+                "NOSQ_DYN_INSTS=`{bad}` must panic, got success"
+            );
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert!(
+                stdout.contains(bad) || bad.is_empty(),
+                "panic message must name the offending value `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn dyn_insts_parses_underscored_values() {
+        let exe = std::env::current_exe().expect("test binary path");
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "tests::dyn_insts_probe_value"])
+            .env("NOSQ_DYN_INSTS", "2_500")
+            .output()
+            .expect("spawn test subprocess");
+        assert!(out.status.success(), "2_500 must parse");
     }
 
     #[test]

@@ -100,6 +100,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bypass;
 pub mod config;
 pub mod observer;
@@ -109,6 +110,7 @@ pub mod report;
 pub mod ser;
 pub mod srq;
 
+pub use arena::SimArena;
 pub use config::{ConfigError, LsuModel, Scheduling, SimConfig, SimConfigBuilder};
 pub use observer::{
     BypassEvent, CommitEvent, CycleEvent, ReexecEvent, SimObserver, SquashCause, SquashEvent,

@@ -12,20 +12,32 @@
 //! Within a cycle, stages run back to front (commit → issue → dispatch →
 //! fetch) so resources freed by commit are visible to issue in the same
 //! cycle but newly fetched instructions cannot dispatch early.
+//!
+//! # Datapath layout
+//!
+//! The hot-path state is flat and index-addressed: each in-flight
+//! [`DynInst`] is stored exactly once in a slab
+//! ([`InstPool`](crate::arena)) and travels through the fetch buffer,
+//! ROB, and squash-replay queue as a 4-byte index; the ROB and its
+//! sibling queues are power-of-two rings with stable absolute positions
+//! ([`Ring`](crate::arena)); and the issue stage walks a compact
+//! candidate list of ROB positions instead of rescanning every ROB
+//! entry each cycle. All of it is recyclable across sessions through
+//! [`SimArena`] / [`Simulator::with_arena`] — reuse never changes a
+//! report byte, only where the memory comes from.
 
 pub(crate) mod nodes;
 
 #[cfg(test)]
 mod tests;
 
-use std::collections::VecDeque;
-
 use nosq_isa::exec::load_extend;
 use nosq_isa::{Inst, InstClass, MemWidth, Memory, Program, Reg};
-use nosq_trace::{Coverage, DynInst, Tracer};
+use nosq_trace::{Coverage, DynInst, TraceBuffer, Tracer};
 use nosq_uarch::branch::{Btb, HybridPredictor, ReturnAddressStack};
 use nosq_uarch::{MemoryHierarchy, Ssn, SsnCounters, StoreSets, Tlb, Tssbf, TssbfLookup};
 
+use crate::arena::{CoreBuffers, InstPool, Ring, SimArena};
 use crate::bypass::{bypass_value, needs_shift_mask};
 use crate::config::{LsuModel, Scheduling, SimConfig};
 use crate::observer::{
@@ -72,10 +84,16 @@ struct LoadState {
     oracle: bool,
 }
 
-#[derive(Clone, Debug)]
-struct Entry {
+/// One ROB entry. The dynamic instruction itself lives in the
+/// [`InstPool`] slab; the entry carries its 4-byte index (plus a cached
+/// class, the one field the per-cycle loops touch constantly).
+#[derive(Debug)]
+pub(crate) struct Entry {
     uid: u64,
-    d: DynInst,
+    /// Index of this entry's [`DynInst`] in the instruction pool.
+    inst: u32,
+    /// Cached `DynInst::class`.
+    class: InstClass,
     path_snap: u64,
     bpred_snap: u64,
     ras_snap: (usize, usize),
@@ -85,7 +103,6 @@ struct Entry {
     prev_node: Option<NodeId>,
     srcs: [Option<NodeId>; 2],
     // Scheduling.
-    in_iq: bool,
     issued: bool,
     complete_cycle: u64,
     mispredicted_branch: bool,
@@ -99,8 +116,106 @@ struct Entry {
     store_data_ref: Option<NodeId>,
 }
 
-struct Fetched {
-    d: DynInst,
+/// An issue candidate whose operands are (or will shortly be) ready:
+/// the entry's stable ROB position plus its cached *issue* class
+/// (partial bypasses issue as the injected shift & mask, i.e.
+/// [`InstClass::SimpleInt`]).
+///
+/// The issue stage is event-driven: candidates whose producers have not
+/// issued are parked on a producer node ([`Waiter`]); candidates with a
+/// known future ready cycle sit in a time-ordered wheel
+/// ([`WheelEntry`]); only candidates that are eligible *now* live in
+/// the scanned `iq_ready` list, sorted by age. A waiting instruction
+/// therefore costs zero scan work per cycle, while the issue decisions
+/// — age priority, per-class slots, load gates — are made over exactly
+/// the same ready set, in exactly the same order, as a full ROB scan
+/// would produce.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct ReadyCand {
+    /// Absolute ROB position ([`Ring::get_abs`]).
+    pos: u64,
+    /// Cached issue class.
+    class: InstClass,
+}
+
+/// A candidate whose operand-ready cycle is known but in the future,
+/// filed in a min-heap keyed by (ready cycle, age). Producers set a
+/// node's ready cycle exactly once (at issue, always a future cycle —
+/// every execution latency is ≥ 1), so a wheel entry never needs
+/// revisiting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct WheelEntry {
+    ready: u64,
+    pos: u64,
+    class: InstClass,
+}
+
+impl Ord for WheelEntry {
+    fn cmp(&self, other: &WheelEntry) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first;
+        // `pos` is unique, making the order total and deterministic.
+        (other.ready, other.pos).cmp(&(self.ready, self.pos))
+    }
+}
+
+impl PartialOrd for WheelEntry {
+    fn partial_cmp(&self, other: &WheelEntry) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A candidate parked on an unissued producer's node, in an intrusive
+/// free-list arena (`next` chains waiters of the same node). Woken when
+/// the node's ready cycle is set; re-parked if another source is still
+/// unknown.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct Waiter {
+    pos: u64,
+    class: InstClass,
+    /// Cached source nodes (fixed after rename) for the readiness
+    /// recompute on wake-up.
+    srcs: [Option<NodeId>; 2],
+    next: u32,
+}
+
+/// `next` sentinel / empty waiter-list head.
+const NO_WAITER: u32 = u32::MAX;
+
+/// Where the pipeline's dynamic instructions come from: a live
+/// [`Tracer`] (functional execution interleaved with timing) or a
+/// recorded [`TraceBuffer`] replay (functional work paid once, shared
+/// by many configurations). Both produce the identical stream.
+enum InstSource<'p> {
+    Live(Box<Tracer<'p>>),
+    Replay {
+        insts: &'p [DynInst],
+        next: usize,
+        limit: usize,
+    },
+}
+
+impl InstSource<'_> {
+    #[inline]
+    fn next(&mut self) -> Option<DynInst> {
+        match self {
+            InstSource::Live(t) => t.next(),
+            InstSource::Replay { insts, next, limit } => {
+                if *next >= *limit {
+                    return None;
+                }
+                let d = insts[*next];
+                *next += 1;
+                Some(d)
+            }
+        }
+    }
+}
+
+/// A fetched-but-not-dispatched instruction (pool index + front-end
+/// snapshots).
+#[derive(Debug)]
+pub(crate) struct Fetched {
+    inst: u32,
     uid: u64,
     fetch_cycle: u64,
     path_snap: u64,
@@ -147,9 +262,10 @@ impl std::fmt::Debug for StopCondition<'_> {
 
 /// The simulator for one (program, configuration) pair.
 ///
-/// A `Simulator` is a *session*: construct it with [`Simulator::new`],
-/// optionally [attach observers](Simulator::attach_observer), advance it
-/// incrementally with [`step`](Simulator::step) /
+/// A `Simulator` is a *session*: construct it with [`Simulator::new`]
+/// (or [`Simulator::with_arena`] to recycle a previous session's
+/// buffers), optionally [attach observers](Simulator::attach_observer),
+/// advance it incrementally with [`step`](Simulator::step) /
 /// [`run_until`](Simulator::run_until) while reading
 /// [`stats`](Simulator::stats) snapshots, and close it with
 /// [`finish`](Simulator::finish) for the final [`SimReport`]. The
@@ -162,16 +278,33 @@ pub struct Simulator<'p> {
     cycle_cap: u64,
     next_uid: u64,
     // Instruction supply.
-    stream: Tracer<'p>,
+    stream: InstSource<'p>,
     stream_done: bool,
-    pending: VecDeque<DynInst>,
-    fetch_buffer: VecDeque<Fetched>,
+    /// In-flight dynamic instructions, stored once, addressed by index.
+    insts: InstPool,
+    /// Squash-replay queue (pool indices, program order).
+    pending: Ring<u32>,
+    fetch_buffer: Ring<Fetched>,
     // Window.
-    rob: VecDeque<Entry>,
-    backend_exits: VecDeque<u64>,
-    iq_used: usize,
+    rob: Ring<Entry>,
+    backend_exits: Ring<u64>,
+    /// Issue-eligible candidates (operands ready), ascending ROB
+    /// position = age order — the only list the per-cycle scan walks.
+    iq_ready: Vec<ReadyCand>,
+    /// Candidates with a known *future* ready cycle, earliest first.
+    wheel: std::collections::BinaryHeap<WheelEntry>,
+    /// Waiter arena (parked candidates chained per producer node).
+    waiters: Vec<Waiter>,
+    waiter_free: Vec<u32>,
+    /// Per-node waiter-list heads, indexed by [`NodeId`]
+    /// ([`NO_WAITER`] = empty), grown on demand.
+    node_waiters: Vec<u32>,
+    /// Issue-queue occupancy (ready + wheel + parked).
+    iq_count: usize,
     lq_used: usize,
     sq_used: usize,
+    /// Squash scratch (drained ROB entries), reused across squashes.
+    scratch: Vec<Entry>,
     // Register state.
     regs: RegState,
     // Memory.
@@ -197,25 +330,131 @@ pub struct Simulator<'p> {
     observers: Vec<Box<dyn SimObserver + 'p>>,
     done: bool,
     mispredict_pcs: std::collections::HashMap<u64, u64>,
+    /// Where to return the recyclable buffers at `finish`.
+    arena_core: Option<&'p mut CoreBuffers>,
 }
 
 impl<'p> Simulator<'p> {
-    /// Builds a simulator over `program`.
+    /// Builds a simulator over `program` with session-owned buffers.
     pub fn new(program: &'p Program, cfg: SimConfig) -> Simulator<'p> {
+        let stream = InstSource::Live(Box::new(Tracer::new(program, cfg.max_insts)));
+        Simulator::build(program, cfg, stream, None)
+    }
+
+    /// Builds a simulator over `program` that borrows its hot-path
+    /// buffers from `arena` instead of allocating them, and returns
+    /// them (grown to steady-state capacity) at
+    /// [`finish`](Simulator::finish) for the next session.
+    ///
+    /// Reports are bit-identical to [`Simulator::new`]; the arena only
+    /// removes per-session allocation. A session dropped without
+    /// `finish` forfeits the buffers (the arena re-allocates on next
+    /// use) but is otherwise safe.
+    pub fn with_arena(
+        program: &'p Program,
+        cfg: SimConfig,
+        arena: &'p mut SimArena,
+    ) -> Simulator<'p> {
+        let SimArena { trace, core } = arena;
+        let stream = InstSource::Live(Box::new(Tracer::with_arena(program, cfg.max_insts, trace)));
+        Simulator::build(program, cfg, stream, Some(core))
+    }
+
+    /// Builds a simulator that replays a recorded [`TraceBuffer`]
+    /// instead of tracing live. The functional front end runs once per
+    /// (program, budget); every configuration sharing the trace skips
+    /// it entirely, with bit-identical reports (the dynamic stream does
+    /// not depend on the timing configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace's recording budget does not
+    /// [cover](TraceBuffer::covers) `cfg.max_insts` (the replay would
+    /// truncate earlier than a live trace).
+    pub fn replay(program: &'p Program, cfg: SimConfig, trace: &'p TraceBuffer) -> Simulator<'p> {
+        let stream = Simulator::replay_source(&cfg, trace);
+        Simulator::build(program, cfg, stream, None)
+    }
+
+    /// [`Simulator::replay`] with arena-recycled buffers — the fastest
+    /// way to run a configuration sweep over one workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace does not [cover](TraceBuffer::covers)
+    /// `cfg.max_insts`.
+    pub fn replay_with_arena(
+        program: &'p Program,
+        cfg: SimConfig,
+        trace: &'p TraceBuffer,
+        arena: &'p mut SimArena,
+    ) -> Simulator<'p> {
+        let stream = Simulator::replay_source(&cfg, trace);
+        Simulator::build(program, cfg, stream, Some(&mut arena.core))
+    }
+
+    fn replay_source(cfg: &SimConfig, trace: &'p TraceBuffer) -> InstSource<'p> {
+        assert!(
+            trace.covers(cfg.max_insts),
+            "trace recorded with budget {} cannot replay budget {}",
+            trace.max_insts(),
+            cfg.max_insts
+        );
+        InstSource::Replay {
+            insts: trace.insts(),
+            next: 0,
+            limit: trace.len().min(cfg.max_insts as usize),
+        }
+    }
+
+    fn build(
+        program: &'p Program,
+        cfg: SimConfig,
+        stream: InstSource<'p>,
+        core: Option<&'p mut CoreBuffers>,
+    ) -> Simulator<'p> {
         let m = &cfg.machine;
+        let mut arena_core = core;
+        let mut bufs = match arena_core.as_deref_mut() {
+            Some(c) => std::mem::take(c),
+            None => CoreBuffers::default(),
+        };
+        bufs.clear();
+        let CoreBuffers {
+            insts,
+            mut rob,
+            fetch,
+            exits,
+            pending,
+            scratch,
+            iq_ready,
+            wheel,
+            waiters,
+            waiter_free,
+            node_waiters,
+            srq,
+        } = bufs;
+        rob.reserve(m.rob_size);
         Simulator {
             clock: 0,
             cycle_cap: 1_000_000 + cfg.max_insts.saturating_mul(300),
             next_uid: 0,
-            stream: Tracer::new(program, cfg.max_insts),
+            stream,
             stream_done: false,
-            pending: VecDeque::new(),
-            fetch_buffer: VecDeque::new(),
-            rob: VecDeque::new(),
-            backend_exits: VecDeque::new(),
-            iq_used: 0,
+            insts,
+            pending,
+            fetch_buffer: fetch,
+            rob,
+            backend_exits: exits,
+            iq_ready,
+            wheel,
+            waiters,
+            waiter_free,
+            node_waiters,
+            iq_count: 0,
             lq_used: 0,
             sq_used: 0,
+            scratch,
             regs: RegState::new(m.phys_regs),
             timing_mem: program.initial_memory(),
             hierarchy: MemoryHierarchy::new(
@@ -233,7 +472,7 @@ impl<'p> Simulator<'p> {
             fetch_stalled_on: None,
             halt_fetched: false,
             ssn: SsnCounters::new(m.ssn_bits),
-            srq: StoreRegisterQueue::new(8192),
+            srq: StoreRegisterQueue::with_storage(srq, 8192),
             tssbf: Tssbf::new(128, 4),
             predictor: BypassingPredictor::new(cfg.predictor),
             storesets: StoreSets::new(4096),
@@ -243,6 +482,7 @@ impl<'p> Simulator<'p> {
             cfg,
             done: false,
             mispredict_pcs: std::collections::HashMap::new(),
+            arena_core,
         }
     }
 
@@ -326,8 +566,11 @@ impl<'p> Simulator<'p> {
     /// Closes the session and returns the report for everything
     /// executed so far (the full program after a
     /// [`run_until(Done)`](Simulator::run_until), or a prefix if
-    /// stopped early).
-    pub fn finish(self) -> SimReport {
+    /// stopped early). A session built with
+    /// [`with_arena`](Simulator::with_arena) hands its buffers back to
+    /// the arena here.
+    pub fn finish(mut self) -> SimReport {
+        self.release_buffers();
         if !self.mispredict_pcs.is_empty() {
             let mut v: Vec<_> = self.mispredict_pcs.iter().collect();
             v.sort_by_key(|(_, c)| std::cmp::Reverse(**c));
@@ -336,6 +579,27 @@ impl<'p> Simulator<'p> {
             }
         }
         self.stats
+    }
+
+    /// Returns the recyclable buffers to the arena, if this session
+    /// borrowed one.
+    fn release_buffers(&mut self) {
+        if let Some(core) = self.arena_core.take() {
+            *core = CoreBuffers {
+                insts: std::mem::take(&mut self.insts),
+                rob: std::mem::take(&mut self.rob),
+                fetch: std::mem::take(&mut self.fetch_buffer),
+                exits: std::mem::take(&mut self.backend_exits),
+                pending: std::mem::take(&mut self.pending),
+                scratch: std::mem::take(&mut self.scratch),
+                iq_ready: std::mem::take(&mut self.iq_ready),
+                wheel: std::mem::take(&mut self.wheel),
+                waiters: std::mem::take(&mut self.waiters),
+                waiter_free: std::mem::take(&mut self.waiter_free),
+                node_waiters: std::mem::take(&mut self.node_waiters),
+                srq: std::mem::take(&mut self.srq).into_storage(),
+            };
+        }
     }
 
     /// Runs to completion and returns the collected statistics —
@@ -405,7 +669,7 @@ impl<'p> Simulator<'p> {
             if head.complete_cycle > self.clock {
                 break;
             }
-            let class = head.d.class;
+            let class = head.class;
             // Port reservation before any effect.
             let needs_port_now = match class {
                 InstClass::Store => true,
@@ -440,7 +704,7 @@ impl<'p> Simulator<'p> {
             if !self.observers.is_empty() {
                 let ev = CommitEvent {
                     cycle: self.clock,
-                    pc: entry.d.rec.pc,
+                    pc: self.insts[entry.inst].rec.pc,
                     class,
                 };
                 self.emit(|o| o.on_commit(&ev));
@@ -456,26 +720,32 @@ impl<'p> Simulator<'p> {
                         } else {
                             SquashCause::OrderingViolation
                         },
-                        load_pc: entry.d.rec.pc,
+                        load_pc: self.insts[entry.inst].rec.pc,
                         squashed,
                     };
                     self.emit(|o| o.on_squash(&ev));
                 }
+                self.insts.release(entry.inst);
                 break;
             }
+            self.insts.release(entry.inst);
         }
     }
 
     /// Store effects at its data-cache stage: write the commit-ordered
     /// memory image, update the T-SSBF and SSN counters (paper Table 4).
     fn commit_store(&mut self, entry: &Entry) {
-        let d = &entry.d;
-        let width = d.rec.inst.mem_width().expect("store width");
-        self.timing_mem
-            .write(d.rec.addr, width.bytes(), d.rec.store_mem_bits);
-        self.tssbf
-            .record_store(d.rec.addr, width.bytes() as u8, entry.ssn);
-        self.hierarchy.store_commit(d.rec.addr);
+        let (addr, width) = {
+            let d = &self.insts[entry.inst];
+            (
+                d.rec.addr,
+                d.rec.inst.mem_width().expect("store width").bytes(),
+            )
+        };
+        let store_mem_bits = self.insts[entry.inst].rec.store_mem_bits;
+        self.timing_mem.write(addr, width, store_mem_bits);
+        self.tssbf.record_store(addr, width as u8, entry.ssn);
+        self.hierarchy.store_commit(addr);
         self.ssn.commit_store();
         let visible = self.clock + self.backend_depth() - 2;
         if let Some(info) = self.srq.get_mut(entry.ssn) {
@@ -501,15 +771,16 @@ impl<'p> Simulator<'p> {
         if ls.oracle {
             return false;
         }
-        let width = entry.d.rec.inst.mem_width().expect("load width").bytes() as u8;
+        let d = &self.insts[entry.inst];
+        let width = d.rec.inst.mem_width().expect("load width").bytes() as u8;
         match ls.mode {
             LoadMode::Bypassed { .. } => {
                 self.tssbf
-                    .must_reexecute_equality(entry.d.rec.addr, width, ls.ssn_nvul)
+                    .must_reexecute_equality(d.rec.addr, width, ls.ssn_nvul)
             }
             _ => self
                 .tssbf
-                .must_reexecute_inequality(entry.d.rec.addr, width, ls.ssn_nvul),
+                .must_reexecute_inequality(d.rec.addr, width, ls.ssn_nvul),
         }
     }
 
@@ -517,7 +788,7 @@ impl<'p> Simulator<'p> {
     /// must be squashed.
     fn verify_load(&mut self, entry: &Entry, reexec: bool) -> bool {
         let ls = entry.load.as_ref().expect("load state");
-        let d = &entry.d;
+        let d = self.insts[entry.inst]; // one local copy per committed load
         let width = d.rec.inst.mem_width().expect("load width");
         self.stats.memory.loads += 1;
         if let Some(dep) = d.mem_dep {
@@ -592,14 +863,19 @@ impl<'p> Simulator<'p> {
                     }
                 }
             }
-            LsuModel::Nosq { .. } => self.train_bypass_predictor(entry, ls, mispredict),
+            LsuModel::Nosq { .. } => self.train_bypass_predictor(entry, &d, ls, mispredict),
             LsuModel::NosqOracle => {}
         }
         mispredict
     }
 
-    fn train_bypass_predictor(&mut self, entry: &Entry, ls: &LoadState, mispredict: bool) {
-        let d = &entry.d;
+    fn train_bypass_predictor(
+        &mut self,
+        entry: &Entry,
+        d: &DynInst,
+        ls: &LoadState,
+        mispredict: bool,
+    ) {
         let mut history = PathHistory::new();
         history.restore(entry.path_snap);
         if mispredict {
@@ -653,17 +929,24 @@ impl<'p> Simulator<'p> {
     /// the whole ROB, the fetch buffer, and re-queues their dynamic
     /// instructions for refetch.
     fn squash_younger_than_head(&mut self) {
-        // Reverse walk for rename rollback.
-        let entries: Vec<Entry> = self.rob.drain(..).collect();
-        for e in entries.iter().rev() {
+        // Drain the ROB into the reusable scratch, then walk it in
+        // reverse for rename rollback.
+        debug_assert!(self.scratch.is_empty());
+        while let Some(e) = self.rob.pop_front() {
+            self.scratch.push(e);
+        }
+        self.iq_ready.clear();
+        self.wheel.clear();
+        self.waiters.clear();
+        self.waiter_free.clear();
+        self.node_waiters.clear();
+        self.iq_count = 0;
+        for e in self.scratch.iter().rev() {
             if let Some(reg) = e.map_reg {
                 self.regs.remap(reg, e.prev_node);
                 if let Some(node) = e.map_node {
                     self.regs.release(node);
                 }
-            }
-            if e.in_iq && !e.issued {
-                self.iq_used -= 1;
             }
             if e.holds_lq {
                 self.lq_used -= 1;
@@ -671,7 +954,7 @@ impl<'p> Simulator<'p> {
             if e.holds_sq {
                 self.sq_used -= 1;
             }
-            if e.d.class == InstClass::Store {
+            if e.class == InstClass::Store {
                 if let Some(node) = e.store_data_ref {
                     // Baseline releases at execute; if unexecuted (or
                     // NoSQ, which releases at commit), release now.
@@ -680,18 +963,22 @@ impl<'p> Simulator<'p> {
                     }
                 }
                 self.srq.invalidate(e.ssn);
-                self.storesets.store_resolved(e.d.rec.pc, e.ssn);
+                self.storesets
+                    .store_resolved(self.insts[e.inst].rec.pc, e.ssn);
             }
         }
         // Roll the rename SSN back to the squash point.
-        if let Some(first) = entries.first() {
-            self.ssn.rollback_rename(Ssn(first.d.stores_before));
+        if let Some(first) = self.scratch.first() {
+            self.ssn
+                .rollback_rename(Ssn(self.insts[first.inst].stores_before));
         } else if let Some(fb) = self.fetch_buffer.front() {
-            self.ssn.rollback_rename(Ssn(fb.d.stores_before));
+            self.ssn
+                .rollback_rename(Ssn(self.insts[fb.inst].stores_before));
         }
         // Restore front-end speculative state to the oldest squashed
         // instruction's snapshots.
-        let front_snap = entries
+        let front_snap = self
+            .scratch
             .first()
             .map(|e| (e.path_snap, e.bpred_snap, e.ras_snap))
             .or_else(|| {
@@ -704,11 +991,13 @@ impl<'p> Simulator<'p> {
             self.bpred.set_history(bh);
             self.ras.restore(ras);
         }
-        // Re-queue dynamic instructions in program order.
-        let mut replay: Vec<DynInst> = entries.into_iter().map(|e| e.d).collect();
-        replay.extend(self.fetch_buffer.drain(..).map(|f| f.d));
-        for d in replay.into_iter().rev() {
-            self.pending.push_front(d);
+        // Re-queue pool indices in program order: youngest first onto
+        // the front, so the queue reads oldest-to-youngest.
+        while let Some(f) = self.fetch_buffer.pop_back() {
+            self.pending.push_front(f.inst);
+        }
+        for e in self.scratch.drain(..).rev() {
+            self.pending.push_front(e.inst);
         }
         self.fetch_stalled_on = None;
         // A squashed halt returns to `pending` and must be refetched.
@@ -722,7 +1011,121 @@ impl<'p> Simulator<'p> {
     // Issue.
     // ----------------------------------------------------------------
 
+    /// Files a freshly dispatched IQ candidate into the right scheduler
+    /// tier: eligible now, wheel (known future ready), or parked on an
+    /// unissued producer's node.
+    fn iq_insert(&mut self, pos: u64, class: InstClass, srcs: [Option<NodeId>; 2]) {
+        self.iq_count += 1;
+        let ready = srcs
+            .iter()
+            .flatten()
+            .map(|&n| self.regs.ready(Some(n)))
+            .max()
+            .unwrap_or(0);
+        if ready == u64::MAX {
+            self.park(pos, class, srcs);
+        } else if ready > self.clock {
+            self.wheel.push(WheelEntry { ready, pos, class });
+        } else {
+            // Dispatch order is age order, so a plain push keeps
+            // `iq_ready` sorted (the new position is the largest).
+            debug_assert!(self.iq_ready.last().is_none_or(|c| c.pos < pos));
+            self.iq_ready.push(ReadyCand { pos, class });
+        }
+    }
+
+    /// Parks a candidate on its first not-yet-ready source node.
+    fn park(&mut self, pos: u64, class: InstClass, srcs: [Option<NodeId>; 2]) {
+        let node = srcs
+            .iter()
+            .flatten()
+            .copied()
+            .find(|&n| self.regs.ready(Some(n)) == u64::MAX)
+            .expect("parked candidate has an unready source");
+        let node = node as usize;
+        if node >= self.node_waiters.len() {
+            self.node_waiters.resize(node + 1, NO_WAITER);
+        }
+        let w = Waiter {
+            pos,
+            class,
+            srcs,
+            next: self.node_waiters[node],
+        };
+        let idx = match self.waiter_free.pop() {
+            Some(i) => {
+                self.waiters[i as usize] = w;
+                i
+            }
+            None => {
+                self.waiters.push(w);
+                (self.waiters.len() - 1) as u32
+            }
+        };
+        self.node_waiters[node] = idx;
+    }
+
+    /// Wakes every candidate parked on `node` after its ready cycle was
+    /// set: re-park if another source is still unknown, otherwise file
+    /// into the wheel (readiness is always a future cycle — every
+    /// execution latency is ≥ 1, so no candidate can become eligible in
+    /// the cycle its producer issues).
+    fn wake_node(&mut self, node: NodeId) {
+        let Some(head) = self.node_waiters.get_mut(node as usize) else {
+            return;
+        };
+        let mut idx = std::mem::replace(head, NO_WAITER);
+        while idx != NO_WAITER {
+            let w = self.waiters[idx as usize];
+            self.waiter_free.push(idx);
+            idx = w.next;
+            let ready = w
+                .srcs
+                .iter()
+                .flatten()
+                .map(|&n| self.regs.ready(Some(n)))
+                .max()
+                .unwrap_or(0);
+            if ready == u64::MAX {
+                self.park(w.pos, w.class, w.srcs);
+            } else {
+                debug_assert!(ready > self.clock, "producer latency must be >= 1");
+                self.wheel.push(WheelEntry {
+                    ready,
+                    pos: w.pos,
+                    class: w.class,
+                });
+            }
+        }
+    }
+
+    /// Moves every wheel candidate whose ready cycle has arrived into
+    /// the age-sorted eligible list (a binary-search insert per drained
+    /// candidate — the list is small and drains are ~1-2 entries, so
+    /// this beats re-sorting it).
+    fn drain_wheel(&mut self) {
+        while self
+            .wheel
+            .peek()
+            .is_some_and(|entry| entry.ready <= self.clock)
+        {
+            let entry = self.wheel.pop().expect("peeked");
+            let at = match self.iq_ready.binary_search_by_key(&entry.pos, |c| c.pos) {
+                Err(i) => i,
+                Ok(_) => unreachable!("ROB positions are unique"),
+            };
+            self.iq_ready.insert(
+                at,
+                ReadyCand {
+                    pos: entry.pos,
+                    class: entry.class,
+                },
+            );
+        }
+    }
+
     fn issue_stage(&mut self) {
+        self.drain_wheel();
         let m = &self.cfg.machine;
         let mut total = m.width;
         let mut simple = m.simple_int_slots;
@@ -731,26 +1134,14 @@ impl<'p> Simulator<'p> {
         let mut load = m.load_slots;
         let mut store = m.store_slots;
 
-        for i in 0..self.rob.len() {
+        // Walk the eligible candidates (ascending ROB positions = age
+        // order); waiting instructions cost nothing here.
+        let mut i = 0;
+        while i < self.iq_ready.len() {
             if total == 0 {
                 break;
             }
-            let e = &self.rob[i];
-            if !e.in_iq || e.issued {
-                continue;
-            }
-            // Issue class: partial bypasses occupy a simple-int slot for
-            // the injected shift & mask instruction.
-            let class = match (&e.d.class, &e.load) {
-                (
-                    InstClass::Load,
-                    Some(LoadState {
-                        mode: LoadMode::Bypassed { .. },
-                        ..
-                    }),
-                ) => InstClass::SimpleInt,
-                (c, _) => *c,
-            };
+            let ReadyCand { pos, class } = self.iq_ready[i];
             let slot = match class {
                 InstClass::SimpleInt | InstClass::Halt => &mut simple,
                 InstClass::Complex => &mut complex,
@@ -759,32 +1150,26 @@ impl<'p> Simulator<'p> {
                 InstClass::Store => &mut store,
             };
             if *slot == 0 {
-                continue;
-            }
-            // Operand readiness.
-            let ready = e
-                .srcs
-                .iter()
-                .flatten()
-                .map(|&n| self.regs.ready(Some(n)))
-                .max()
-                .unwrap_or(0);
-            if ready > self.clock {
+                i += 1;
                 continue;
             }
             // Memory scheduling constraints.
-            if class == InstClass::Load && !self.load_may_issue(i) {
+            if class == InstClass::Load && !self.load_may_issue(pos) {
+                i += 1;
                 continue;
             }
             *slot -= 1;
             total -= 1;
-            self.do_issue(i);
+            self.iq_ready.remove(i);
+            self.iq_count -= 1;
+            self.do_issue(pos);
         }
     }
 
     /// Load-specific scheduling gates; may rewrite the load's wait state.
-    fn load_may_issue(&mut self, idx: usize) -> bool {
-        let e = &self.rob[idx];
+    fn load_may_issue(&mut self, pos: u64) -> bool {
+        let e = self.rob.get_abs(pos).expect("load resident");
+        let inst_idx = e.inst;
         let ls = e.load.as_ref().expect("load state");
         if let Some(ssn) = ls.wait_commit {
             if !self.store_committed_visible(ssn) {
@@ -807,7 +1192,7 @@ impl<'p> Simulator<'p> {
                             }
                         );
                         if oracle {
-                            let d = &self.rob[idx].d;
+                            let d = &self.insts[inst_idx];
                             if let Inst::Load { width, ext, .. } = d.rec.inst {
                                 let stale = load_extend(
                                     self.timing_mem.read(d.rec.addr, width.bytes()),
@@ -830,13 +1215,16 @@ impl<'p> Simulator<'p> {
         // ready; a partial-coverage match cannot forward at all and
         // converts to a wait-for-commit (replay).
         if !self.cfg.lsu.is_nosq() {
-            if let Some(dep_ssn) = e.d.dep_ssn().map(Ssn) {
-                if dep_ssn > self.ssn.commit() && ls.wait_commit.is_none() {
+            let wait_commit_unset = ls.wait_commit.is_none();
+            if let Some(dep_ssn) = self.insts[inst_idx].dep_ssn().map(Ssn) {
+                if dep_ssn > self.ssn.commit() && wait_commit_unset {
                     if let Some(info) = self.srq.get(dep_ssn) {
                         if info.exec_cycle <= self.clock {
-                            let coverage = e.d.mem_dep.expect("dep exists").coverage;
+                            let coverage =
+                                self.insts[inst_idx].mem_dep.expect("dep exists").coverage;
                             if coverage == Coverage::Partial {
-                                let ls = self.rob[idx].load.as_mut().expect("load");
+                                let e = self.rob.get_abs_mut(pos).expect("load resident");
+                                let ls = e.load.as_mut().expect("load");
                                 ls.wait_commit = Some(dep_ssn);
                                 return false;
                             }
@@ -845,30 +1233,31 @@ impl<'p> Simulator<'p> {
                             }
                         }
                     }
-                } else if dep_ssn > self.ssn.commit() && ls.wait_commit.is_some() {
-                    // Already converted to wait-for-commit above.
                 }
             }
         }
         true
     }
 
-    fn do_issue(&mut self, idx: usize) {
+    fn do_issue(&mut self, pos: u64) {
         let rr = self.cfg.machine.regread_depth;
-        let e = &self.rob[idx];
-        let class = e.d.class;
-        let alu = match e.d.rec.inst {
+        let e = self.rob.get_abs(pos).expect("issued entry resident");
+        let inst_idx = e.inst;
+        let class = e.class;
+        let alu = match self.insts[inst_idx].rec.inst {
             Inst::Alu { kind, .. } => Some(kind),
             _ => None,
         };
         let uid = e.uid;
         let was_mispredicted = e.mispredicted_branch;
+        let load_mode = e.load.as_ref().map(|ls| ls.mode);
 
-        let (exec_total, extra) = match (&class, &e.load) {
-            (InstClass::Load, Some(ls)) => match ls.mode {
+        let (exec_total, extra) = match (&class, load_mode) {
+            (InstClass::Load, Some(mode)) => match mode {
                 LoadMode::Bypassed { .. } => (1, 0), // shift & mask uop
                 _ => {
-                    let lat = self.hierarchy.load_latency(e.d.rec.addr);
+                    let addr = self.insts[inst_idx].rec.addr;
+                    let lat = self.hierarchy.load_latency(addr);
                     self.stats.memory.ooo_dcache_reads += 1;
                     (1 + lat, 0)
                 }
@@ -877,13 +1266,14 @@ impl<'p> Simulator<'p> {
         };
         let complete = self.clock + rr + exec_total + extra;
 
-        let e = &mut self.rob[idx];
+        let e = self.rob.get_abs_mut(pos).expect("issued entry resident");
         e.issued = true;
-        e.in_iq = false;
-        self.iq_used -= 1;
         e.complete_cycle = complete;
-        if let Some(node) = e.map_node {
+        let map_node = e.map_node;
+        let ssn = e.ssn;
+        if let Some(node) = map_node {
             self.regs.set_ready(node, self.clock + exec_total);
+            self.wake_node(node);
         }
 
         match class {
@@ -895,17 +1285,17 @@ impl<'p> Simulator<'p> {
             InstClass::Store => {
                 // Baseline store execution: address generation + data
                 // capture; the captured register pin is released.
-                let ssn = self.rob[idx].ssn;
-                let pc = self.rob[idx].d.rec.pc;
+                let pc = self.insts[inst_idx].rec.pc;
                 if let Some(info) = self.srq.get_mut(ssn) {
                     info.exec_cycle = complete;
                 }
                 self.storesets.store_resolved(pc, ssn);
-                if let Some(node) = self.rob[idx].store_data_ref.take() {
+                let e = self.rob.get_abs_mut(pos).expect("store resident");
+                if let Some(node) = e.store_data_ref.take() {
                     self.regs.release(node);
                 }
             }
-            InstClass::Load => self.execute_load(idx),
+            InstClass::Load => self.execute_load(pos),
             _ => {}
         }
     }
@@ -913,17 +1303,17 @@ impl<'p> Simulator<'p> {
     /// Computes a non-bypassed load's value from the commit-ordered
     /// memory image (stale if an in-flight store should have fed it), or
     /// forwards from the producing store in the baseline.
-    fn execute_load(&mut self, idx: usize) {
-        let e = &self.rob[idx];
-        let d = e.d;
-        let (width, ext) = match d.rec.inst {
-            Inst::Load { width, ext, .. } => (width, ext),
-            _ => unreachable!("load entry"),
-        };
+    fn execute_load(&mut self, pos: u64) {
+        let e = self.rob.get_abs(pos).expect("load resident");
         let mode = e.load.as_ref().expect("load state").mode;
         if let LoadMode::Bypassed { .. } = mode {
             return; // value was computed at rename
         }
+        let d = self.insts[e.inst];
+        let (width, ext) = match d.rec.inst {
+            Inst::Load { width, ext, .. } => (width, ext),
+            _ => unreachable!("load entry"),
+        };
 
         let mut exec_value =
             load_extend(self.timing_mem.read(d.rec.addr, width.bytes()), width, ext);
@@ -950,7 +1340,8 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
-        let ls = self.rob[idx].load.as_mut().expect("load state");
+        let e = self.rob.get_abs_mut(pos).expect("load resident");
+        let ls = e.load.as_mut().expect("load state");
         ls.exec_value = exec_value;
         ls.ssn_nvul = ssn_nvul;
     }
@@ -979,19 +1370,26 @@ impl<'p> Simulator<'p> {
     /// Renames and dispatches the oldest fetched instruction; returns
     /// `false` (leaving it in place) on a structural stall.
     fn dispatch_one(&mut self) -> bool {
-        let m = self.cfg.machine.clone();
-        if self.rob_occupancy() >= m.rob_size {
+        let m = &self.cfg.machine;
+        let (rob_size, iq_size, lq_size, sq_size) = (m.rob_size, m.iq_size, m.lq_size, m.sq_size);
+        if self.rob_occupancy() >= rob_size {
             return false;
         }
         let f = self.fetch_buffer.front().expect("caller checked");
-        let d = f.d;
-        let class = d.class;
+        let inst_idx = f.inst;
+        let path_snap = f.path_snap;
+        let (class, needs_dest, is_jump) = {
+            let d = &self.insts[inst_idx];
+            (
+                d.class,
+                d.rec.inst.dest().is_some(),
+                matches!(d.rec.inst, Inst::Jump { .. }),
+            )
+        };
         let is_nosq = self.cfg.lsu.is_nosq();
 
         // --- Resource checks (no mutation yet) ---
-        let needs_dest = d.rec.inst.dest().is_some();
-        let mut needs_iq =
-            !matches!(class, InstClass::Halt) && !matches!(d.rec.inst, Inst::Jump { .. });
+        let mut needs_iq = !matches!(class, InstClass::Halt) && !is_jump;
         let mut needs_lq = false;
         let mut needs_sq = false;
         let mut load_plan: Option<(LoadMode, Option<Prediction>, Option<Ssn>)> = None;
@@ -1002,7 +1400,7 @@ impl<'p> Simulator<'p> {
                     needs_iq = false;
                 } else {
                     needs_sq = true;
-                    if self.sq_used >= m.sq_size {
+                    if self.sq_used >= sq_size {
                         self.stats.stalls.sq_dispatch_stalls += 1;
                         return false;
                     }
@@ -1011,12 +1409,12 @@ impl<'p> Simulator<'p> {
             InstClass::Load => {
                 if !is_nosq {
                     needs_lq = true;
-                    if self.lq_used >= m.lq_size {
+                    if self.lq_used >= lq_size {
                         return false;
                     }
                 } else {
                     // NoSQ decode-stage bypassing prediction.
-                    let (mode, pred, ssn_byp) = self.plan_nosq_load(&d, f.path_snap);
+                    let (mode, pred, ssn_byp) = self.plan_nosq_load(inst_idx, path_snap);
                     if matches!(mode, LoadMode::Bypassed { partial: false }) {
                         needs_iq = false;
                     }
@@ -1026,7 +1424,7 @@ impl<'p> Simulator<'p> {
             _ => {}
         }
 
-        if needs_iq && self.iq_used >= m.iq_size {
+        if needs_iq && self.iq_count >= iq_size {
             self.stats.stalls.iq_dispatch_stalls += 1;
             return false;
         }
@@ -1041,10 +1439,11 @@ impl<'p> Simulator<'p> {
 
         // --- Commit the dispatch ---
         let f = self.fetch_buffer.pop_front().expect("still present");
-        let srcs = self.rename_sources(&d, &load_plan);
+        let srcs = self.rename_sources(inst_idx, &load_plan);
         let mut entry = Entry {
             uid: f.uid,
-            d,
+            inst: inst_idx,
+            class,
             path_snap: f.path_snap,
             bpred_snap: f.bpred_snap,
             ras_snap: f.ras_snap,
@@ -1052,7 +1451,6 @@ impl<'p> Simulator<'p> {
             map_node: None,
             prev_node: None,
             srcs,
-            in_iq: needs_iq,
             issued: false,
             complete_cycle: if needs_iq { u64::MAX } else { self.clock },
             mispredicted_branch: f.mispredicted_branch,
@@ -1062,9 +1460,6 @@ impl<'p> Simulator<'p> {
             holds_sq: needs_sq,
             store_data_ref: None,
         };
-        if needs_iq {
-            self.iq_used += 1;
-        }
         if needs_lq {
             self.lq_used += 1;
         }
@@ -1076,7 +1471,7 @@ impl<'p> Simulator<'p> {
             InstClass::Store => self.dispatch_store(&mut entry),
             InstClass::Load => self.dispatch_load(&mut entry, load_plan.take()),
             _ => {
-                if let Some(rd) = d.rec.inst.dest() {
+                if let Some(rd) = self.insts[inst_idx].rec.inst.dest() {
                     let node = self.regs.alloc();
                     entry.prev_node = self.regs.remap(rd, Some(node));
                     entry.map_reg = Some(rd);
@@ -1084,13 +1479,29 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
+        let pos = self.rob.next_pos();
+        if needs_iq {
+            // Issue class: partial bypasses occupy a simple-int slot for
+            // the injected shift & mask instruction.
+            let issue_class = match (&class, &entry.load) {
+                (
+                    InstClass::Load,
+                    Some(LoadState {
+                        mode: LoadMode::Bypassed { .. },
+                        ..
+                    }),
+                ) => InstClass::SimpleInt,
+                (c, _) => *c,
+            };
+            self.iq_insert(pos, issue_class, entry.srcs);
+        }
         self.rob.push_back(entry);
         true
     }
 
     fn rename_sources(
         &self,
-        d: &DynInst,
+        inst_idx: u32,
         load_plan: &Option<(LoadMode, Option<Prediction>, Option<Ssn>)>,
     ) -> [Option<NodeId>; 2] {
         // A pure bypassed load has no out-of-order sources; a partial
@@ -1099,7 +1510,13 @@ impl<'p> Simulator<'p> {
             return [None, None];
         }
         let mut srcs = [None, None];
-        for (i, reg) in d.rec.inst.sources().into_iter().enumerate() {
+        for (i, reg) in self.insts[inst_idx]
+            .rec
+            .inst
+            .sources()
+            .into_iter()
+            .enumerate()
+        {
             if let Some(r) = reg {
                 srcs[i] = self.regs.mapping(r);
             }
@@ -1108,18 +1525,28 @@ impl<'p> Simulator<'p> {
     }
 
     fn dispatch_store(&mut self, entry: &mut Entry) {
-        let d = &entry.d;
-        let (data_reg, width, float32) = match d.rec.inst {
-            Inst::Store {
-                data,
-                width,
-                float32,
-                ..
-            } => (data, width, float32),
-            _ => unreachable!("store entry"),
+        let (data_reg, width, float32, pc, addr, store_data, stores_before) = {
+            let d = &self.insts[entry.inst];
+            match d.rec.inst {
+                Inst::Store {
+                    data,
+                    width,
+                    float32,
+                    ..
+                } => (
+                    data,
+                    width,
+                    float32,
+                    d.rec.pc,
+                    d.rec.addr,
+                    d.rec.store_data,
+                    d.stores_before,
+                ),
+                _ => unreachable!("store entry"),
+            }
         };
         let ssn = self.ssn.next_rename();
-        debug_assert_eq!(ssn.0, d.stores_before + 1, "ssn tracks the trace");
+        debug_assert_eq!(ssn.0, stores_before + 1, "ssn tracks the trace");
         entry.ssn = ssn;
         let dtag_node = self.regs.mapping(data_reg);
         if let Some(node) = dtag_node {
@@ -1128,17 +1555,17 @@ impl<'p> Simulator<'p> {
         }
         self.srq.insert(StoreInfo {
             ssn,
-            pc: d.rec.pc,
-            addr: d.rec.addr,
+            pc,
+            addr,
             width: width.bytes() as u8,
             float32,
-            data_value: d.rec.store_data,
+            data_value: store_data,
             dtag_node,
             exec_cycle: u64::MAX,
             commit_visible: u64::MAX,
         });
         if !self.cfg.lsu.is_nosq() {
-            self.storesets.rename_store(d.rec.pc, ssn);
+            self.storesets.rename_store(pc, ssn);
         }
         // NoSQ: the store is complete at rename (Table 3: "nothing!").
         if self.cfg.lsu.is_nosq() {
@@ -1149,13 +1576,17 @@ impl<'p> Simulator<'p> {
     /// Decode-stage classification of a NoSQ load (paper Table 3).
     fn plan_nosq_load(
         &mut self,
-        d: &DynInst,
+        inst_idx: u32,
         path_snap: u64,
     ) -> (LoadMode, Option<Prediction>, Option<Ssn>) {
+        let (pc, dinst, dep_ssn) = {
+            let d = &self.insts[inst_idx];
+            (d.rec.pc, d.rec.inst, d.dep_ssn())
+        };
         if self.cfg.lsu == LsuModel::NosqOracle {
             // Perfect SMB: bypass exactly the loads with an in-flight
             // producing store, with idealized partial-word support.
-            if let Some(dep_ssn) = d.dep_ssn().map(Ssn) {
+            if let Some(dep_ssn) = dep_ssn.map(Ssn) {
                 if dep_ssn > self.ssn.commit() {
                     return (LoadMode::Bypassed { partial: false }, None, Some(dep_ssn));
                 }
@@ -1165,7 +1596,7 @@ impl<'p> Simulator<'p> {
         let delay_enabled = matches!(self.cfg.lsu, LsuModel::Nosq { delay: true });
         let mut history = PathHistory::new();
         history.restore(path_snap);
-        let pred = self.predictor.predict(d.rec.pc, &history);
+        let pred = self.predictor.predict(pc, &history);
         let Some(p) = pred else {
             return (LoadMode::Normal, None, None);
         };
@@ -1180,7 +1611,7 @@ impl<'p> Simulator<'p> {
         let Some(info) = self.srq.get(ssn_byp) else {
             return (LoadMode::Normal, pred, None);
         };
-        let (lw, lext) = match d.rec.inst {
+        let (lw, lext) = match dinst {
             Inst::Load { width, ext, .. } => (width, ext),
             _ => unreachable!("load"),
         };
@@ -1199,7 +1630,7 @@ impl<'p> Simulator<'p> {
         entry: &mut Entry,
         plan: Option<(LoadMode, Option<Prediction>, Option<Ssn>)>,
     ) {
-        let d = entry.d;
+        let d = self.insts[entry.inst];
         let rd = d.rec.inst.dest();
         let mut ls = LoadState {
             mode: LoadMode::Normal,
@@ -1338,10 +1769,10 @@ impl<'p> Simulator<'p> {
         let mut budget = self.cfg.machine.width;
         let mut branches = 0;
         while budget > 0 {
-            let d = match self.pending.pop_front() {
-                Some(d) => d,
+            let inst_idx = match self.pending.pop_front() {
+                Some(i) => i,
                 None => match self.stream.next() {
-                    Some(d) => d,
+                    Some(d) => self.insts.alloc(d),
                     None => {
                         self.stream_done = true;
                         break;
@@ -1356,27 +1787,31 @@ impl<'p> Simulator<'p> {
             let ras_snap = self.ras.checkpoint();
             let mut mispredicted = false;
 
-            match d.rec.inst {
+            let (pc, rinst, taken, next_pc) = {
+                let d = &self.insts[inst_idx];
+                (d.rec.pc, d.rec.inst, d.rec.taken, d.rec.next_pc)
+            };
+            match rinst {
                 Inst::Branch { .. } => {
-                    let pred_dir = self.bpred.predict(d.rec.pc);
-                    self.bpred.update(d.rec.pc, d.rec.taken);
-                    self.path.push_branch(d.rec.taken);
-                    if d.rec.taken {
-                        self.btb.update(d.rec.pc, d.rec.next_pc);
+                    let pred_dir = self.bpred.predict(pc);
+                    self.bpred.update(pc, taken);
+                    self.path.push_branch(taken);
+                    if taken {
+                        self.btb.update(pc, next_pc);
                     }
-                    mispredicted = pred_dir != d.rec.taken;
+                    mispredicted = pred_dir != taken;
                 }
                 Inst::Call { .. } => {
-                    self.ras.push(d.rec.pc + nosq_isa::INST_BYTES);
-                    self.path.push_call(d.rec.pc);
-                    self.btb.update(d.rec.pc, d.rec.next_pc);
+                    self.ras.push(pc + nosq_isa::INST_BYTES);
+                    self.path.push_call(pc);
+                    self.btb.update(pc, next_pc);
                 }
                 Inst::Ret { .. } => {
                     let predicted = self.ras.pop();
-                    mispredicted = predicted != Some(d.rec.next_pc);
+                    mispredicted = predicted != Some(next_pc);
                 }
                 Inst::Jump { .. } => {
-                    self.btb.update(d.rec.pc, d.rec.next_pc);
+                    self.btb.update(pc, next_pc);
                 }
                 Inst::Halt => {
                     self.halt_fetched = true;
@@ -1388,9 +1823,9 @@ impl<'p> Simulator<'p> {
                 self.stats.frontend.branch_mispredicts += 1;
                 self.fetch_stalled_on = Some(uid);
             }
-            let is_control = d.rec.inst.is_control();
+            let is_control = rinst.is_control();
             self.fetch_buffer.push_back(Fetched {
-                d,
+                inst: inst_idx,
                 uid,
                 fetch_cycle: self.clock,
                 path_snap,
@@ -1437,7 +1872,8 @@ impl<'p> Simulator<'p> {
 /// wrapper over the session API ([`Simulator::run`]).
 ///
 /// For incremental execution, live statistics, or observer hooks, use
-/// [`Simulator`] directly.
+/// [`Simulator`] directly; for allocation-free back-to-back runs, see
+/// [`Simulator::with_arena`].
 ///
 /// ```
 /// use nosq_isa::{Assembler, Reg, MemWidth, Extension};

@@ -9,8 +9,9 @@
 
 use nosq_isa::Reg;
 
-/// Identifier of a value node (physical register).
-pub type NodeId = usize;
+/// Identifier of a value node (physical register). `u32` keeps the
+/// node fields the ROB entries and issue candidates carry compact.
+pub type NodeId = u32;
 
 #[derive(Copy, Clone, Debug)]
 struct Node {
@@ -71,19 +72,19 @@ impl RegState {
         };
         match self.free.pop() {
             Some(id) => {
-                self.nodes[id] = node;
+                self.nodes[id as usize] = node;
                 id
             }
             None => {
                 self.nodes.push(node);
-                self.nodes.len() - 1
+                (self.nodes.len() - 1) as NodeId
             }
         }
     }
 
     /// Adds a reference (a second RAT mapping — SMB register sharing).
     pub fn add_ref(&mut self, id: NodeId) {
-        self.nodes[id].refs += 1;
+        self.nodes[id as usize].refs += 1;
     }
 
     /// Releases one reference, freeing the node at zero.
@@ -92,7 +93,7 @@ impl RegState {
     ///
     /// Panics on a double release.
     pub fn release(&mut self, id: NodeId) {
-        let n = &mut self.nodes[id];
+        let n = &mut self.nodes[id as usize];
         assert!(n.refs > 0, "double release of node {id}");
         n.refs -= 1;
         if n.refs == 0 {
@@ -105,14 +106,14 @@ impl RegState {
     /// architectural register file, always ready).
     pub fn ready(&self, node: Option<NodeId>) -> u64 {
         match node {
-            Some(id) => self.nodes[id].ready_for_issue,
+            Some(id) => self.nodes[id as usize].ready_for_issue,
             None => 0,
         }
     }
 
     /// Sets a node's readiness when its producer is scheduled.
     pub fn set_ready(&mut self, id: NodeId, cycle: u64) {
-        self.nodes[id].ready_for_issue = cycle;
+        self.nodes[id as usize].ready_for_issue = cycle;
     }
 
     /// Current RAT mapping of `reg` (`None` = architectural value).

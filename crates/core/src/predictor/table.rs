@@ -18,11 +18,23 @@ pub struct BypassEntry {
     lru: u64,
 }
 
+/// Sentinel marking an empty slot in the bounded flat table; a real
+/// partial tag is at most [`TAG_BITS`] bits, so it can never collide.
+const EMPTY_TAG: u64 = u64::MAX;
+
 /// A set-associative (or unbounded, for the Figure-5 "Inf" points)
 /// predictor table.
+///
+/// The bounded table keeps its entries in one flat `sets × ways` array
+/// (way-major within a set) so a lookup touches a single contiguous run
+/// of memory; the unbounded variant, which exists only to model the
+/// paper's infinite predictor, keeps growable per-set vectors.
 #[derive(Clone, Debug)]
 pub struct BypassTable {
-    sets: Vec<Vec<BypassEntry>>,
+    flat: Vec<BypassEntry>,
+    unbounded_sets: Vec<Vec<BypassEntry>>,
+    set_mask: usize,
+    set_bits: u32,
     ways: usize,
     unbounded: bool,
     tick: u64,
@@ -47,8 +59,26 @@ impl BypassTable {
         } else {
             (entries / ways).next_power_of_two().max(1)
         };
+        let empty = BypassEntry {
+            tag: EMPTY_TAG,
+            dist: 0,
+            shift: 0,
+            conf: 0,
+            lru: 0,
+        };
         BypassTable {
-            sets: vec![Vec::new(); n_sets],
+            flat: if unbounded {
+                Vec::new()
+            } else {
+                vec![empty; n_sets * ways]
+            },
+            unbounded_sets: if unbounded {
+                vec![Vec::new(); n_sets]
+            } else {
+                Vec::new()
+            },
+            set_mask: n_sets - 1,
+            set_bits: n_sets.trailing_zeros(),
             ways,
             unbounded,
             tick: 0,
@@ -57,14 +87,13 @@ impl BypassTable {
     }
 
     fn set_index(&self, key: u64) -> usize {
-        (key as usize) & (self.sets.len() - 1)
+        (key as usize) & self.set_mask
     }
 
     /// The partial tag: the 22 key bits directly above the index bits, so
     /// (index, tag) identifies a key up to genuine partial-tag aliasing.
     fn tag_of(&self, key: u64) -> u64 {
-        let set_bits = self.sets.len().trailing_zeros();
-        (key >> set_bits) & ((1 << TAG_BITS) - 1)
+        (key >> self.set_bits) & ((1 << TAG_BITS) - 1)
     }
 
     /// Looks up the entry for a hashed key (LRU refreshed on hit).
@@ -73,7 +102,12 @@ impl BypassTable {
         let tag = self.tag_of(key);
         let idx = self.set_index(key);
         let tick = self.tick;
-        self.sets[idx].iter_mut().find(|e| e.tag == tag).map(|e| {
+        let set: &mut [BypassEntry] = if self.unbounded {
+            &mut self.unbounded_sets[idx]
+        } else {
+            &mut self.flat[idx * self.ways..(idx + 1) * self.ways]
+        };
+        set.iter_mut().find(|e| e.tag == tag).map(|e| {
             e.lru = tick;
             *e
         })
@@ -85,33 +119,39 @@ impl BypassTable {
         self.tick += 1;
         let tag = self.tag_of(key);
         let idx = self.set_index(key);
-        let ways = self.ways;
-        let unbounded = self.unbounded;
         let tick = self.tick;
-        let conf_init = self.conf_init;
-        let set = &mut self.sets[idx];
+        let fresh = BypassEntry {
+            tag,
+            dist,
+            shift,
+            conf: self.conf_init,
+            lru: tick,
+        };
+        if self.unbounded {
+            let set = &mut self.unbounded_sets[idx];
+            if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
+                e.dist = dist;
+                e.shift = shift;
+                e.lru = tick;
+                return;
+            }
+            set.push(fresh);
+            return;
+        }
+        let set = &mut self.flat[idx * self.ways..(idx + 1) * self.ways];
         if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
             e.dist = dist;
             e.shift = shift;
             e.lru = tick;
             return;
         }
-        if !unbounded && set.len() == ways {
-            let victim = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .map(|(i, _)| i)
-                .expect("full set");
-            set.remove(victim);
-        }
-        set.push(BypassEntry {
-            tag,
-            dist,
-            shift,
-            conf: conf_init,
-            lru: tick,
-        });
+        // First empty slot, or the LRU victim (ticks are unique, so the
+        // minimum is unambiguous).
+        let slot = match set.iter_mut().find(|e| e.tag == EMPTY_TAG) {
+            Some(s) => s,
+            None => set.iter_mut().min_by_key(|e| e.lru).expect("ways > 0"),
+        };
+        *slot = fresh;
     }
 
     /// Adjusts the confidence counter of an existing entry, saturating in
@@ -119,14 +159,23 @@ impl BypassTable {
     pub fn adjust_conf(&mut self, key: u64, delta: i16, max: i16) {
         let tag = self.tag_of(key);
         let idx = self.set_index(key);
-        if let Some(e) = self.sets[idx].iter_mut().find(|e| e.tag == tag) {
+        let set: &mut [BypassEntry] = if self.unbounded {
+            &mut self.unbounded_sets[idx]
+        } else {
+            &mut self.flat[idx * self.ways..(idx + 1) * self.ways]
+        };
+        if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
             e.conf = (e.conf + delta).clamp(0, max);
         }
     }
 
     /// Number of live entries (diagnostics).
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        if self.unbounded {
+            self.unbounded_sets.iter().map(|s| s.len()).sum()
+        } else {
+            self.flat.iter().filter(|e| e.tag != EMPTY_TAG).count()
+        }
     }
 
     /// Whether the table holds no entries.
@@ -136,7 +185,10 @@ impl BypassTable {
 
     /// Drops all entries.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
+        for e in &mut self.flat {
+            e.tag = EMPTY_TAG;
+        }
+        for set in &mut self.unbounded_sets {
             set.clear();
         }
     }
@@ -197,5 +249,19 @@ mod tests {
             t.install(key << 12, 1, 0);
         }
         assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn clear_empties_both_layouts() {
+        for unbounded in [false, true] {
+            let mut t = BypassTable::new(64, 4, unbounded, 64);
+            for key in 0..32u64 {
+                t.install(key << 12, 1, 0);
+            }
+            assert!(!t.is_empty());
+            t.clear();
+            assert!(t.is_empty());
+            assert_eq!(t.lookup(0), None);
+        }
     }
 }

@@ -49,13 +49,38 @@ pub struct StoreRegisterQueue {
     ring: Vec<Option<StoreInfo>>,
 }
 
+impl Default for StoreRegisterQueue {
+    /// An empty placeholder ring (no slots). Only useful as a
+    /// `mem::take` stand-in; every lookup method expects a ring built
+    /// by [`StoreRegisterQueue::new`] / [`with_storage`](Self::with_storage).
+    fn default() -> StoreRegisterQueue {
+        StoreRegisterQueue { ring: Vec::new() }
+    }
+}
+
 impl StoreRegisterQueue {
     /// Creates a ring with `capacity` slots (rounded up to a power of
     /// two).
     pub fn new(capacity: usize) -> StoreRegisterQueue {
-        StoreRegisterQueue {
-            ring: vec![None; capacity.next_power_of_two().max(2)],
-        }
+        StoreRegisterQueue::with_storage(Vec::new(), capacity)
+    }
+
+    /// Creates a ring reusing `storage`'s allocation (cleared and
+    /// resized to `capacity` rounded up to a power of two) — the
+    /// arena-recycling constructor.
+    pub fn with_storage(
+        mut storage: Vec<Option<StoreInfo>>,
+        capacity: usize,
+    ) -> StoreRegisterQueue {
+        let cap = capacity.next_power_of_two().max(2);
+        storage.clear();
+        storage.resize(cap, None);
+        StoreRegisterQueue { ring: storage }
+    }
+
+    /// Extracts the backing storage for reuse by a later queue.
+    pub fn into_storage(self) -> Vec<Option<StoreInfo>> {
+        self.ring
     }
 
     fn slot(&self, ssn: Ssn) -> usize {

@@ -1,7 +1,5 @@
 //! Sparse byte-addressable memory.
 
-use std::collections::HashMap;
-
 const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
@@ -13,6 +11,12 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// can cheaply keep a *commit-ordered* image separate from the
 /// architectural image.
 ///
+/// Internally the page table is a small open-addressing hash index
+/// (multiplicative hashing, linear probing) over a flat page arena —
+/// a page lookup is a couple of L1 probes instead of a SipHash
+/// computation, and same-page accesses (the overwhelmingly common case)
+/// resolve the page exactly once.
+///
 /// ```
 /// use nosq_isa::Memory;
 /// let mut mem = Memory::new();
@@ -21,15 +25,32 @@ const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 /// assert_eq!(mem.read(0x1002, 2), 0xdead);
 /// assert_eq!(mem.read(0x9999, 8), 0); // unmapped reads as zero
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Open-addressing index: `(page_number + 1, page_arena_index)`;
+    /// tag 0 means empty. Power-of-two length.
+    index: Vec<(u64, u32)>,
+    pages: Vec<Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+#[inline]
+fn page_hash(page_num: u64, mask: usize) -> usize {
+    ((page_num.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize & mask
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Memory {
-        Memory::default()
+        Memory {
+            index: vec![(0, 0); 64],
+            pages: Vec::new(),
+        }
     }
 
     /// Number of mapped pages (diagnostic).
@@ -37,21 +58,72 @@ impl Memory {
         self.pages.len()
     }
 
+    /// Finds the arena index of `page_num`'s page, if mapped.
+    #[inline]
+    fn find(&self, page_num: u64) -> Option<usize> {
+        let tag = page_num + 1;
+        let mask = self.index.len() - 1;
+        let mut i = page_hash(page_num, mask);
+        loop {
+            let (t, p) = self.index[i];
+            if t == tag {
+                return Some(p as usize);
+            }
+            if t == 0 {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Finds or maps the page for `page_num`.
+    fn map(&mut self, page_num: u64) -> usize {
+        if let Some(p) = self.find(page_num) {
+            return p;
+        }
+        if (self.pages.len() + 1) * 8 >= self.index.len() * 7 {
+            self.grow_index();
+        }
+        let tag = page_num + 1;
+        let mask = self.index.len() - 1;
+        let mut i = page_hash(page_num, mask);
+        while self.index[i].0 != 0 {
+            i = (i + 1) & mask;
+        }
+        let page = self.pages.len() as u32;
+        self.pages.push(Box::new([0u8; PAGE_SIZE]));
+        self.index[i] = (tag, page);
+        page as usize
+    }
+
+    fn grow_index(&mut self) {
+        let old = std::mem::replace(&mut self.index, vec![(0, 0); 0]);
+        self.index = vec![(0, 0); old.len() * 2];
+        let mask = self.index.len() - 1;
+        for (tag, page) in old {
+            if tag == 0 {
+                continue;
+            }
+            let mut i = page_hash(tag - 1, mask);
+            while self.index[i].0 != 0 {
+                i = (i + 1) & mask;
+            }
+            self.index[i] = (tag, page);
+        }
+    }
+
     /// Reads one byte.
     pub fn read_u8(&self, addr: u64) -> u8 {
-        match self.pages.get(&(addr >> PAGE_SHIFT)) {
-            Some(page) => page[(addr & PAGE_MASK) as usize],
+        match self.find(addr >> PAGE_SHIFT) {
+            Some(page) => self.pages[page][(addr & PAGE_MASK) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte, mapping the page if needed.
     pub fn write_u8(&mut self, addr: u64, value: u8) {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
-        page[(addr & PAGE_MASK) as usize] = value;
+        let page = self.map(addr >> PAGE_SHIFT);
+        self.pages[page][(addr & PAGE_MASK) as usize] = value;
     }
 
     /// Reads `width` bytes (1–8) little-endian, possibly spanning pages.
@@ -61,6 +133,25 @@ impl Memory {
     /// Panics if `width` is 0 or greater than 8.
     pub fn read(&self, addr: u64, width: u64) -> u64 {
         assert!((1..=8).contains(&width), "invalid access width {width}");
+        // Fast path: the whole access lands in one page — a single page
+        // lookup instead of one per byte (the common case by far; only
+        // accesses straddling a 4 KiB boundary take the byte loop).
+        if addr >> PAGE_SHIFT == addr.wrapping_add(width - 1) >> PAGE_SHIFT {
+            return match self.find(addr >> PAGE_SHIFT) {
+                Some(page) => {
+                    let offset = (addr & PAGE_MASK) as usize;
+                    let mut value = 0u64;
+                    for (i, b) in self.pages[page][offset..offset + width as usize]
+                        .iter()
+                        .enumerate()
+                    {
+                        value |= (*b as u64) << (8 * i);
+                    }
+                    value
+                }
+                None => 0,
+            };
+        }
         let mut value = 0u64;
         for i in 0..width {
             value |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
@@ -75,6 +166,19 @@ impl Memory {
     /// Panics if `width` is 0 or greater than 8.
     pub fn write(&mut self, addr: u64, width: u64, value: u64) {
         assert!((1..=8).contains(&width), "invalid access width {width}");
+        // Fast path mirroring `read`: one page lookup for a same-page
+        // access.
+        if addr >> PAGE_SHIFT == addr.wrapping_add(width - 1) >> PAGE_SHIFT {
+            let page = self.map(addr >> PAGE_SHIFT);
+            let offset = (addr & PAGE_MASK) as usize;
+            for (i, b) in self.pages[page][offset..offset + width as usize]
+                .iter_mut()
+                .enumerate()
+            {
+                *b = (value >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..width {
             self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
         }
@@ -99,6 +203,14 @@ impl std::fmt::Debug for Memory {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn memory_stays_send_and_sync() {
+        // Embedders share `&Program`/`&Memory` across worker threads;
+        // losing these auto-traits would be a breaking API change.
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Memory>();
+    }
 
     #[test]
     fn roundtrip_all_widths() {
@@ -157,6 +269,25 @@ mod tests {
         assert_eq!(mem.read(0x40, 1), 1);
         assert_eq!(mem.read(0x41, 1), 2);
         assert_eq!(mem.read(0x42, 1), 3);
+    }
+
+    #[test]
+    fn many_pages_grow_the_index() {
+        let mut mem = Memory::new();
+        for p in 0..1000u64 {
+            mem.write(p << PAGE_SHIFT, 8, p + 1);
+        }
+        for p in 0..1000u64 {
+            assert_eq!(mem.read(p << PAGE_SHIFT, 8), p + 1);
+        }
+        assert_eq!(mem.mapped_pages(), 1000);
+    }
+
+    #[test]
+    fn high_addresses_map_cleanly() {
+        let mut mem = Memory::new();
+        mem.write(u64::MAX - 10, 4, 0xABCD);
+        assert_eq!(mem.read(u64::MAX - 10, 4), 0xABCD);
     }
 
     #[test]

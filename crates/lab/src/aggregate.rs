@@ -183,6 +183,48 @@ fn summary_json(result: &CampaignResult) -> String {
     obj.finish()
 }
 
+/// Builds the `<name>.timing.json` artifact: per-job wall-time and
+/// simulated MIPS plus campaign-level aggregates.
+///
+/// Timing is the one *deliberately nondeterministic* campaign output —
+/// it varies with the machine, thread count, and scheduling — so it is
+/// **not** part of [`artifacts`] (whose bytes must be identical at any
+/// thread count); write it alongside them when you want the
+/// performance record of a run.
+pub fn timing_artifact(result: &CampaignResult) -> Artifact {
+    let c = &result.campaign;
+    let mut obj = JsonObject::new();
+    obj.field_str("campaign", &c.name)
+        .field_u64("threads", result.threads as u64)
+        .field_raw("elapsed_secs", &json_f64(result.elapsed.as_secs_f64()));
+
+    let mut arr = JsonArray::new();
+    for t in &result.timings {
+        let mut o = JsonObject::new();
+        o.field_str("benchmark", c.profiles[t.profile].name)
+            .field_str("config", &c.configs[t.config].name)
+            .field_u64("insts", t.insts)
+            .field_u64("cycles", t.cycles)
+            .field_raw("trace_secs", &json_f64(t.trace_secs))
+            .field_raw("sim_secs", &json_f64(t.sim_secs))
+            .field_raw("mips", &json_f64(t.mips()));
+        arr.push_raw(&o.finish());
+    }
+    obj.field_raw("jobs", &arr.finish());
+
+    let insts: u64 = result.timings.iter().map(|t| t.insts).sum();
+    let sim_secs: f64 = result.timings.iter().map(|t| t.sim_secs).sum();
+    let trace_secs: f64 = result.timings.iter().map(|t| t.trace_secs).sum();
+    obj.field_u64("total_insts", insts)
+        .field_raw("total_sim_secs", &json_f64(sim_secs))
+        .field_raw("total_trace_secs", &json_f64(trace_secs))
+        .field_raw("aggregate_mips", &json_f64(result.aggregate_mips()));
+    Artifact {
+        file_name: format!("{}.timing.json", c.name),
+        contents: obj.finish(),
+    }
+}
+
 fn speedup_csv(result: &CampaignResult) -> String {
     let c = &result.campaign;
     let base = c.baseline.expect("speedup table requires a baseline");

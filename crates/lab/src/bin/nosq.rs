@@ -18,7 +18,8 @@ use std::process::ExitCode;
 
 use nosq_lab::reports::{table5, table5_json, Table5Row};
 use nosq_lab::{
-    artifacts, json, run_campaign, write_artifacts, Artifact, Campaign, Preset, RunOptions,
+    artifacts, json, run_campaign, timing_artifact, write_artifacts, Artifact, Campaign, Preset,
+    RunOptions,
 };
 use nosq_trace::{Profile, Suite};
 
@@ -177,15 +178,23 @@ fn list_presets() {
 fn execute(campaign: &Campaign, options: &Options) -> Result<Vec<Artifact>, ExitCode> {
     let result = run_campaign(campaign, &run_options(options));
     let files = artifacts(&result);
-    let paths = write_artifacts(&options.out, &files).map_err(|e| {
+    // The timing artifact is written alongside but kept out of `files`:
+    // it is deliberately nondeterministic (wall-clock), while `files`
+    // must be byte-identical across re-runs and thread counts.
+    let timing = timing_artifact(&result);
+    let mut paths = write_artifacts(&options.out, &files).map_err(|e| {
         fail(format!(
             "writing artifacts to {}: {e}",
             options.out.display()
         ))
     })?;
+    paths.extend(
+        write_artifacts(&options.out, std::slice::from_ref(&timing))
+            .map_err(|e| fail(format!("writing timing artifact: {e}")))?,
+    );
 
     println!(
-        "campaign `{}`: {} configs × {} profiles = {} jobs on {} thread{} in {:.2?}",
+        "campaign `{}`: {} configs × {} profiles = {} jobs on {} thread{} in {:.2?} ({:.1} MIPS/worker)",
         campaign.name,
         campaign.configs.len(),
         campaign.profiles.len(),
@@ -193,6 +202,7 @@ fn execute(campaign: &Campaign, options: &Options) -> Result<Vec<Artifact>, Exit
         result.threads,
         if result.threads == 1 { "" } else { "s" },
         result.elapsed,
+        result.aggregate_mips(),
     );
     println!("\n{:<24} {:>12}", "config", "geomean IPC");
     for (ci, config) in campaign.configs.iter().enumerate() {

@@ -28,9 +28,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use nosq_core::observer::{CycleEvent, SimObserver};
-use nosq_core::{SimReport, Simulator, StopCondition};
+use nosq_core::{SimArena, SimReport, Simulator, StopCondition};
 use nosq_isa::Program;
-use nosq_trace::synthesize;
+use nosq_trace::{synthesize, TraceBuffer};
 
 use crate::campaign::Campaign;
 
@@ -80,27 +80,39 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    parallel_map_poll(len, threads, f, None::<fn()>)
+    parallel_map_ctx(len, threads, 1, || (), |(), i| f(i), None::<fn()>)
 }
 
-/// [`parallel_map_indexed`] with an optional coordinator-side `poll`
+/// The generic engine behind [`parallel_map_indexed`] and
+/// [`run_campaign_on`]: maps `f` over `0..len` with an atomic-cursor
+/// pickup, giving every worker a private mutable context built by
+/// `init` — the hook through which campaign workers keep a persistent
+/// [`SimArena`] and trace cache across jobs. Workers claim `chunk`
+/// consecutive indices per cursor bump, so related jobs (a profile's
+/// configuration block in a campaign grid) land on one worker and its
+/// cached state actually hits. `poll` is an optional coordinator-side
 /// hook, invoked periodically while workers drain the job list (and
-/// after every job on the serial path). The hook must not block.
-fn parallel_map_poll<T, F>(
+/// after every job on the serial path); it must not block.
+fn parallel_map_ctx<C, T, I, F>(
     len: usize,
     threads: usize,
+    chunk: usize,
+    init: I,
     f: F,
     mut poll: Option<impl FnMut()>,
 ) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> T + Sync,
 {
     let threads = effective_threads(threads, len);
+    let chunk = chunk.max(1);
     if threads <= 1 || len <= 1 {
+        let mut ctx = init();
         return (0..len)
             .map(|i| {
-                let value = f(i);
+                let value = f(&mut ctx, i);
                 if let Some(poll) = poll.as_mut() {
                     poll();
                 }
@@ -113,13 +125,16 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut ctx = init();
                     let mut local = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= len {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
                             break;
                         }
-                        local.push((i, f(i)));
+                        for i in start..(start + chunk).min(len) {
+                            local.push((i, f(&mut ctx, i)));
+                        }
                     }
                     local
                 })
@@ -184,35 +199,131 @@ impl SimObserver for InstProgress<'_> {
     }
 }
 
-/// Runs one grid job as an incremental session: chunked
-/// `run_until(Cycles(..))` advances with a progress observer attached.
-/// Chunked and one-shot execution are bit-identical (the session API's
-/// core guarantee), so this changes observability, not results.
+/// Per-worker persistent state: the recyclable simulation arena and the
+/// last recorded trace. The job grid is profile-major, so consecutive
+/// jobs usually share a profile and the worker replays one recorded
+/// trace across every configuration instead of re-running the
+/// functional front end per job.
+struct WorkerState {
+    arena: SimArena,
+    /// The cached trace, keyed by `(profile index, budget)`.
+    trace: Option<((usize, u64), TraceBuffer)>,
+}
+
+impl WorkerState {
+    fn new() -> WorkerState {
+        WorkerState {
+            arena: SimArena::new(),
+            trace: None,
+        }
+    }
+}
+
+/// Wall-clock measurement of one grid job (the one deliberately
+/// nondeterministic output of a campaign; kept out of the byte-stable
+/// artifacts and aggregated into the separate timing artifact).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct JobTiming {
+    /// Profile index in [`Campaign::profiles`].
+    pub profile: usize,
+    /// Configuration index in [`Campaign::configs`].
+    pub config: usize,
+    /// Seconds spent recording the functional trace for this job
+    /// (`0.0` when the worker's cached trace was reused).
+    pub trace_secs: f64,
+    /// Seconds spent in the timing simulation proper.
+    pub sim_secs: f64,
+    /// Instructions committed.
+    pub insts: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl JobTiming {
+    /// Simulated MIPS of the timing simulation (instructions per
+    /// wall-clock microsecond).
+    pub fn mips(&self) -> f64 {
+        if self.sim_secs > 0.0 {
+            self.insts as f64 / self.sim_secs / 1.0e6
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs one grid job as an incremental session: the worker's cached
+/// trace (re-recorded on profile change) replayed with arena-recycled
+/// buffers, advanced through chunked `run_until(Cycles(..))` calls with
+/// a progress observer attached. Chunked, replayed, arena-backed
+/// execution is bit-identical to a one-shot `simulate()` (the session
+/// API's core guarantee), so all of this changes wall-clock and
+/// observability, never results.
+/// Largest per-job budget worth buffering for replay: beyond this the
+/// recorded trace's memory cost (~150 B per instruction, per worker)
+/// outweighs re-running the streaming tracer per configuration.
+const REPLAY_BUDGET_CAP: u64 = 4_000_000;
+
+#[allow(clippy::too_many_arguments)]
 fn run_job(
+    worker: &mut WorkerState,
     program: &Program,
+    profile_idx: usize,
+    config_idx: usize,
+    n_configs: usize,
     cfg: nosq_core::SimConfig,
     opts: &RunOptions,
     progress: &Progress,
-) -> SimReport {
+) -> (SimReport, JobTiming) {
+    // Buffer the trace only when it can actually be replayed (several
+    // configurations per profile) and stays reasonably sized; otherwise
+    // trace live and streaming, with no per-job allocation spike.
+    let replayable = n_configs > 1 && cfg.max_insts <= REPLAY_BUDGET_CAP;
+    let mut trace_secs = 0.0;
+    if replayable {
+        let key = (profile_idx, cfg.max_insts);
+        if worker.trace.as_ref().map(|(k, _)| *k) != Some(key) {
+            let started = Instant::now();
+            let trace =
+                TraceBuffer::record_with_arena(program, cfg.max_insts, &mut worker.arena.trace);
+            trace_secs = started.elapsed().as_secs_f64();
+            worker.trace = Some((key, trace));
+        }
+    } else {
+        worker.trace = None; // release any stale buffer
+    }
+
     let mut obs = InstProgress {
         shared: &progress.insts,
         published: 0,
         batch_cycles: opts.chunk_cycles.max(1),
     };
-    let mut sim = Simulator::new(program, cfg);
+    let started = Instant::now();
+    let mut sim = match &worker.trace {
+        Some((_, trace)) => Simulator::replay_with_arena(program, cfg, trace, &mut worker.arena),
+        None => Simulator::with_arena(program, cfg, &mut worker.arena),
+    };
     sim.attach_observer(Box::new(&mut obs));
     while !sim.is_done() {
         let target = sim.stats().cycles + opts.chunk_cycles.max(1);
         sim.run_until(StopCondition::Cycles(target));
     }
     let report = sim.finish();
+    let sim_secs = started.elapsed().as_secs_f64();
     if report.insts > obs.published {
         progress
             .insts
             .fetch_add(report.insts - obs.published, Ordering::Relaxed);
     }
     progress.jobs_done.fetch_add(1, Ordering::Relaxed);
-    report
+    let timing = JobTiming {
+        profile: profile_idx,
+        config: config_idx,
+        trace_secs,
+        sim_secs,
+        insts: report.insts,
+        cycles: report.cycles,
+    };
+    (report, timing)
 }
 
 /// The outcome of one campaign run: every job's [`SimReport`] in grid
@@ -229,12 +340,30 @@ pub struct CampaignResult {
     /// Wall-clock duration of the grid run (excluded from artifacts —
     /// it is the one nondeterministic output).
     pub elapsed: Duration,
+    /// Per-job wall-time and throughput, in grid order. Like `elapsed`,
+    /// timing is nondeterministic and therefore kept out of the
+    /// byte-stable [`artifacts`](crate::artifacts); see
+    /// [`timing_artifact`](crate::aggregate::timing_artifact).
+    pub timings: Vec<JobTiming>,
 }
 
 impl CampaignResult {
     /// The report for (profile index, config index).
     pub fn report(&self, profile: usize, config: usize) -> &SimReport {
         &self.reports[profile * self.campaign.configs.len() + config]
+    }
+
+    /// Aggregate simulated MIPS across all jobs (total committed
+    /// instructions over total simulation wall-time, trace recording
+    /// excluded); `0.0` for an empty or timing-less result.
+    pub fn aggregate_mips(&self) -> f64 {
+        let insts: u64 = self.timings.iter().map(|t| t.insts).sum();
+        let sim_secs: f64 = self.timings.iter().map(|t| t.sim_secs).sum();
+        if sim_secs > 0.0 {
+            insts as f64 / sim_secs / 1.0e6
+        } else {
+            0.0
+        }
     }
 
     /// The baseline report for a profile, if the campaign named a
@@ -275,10 +404,14 @@ pub fn run_campaign_on(
     let progress = Progress::default();
     let started = Instant::now();
 
-    let job = |i: usize| {
+    let job = |worker: &mut WorkerState, i: usize| {
         let (p, c) = (i / n_configs, i % n_configs);
         run_job(
+            worker,
             &programs[p],
+            p,
+            c,
+            n_configs,
             campaign.configs[c].config.clone(),
             opts,
             &progress,
@@ -290,17 +423,29 @@ pub fn run_campaign_on(
     let poll = opts
         .progress
         .then_some(|| print_progress(&campaign.name, &progress, jobs, started));
-    let reports: Vec<SimReport> = parallel_map_poll(jobs, opts.threads, job, poll);
+    // Claim one profile's whole configuration block per cursor bump so
+    // a worker's trace cache hits for every config after the first —
+    // unless that would leave workers idle (fewer profiles than
+    // threads), in which case fall back to even slices.
+    let chunk = if campaign.profiles.len() >= threads {
+        n_configs
+    } else {
+        (jobs / threads).max(1)
+    };
+    let outcomes: Vec<(SimReport, JobTiming)> =
+        parallel_map_ctx(jobs, opts.threads, chunk, WorkerState::new, job, poll);
     if opts.progress {
         print_progress(&campaign.name, &progress, jobs, started);
         eprintln!();
     }
+    let (reports, timings) = outcomes.into_iter().unzip();
 
     CampaignResult {
         campaign: campaign.clone(),
         reports,
         threads,
         elapsed: started.elapsed(),
+        timings,
     }
 }
 

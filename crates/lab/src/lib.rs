@@ -62,12 +62,12 @@ pub mod json;
 pub mod reports;
 pub mod spec;
 
-pub use aggregate::{artifacts, write_artifacts, Artifact};
+pub use aggregate::{artifacts, timing_artifact, write_artifacts, Artifact};
 pub use campaign::{
     suite_from_name, Campaign, CampaignBuilder, NamedConfig, Preset, SpecError, Workload,
     DEFAULT_MAX_INSTS, DEFAULT_SEED,
 };
 pub use executor::{
     effective_threads, parallel_map_indexed, run_campaign, run_campaign_on, synthesize_programs,
-    CampaignResult, RunOptions,
+    CampaignResult, JobTiming, RunOptions,
 };

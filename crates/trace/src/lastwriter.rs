@@ -1,0 +1,390 @@
+//! The paged last-writer map: per-byte store ground truth without a
+//! per-byte hash lookup.
+//!
+//! The tracer needs, for every byte a load reads, the youngest older
+//! store that wrote it. The original implementation kept a
+//! `HashMap<u64, ByteWriter>` keyed by byte address — one SipHash probe
+//! per byte per memory access, the single hottest operation in the
+//! functional front end. This module replaces it with a sparse paged
+//! direct-mapped table:
+//!
+//! * addresses are split into a *page number* (`addr >> PAGE_SHIFT`)
+//!   and an in-page byte offset;
+//! * page numbers resolve through a small open-addressing index (one
+//!   multiplicative-hash probe **per access**, not per byte — bytes
+//!   within a page are a direct array index);
+//! * page buffers come from an internal arena and every slot is
+//!   *epoch-stamped*, so [`LastWriterMap::reset`] invalidates the whole
+//!   map in O(1) without touching a single page — a reused map costs
+//!   nothing to clear between programs.
+//!
+//! The map is exact: unlike a lossy direct-mapped cache, index
+//! collisions chain through linear probing and the index grows before
+//! it saturates, so the reported writer set is byte-for-byte identical
+//! to the naive per-byte map (`tests/it_lastwriter.rs` pits the two
+//! against each other under proptest).
+
+/// What the tracer records per written byte: identity, position and
+/// shape of the writing store.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ByteWriter {
+    /// Dynamic sequence number of the store instruction.
+    pub store_seq: u64,
+    /// 0-based dynamic store index (SSN − 1).
+    pub store_index: u64,
+    /// The store's base effective address.
+    pub store_addr: u64,
+    /// The store's access width in bytes.
+    pub store_width: u8,
+    /// Whether the store was an `sts` (float32 conversion).
+    pub store_float32: bool,
+}
+
+/// Summary of the writers covering one load's bytes, in exactly the
+/// shape the tracer's dependence annotation needs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LoadScan {
+    /// The youngest writer over all read bytes, if any byte was written.
+    pub youngest: Option<ByteWriter>,
+    /// Whether every *written* byte came from the same store.
+    pub all_same: bool,
+    /// Whether any read byte was never written by a traced store.
+    pub any_missing: bool,
+}
+
+/// log2 of the page size in bytes; 1 KiB pages keep a page's slot array
+/// comfortably inside the L2 while staying coarse enough that the page
+/// index stays tiny.
+const PAGE_SHIFT: u32 = 10;
+const PAGE_SLOTS: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SLOTS as u64) - 1;
+
+/// One byte's slot: the writer plus the epoch that validates it.
+#[derive(Copy, Clone)]
+struct Slot {
+    epoch: u64,
+    writer: ByteWriter,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    epoch: 0,
+    writer: ByteWriter {
+        store_seq: 0,
+        store_index: 0,
+        store_addr: 0,
+        store_width: 0,
+        store_float32: false,
+    },
+};
+
+/// One index entry: page tag, validating epoch, page-arena position.
+#[derive(Copy, Clone)]
+struct IndexEntry {
+    tag: u64,
+    epoch: u64,
+    page: u32,
+}
+
+const EMPTY_INDEX: IndexEntry = IndexEntry {
+    tag: 0,
+    epoch: 0,
+    page: 0,
+};
+
+/// The paged, epoch-stamped last-writer map. See the module docs.
+///
+/// ```
+/// use nosq_trace::{ByteWriter, LastWriterMap};
+///
+/// let mut map = LastWriterMap::new();
+/// let w = ByteWriter {
+///     store_seq: 3,
+///     store_index: 0,
+///     store_addr: 0x1000,
+///     store_width: 8,
+///     store_float32: false,
+/// };
+/// map.record_store(0x1000, 8, w);
+/// let scan = map.scan(0x1002, 2);
+/// assert_eq!(scan.youngest, Some(w));
+/// assert!(scan.all_same && !scan.any_missing);
+///
+/// map.reset(); // O(1): epoch bump, no page is touched
+/// assert!(map.scan(0x1000, 8).youngest.is_none());
+/// ```
+pub struct LastWriterMap {
+    epoch: u64,
+    index: Vec<IndexEntry>,
+    /// Index entries live in the current epoch.
+    live: usize,
+    /// Page-buffer arena; `pages[..used]` are claimed in this epoch.
+    pages: Vec<Box<[Slot]>>,
+    used: usize,
+}
+
+impl Default for LastWriterMap {
+    fn default() -> LastWriterMap {
+        LastWriterMap::new()
+    }
+}
+
+impl LastWriterMap {
+    /// Creates an empty map. Pages are allocated lazily on first store
+    /// to each region and recycled forever after.
+    pub fn new() -> LastWriterMap {
+        LastWriterMap {
+            epoch: 1,
+            index: vec![EMPTY_INDEX; 64],
+            live: 0,
+            pages: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// Invalidates every recorded writer in O(1) (epoch bump). Page
+    /// buffers and the index keep their capacity for the next program.
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.live = 0;
+        self.used = 0;
+    }
+
+    /// Pages currently claimed (diagnostics; bounded by the traced
+    /// program's write footprint).
+    pub fn pages_in_use(&self) -> usize {
+        self.used
+    }
+
+    #[inline]
+    fn index_slot(&self, page_num: u64) -> usize {
+        // Fibonacci multiplicative hash; the index length is a power of
+        // two.
+        let h = page_num.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.index.len() - 1)
+    }
+
+    /// Finds the arena position of `page_num`'s page, if claimed this
+    /// epoch.
+    #[inline]
+    fn find(&self, page_num: u64) -> Option<u32> {
+        let mask = self.index.len() - 1;
+        let mut i = self.index_slot(page_num);
+        loop {
+            let e = self.index[i];
+            if e.epoch != self.epoch {
+                return None; // empty (or stale = empty): not present
+            }
+            if e.tag == page_num {
+                return Some(e.page);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Finds or claims the page for `page_num`, growing the index when
+    /// it approaches saturation.
+    fn claim(&mut self, page_num: u64) -> u32 {
+        if (self.live + 1) * 8 >= self.index.len() * 7 {
+            self.grow_index();
+        }
+        let mask = self.index.len() - 1;
+        let mut i = self.index_slot(page_num);
+        loop {
+            let e = self.index[i];
+            if e.epoch != self.epoch {
+                break; // empty slot: claim here
+            }
+            if e.tag == page_num {
+                return e.page;
+            }
+            i = (i + 1) & mask;
+        }
+        let page = self.used as u32;
+        if self.used == self.pages.len() {
+            self.pages
+                .push(vec![EMPTY_SLOT; PAGE_SLOTS].into_boxed_slice());
+        }
+        self.used += 1;
+        self.live += 1;
+        self.index[i] = IndexEntry {
+            tag: page_num,
+            epoch: self.epoch,
+            page,
+        };
+        page
+    }
+
+    /// Rebuilds the index at twice the size from this epoch's live
+    /// entries (stale entries are dropped for free).
+    fn grow_index(&mut self) {
+        let old = std::mem::replace(&mut self.index, vec![EMPTY_INDEX; 0]);
+        self.index = vec![EMPTY_INDEX; old.len() * 2];
+        let mask = self.index.len() - 1;
+        for e in old {
+            if e.epoch != self.epoch {
+                continue;
+            }
+            let mut i = self.index_slot(e.tag);
+            while self.index[i].epoch == self.epoch {
+                i = (i + 1) & mask;
+            }
+            self.index[i] = e;
+        }
+    }
+
+    /// Records `writer` as the last writer of `width` bytes starting at
+    /// `addr` (wrapping addressing, like the architectural memory).
+    pub fn record_store(&mut self, addr: u64, width: u64, writer: ByteWriter) {
+        let epoch = self.epoch;
+        let mut i = 0u64;
+        while i < width {
+            let byte_addr = addr.wrapping_add(i);
+            let page = self.claim(byte_addr >> PAGE_SHIFT) as usize;
+            // Fill the run of bytes that lands in this page.
+            let offset = (byte_addr & PAGE_MASK) as usize;
+            let run = ((PAGE_SLOTS - offset) as u64).min(width - i) as usize;
+            let slots = &mut self.pages[page][offset..offset + run];
+            for slot in slots {
+                *slot = Slot { epoch, writer };
+            }
+            i += run as u64;
+        }
+    }
+
+    /// Scans the writers of `width` bytes starting at `addr`, reporting
+    /// the youngest one and the coverage facts the tracer annotates
+    /// loads with.
+    pub fn scan(&self, addr: u64, width: u64) -> LoadScan {
+        let mut youngest: Option<ByteWriter> = None;
+        let mut all_same = true;
+        let mut any_missing = false;
+        let mut i = 0u64;
+        while i < width {
+            let byte_addr = addr.wrapping_add(i);
+            let offset = (byte_addr & PAGE_MASK) as usize;
+            let run = ((PAGE_SLOTS - offset) as u64).min(width - i) as usize;
+            match self.find(byte_addr >> PAGE_SHIFT) {
+                Some(page) => {
+                    for slot in &self.pages[page as usize][offset..offset + run] {
+                        if slot.epoch != self.epoch {
+                            any_missing = true;
+                            continue;
+                        }
+                        let w = slot.writer;
+                        match youngest {
+                            None => youngest = Some(w),
+                            Some(y) if w.store_seq != y.store_seq => {
+                                all_same = false;
+                                if w.store_seq > y.store_seq {
+                                    youngest = Some(w);
+                                }
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                None => any_missing = true,
+            }
+            i += run as u64;
+        }
+        LoadScan {
+            youngest,
+            all_same,
+            any_missing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn writer(seq: u64, addr: u64, width: u8) -> ByteWriter {
+        ByteWriter {
+            store_seq: seq,
+            store_index: seq,
+            store_addr: addr,
+            store_width: width,
+            store_float32: false,
+        }
+    }
+
+    #[test]
+    fn scan_of_untouched_bytes_is_missing() {
+        let map = LastWriterMap::new();
+        let scan = map.scan(0x4000, 8);
+        assert_eq!(
+            scan,
+            LoadScan {
+                youngest: None,
+                all_same: true,
+                any_missing: true
+            }
+        );
+    }
+
+    #[test]
+    fn youngest_wins_overlap() {
+        let mut map = LastWriterMap::new();
+        map.record_store(0x100, 8, writer(1, 0x100, 8));
+        map.record_store(0x104, 4, writer(2, 0x104, 4));
+        let scan = map.scan(0x100, 8);
+        assert_eq!(scan.youngest.unwrap().store_seq, 2);
+        assert!(!scan.all_same);
+        assert!(!scan.any_missing);
+        // The low half alone still sees writer 1, fully.
+        let low = map.scan(0x100, 4);
+        assert_eq!(low.youngest.unwrap().store_seq, 1);
+        assert!(low.all_same && !low.any_missing);
+    }
+
+    #[test]
+    fn cross_page_stores_and_loads_agree() {
+        let mut map = LastWriterMap::new();
+        let addr = (1u64 << PAGE_SHIFT) - 3; // straddles pages 0 and 1
+        map.record_store(addr, 8, writer(7, addr, 8));
+        let scan = map.scan(addr, 8);
+        assert_eq!(scan.youngest.unwrap().store_seq, 7);
+        assert!(scan.all_same && !scan.any_missing);
+        assert_eq!(map.pages_in_use(), 2);
+    }
+
+    #[test]
+    fn reset_invalidates_without_clearing_pages() {
+        let mut map = LastWriterMap::new();
+        map.record_store(0x2000, 8, writer(1, 0x2000, 8));
+        assert!(map.scan(0x2000, 8).youngest.is_some());
+        map.reset();
+        assert!(map.scan(0x2000, 8).youngest.is_none());
+        assert_eq!(map.pages_in_use(), 0);
+        // Reclaimed page after reset serves fresh data.
+        map.record_store(0x2000, 4, writer(9, 0x2000, 4));
+        let scan = map.scan(0x2000, 8);
+        assert_eq!(scan.youngest.unwrap().store_seq, 9);
+        assert!(scan.any_missing, "upper half was invalidated by reset");
+    }
+
+    #[test]
+    fn index_grows_past_many_pages() {
+        let mut map = LastWriterMap::new();
+        // 4096 distinct pages forces several index growths.
+        for p in 0..4096u64 {
+            map.record_store(p << PAGE_SHIFT, 1, writer(p, p << PAGE_SHIFT, 1));
+        }
+        for p in (0..4096u64).step_by(97) {
+            let scan = map.scan(p << PAGE_SHIFT, 1);
+            assert_eq!(scan.youngest.unwrap().store_seq, p);
+        }
+        assert_eq!(map.pages_in_use(), 4096);
+    }
+
+    #[test]
+    fn wrapping_addresses_are_handled() {
+        let mut map = LastWriterMap::new();
+        map.record_store(u64::MAX - 2, 8, writer(1, u64::MAX - 2, 8));
+        let scan = map.scan(u64::MAX - 2, 8);
+        assert!(scan.all_same && !scan.any_missing);
+        let scan = map.scan(0, 2); // wrapped tail
+        assert_eq!(scan.youngest.unwrap().store_seq, 1);
+    }
+}

@@ -13,6 +13,10 @@
 //!
 //! * [`Tracer`] streams the correct-path dynamic instruction sequence with
 //!   ground-truth memory dependences ([`DynInst`], [`MemDep`]).
+//! * [`lastwriter`] holds the paged, epoch-stamped per-byte
+//!   [`LastWriterMap`] behind the tracer's dependence analysis; a
+//!   reusable map makes tracing allocation-free across programs
+//!   ([`Tracer::with_arena`]).
 //! * [`kernels`] hosts the kernel library.
 //! * [`profiles`] defines the 47 benchmark profiles from paper Table 5.
 //! * [`synth`] composes kernels into a runnable [`Program`] per profile.
@@ -25,13 +29,15 @@
 
 pub mod analyze;
 pub mod kernels;
+pub mod lastwriter;
 pub mod profiles;
 pub mod record;
 pub mod synth;
 pub mod tracer;
 
 pub use analyze::{analyze_program, CommStats};
+pub use lastwriter::{ByteWriter, LastWriterMap, LoadScan};
 pub use profiles::{Profile, Suite};
 pub use record::{Coverage, DynInst, MemDep};
 pub use synth::synthesize;
-pub use tracer::Tracer;
+pub use tracer::{TraceBuffer, Tracer};

@@ -1,28 +1,48 @@
 //! Streaming functional tracer with online dependence analysis.
 
-use std::collections::HashMap;
-
 use nosq_isa::{ArchState, InstClass, Program};
 
+use crate::lastwriter::{ByteWriter, LastWriterMap};
 use crate::record::{Coverage, DynInst, MemDep};
 
-#[derive(Copy, Clone)]
-struct ByteWriter {
-    store_seq: u64,
-    store_index: u64,
-    store_addr: u64,
-    store_width: u8,
-    store_float32: bool,
+/// The tracer's last-writer map slot: owned by default, borrowed from a
+/// reusable arena via [`Tracer::with_arena`].
+enum MapSlot<'m> {
+    Owned(LastWriterMap),
+    Borrowed(&'m mut LastWriterMap),
+}
+
+impl MapSlot<'_> {
+    fn get(&self) -> &LastWriterMap {
+        match self {
+            MapSlot::Owned(m) => m,
+            MapSlot::Borrowed(m) => m,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut LastWriterMap {
+        match self {
+            MapSlot::Owned(m) => m,
+            MapSlot::Borrowed(m) => m,
+        }
+    }
 }
 
 /// Streams the correct-path dynamic instruction sequence of a program,
 /// annotating each load with its ground-truth producing store.
 ///
-/// The tracer maintains a per-byte last-writer map, so it reports the
-/// youngest older store writing any byte a load reads, the distance to it
-/// in dynamic stores and instructions, whether it covers the whole load
+/// The tracer maintains a per-byte last-writer map (the paged,
+/// epoch-stamped [`LastWriterMap`]), so it reports the youngest older
+/// store writing any byte a load reads, the distance to it in dynamic
+/// stores and instructions, whether it covers the whole load
 /// ([`Coverage`]), and the byte shift — everything the bypassing
 /// predictor's oracle variant and the verification logic need.
+///
+/// A tracer allocates its map internally by default; callers that trace
+/// many programs back to back (the lab's campaign workers, the bench
+/// harnesses) pass a persistent map through [`Tracer::with_arena`] so
+/// each new trace starts with an O(1) epoch reset instead of fresh
+/// allocations.
 ///
 /// ```
 /// use nosq_isa::{Assembler, Reg, MemWidth, Extension};
@@ -51,7 +71,7 @@ pub struct Tracer<'p> {
     state: ArchState,
     seq: u64,
     stores: u64,
-    last_writer: HashMap<u64, ByteWriter>,
+    last_writer: MapSlot<'p>,
     max_insts: u64,
     error: Option<nosq_isa::ExecError>,
 }
@@ -61,12 +81,29 @@ impl<'p> Tracer<'p> {
     /// instructions (the halt instruction, if reached, is yielded and
     /// ends the stream).
     pub fn new(program: &'p Program, max_insts: u64) -> Tracer<'p> {
+        Tracer::build(program, max_insts, MapSlot::Owned(LastWriterMap::new()))
+    }
+
+    /// Creates a tracer that borrows a reusable [`LastWriterMap`]
+    /// instead of allocating one. The map is [reset](LastWriterMap::reset)
+    /// (O(1)) before tracing starts, so any previous program's writers
+    /// are invisible; its page buffers are recycled.
+    pub fn with_arena(
+        program: &'p Program,
+        max_insts: u64,
+        map: &'p mut LastWriterMap,
+    ) -> Tracer<'p> {
+        map.reset();
+        Tracer::build(program, max_insts, MapSlot::Borrowed(map))
+    }
+
+    fn build(program: &'p Program, max_insts: u64, last_writer: MapSlot<'p>) -> Tracer<'p> {
         Tracer {
             program,
             state: ArchState::new(program),
             seq: 0,
             stores: 0,
-            last_writer: HashMap::new(),
+            last_writer,
             max_insts,
             error: None,
         }
@@ -80,6 +117,72 @@ impl<'p> Tracer<'p> {
     /// An execution error, if one stopped the stream.
     pub fn error(&self) -> Option<&nosq_isa::ExecError> {
         self.error.as_ref()
+    }
+}
+
+/// A recorded correct-path trace, replayable by any number of timing
+/// simulations.
+///
+/// The dynamic stream a [`Tracer`] produces depends only on the program
+/// and the instruction budget — never on the timing configuration — so
+/// an evaluation sweeping several pipeline configurations over one
+/// workload can pay for functional execution and dependence analysis
+/// *once* and replay the buffer for every configuration
+/// (`Simulator::replay*` in `nosq-core`). Replay is bit-identical to
+/// live tracing by construction.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    insts: Vec<DynInst>,
+    max_insts: u64,
+}
+
+impl TraceBuffer {
+    /// Records the trace of `program`, up to `max_insts` dynamic
+    /// instructions.
+    pub fn record(program: &Program, max_insts: u64) -> TraceBuffer {
+        let mut map = LastWriterMap::new();
+        TraceBuffer::record_with_arena(program, max_insts, &mut map)
+    }
+
+    /// [`TraceBuffer::record`] reusing a persistent [`LastWriterMap`].
+    pub fn record_with_arena(
+        program: &Program,
+        max_insts: u64,
+        map: &mut LastWriterMap,
+    ) -> TraceBuffer {
+        // One up-front allocation (capped for huge budgets) instead of
+        // doubling growth through tens of megabytes.
+        let mut insts = Vec::with_capacity(max_insts.min(4_000_000) as usize);
+        insts.extend(Tracer::with_arena(program, max_insts, map));
+        TraceBuffer { insts, max_insts }
+    }
+
+    /// The recorded dynamic instructions.
+    pub fn insts(&self) -> &[DynInst] {
+        &self.insts
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The budget the trace was recorded with.
+    pub fn max_insts(&self) -> u64 {
+        self.max_insts
+    }
+
+    /// Whether a replay bounded by `budget` instructions reproduces a
+    /// live trace with that budget: true when the recording budget was
+    /// at least `budget`, or the program halted before exhausting the
+    /// recording budget (so the stream is complete).
+    pub fn covers(&self, budget: u64) -> bool {
+        self.max_insts >= budget || (self.insts.len() as u64) < self.max_insts
     }
 }
 
@@ -109,26 +212,9 @@ impl Iterator for Tracer<'_> {
         match class {
             InstClass::Load => {
                 let width = rec.inst.mem_width().expect("load has width").bytes();
-                let mut youngest: Option<ByteWriter> = None;
-                let mut all_same = true;
-                let mut any_missing = false;
-                for i in 0..width {
-                    match self.last_writer.get(&rec.addr.wrapping_add(i)) {
-                        Some(w) => match youngest {
-                            None => youngest = Some(*w),
-                            Some(y) if w.store_seq != y.store_seq => {
-                                all_same = false;
-                                if w.store_seq > y.store_seq {
-                                    youngest = Some(*w);
-                                }
-                            }
-                            Some(_) => {}
-                        },
-                        None => any_missing = true,
-                    }
-                }
-                if let Some(dep) = youngest {
-                    let coverage = if all_same && !any_missing {
+                let scan = self.last_writer.get().scan(rec.addr, width);
+                if let Some(dep) = scan.youngest {
+                    let coverage = if scan.all_same && !scan.any_missing {
                         Coverage::Full
                     } else {
                         Coverage::Partial
@@ -155,9 +241,9 @@ impl Iterator for Tracer<'_> {
                     store_width: width as u8,
                     store_float32: float32,
                 };
-                for i in 0..width {
-                    self.last_writer.insert(rec.addr.wrapping_add(i), writer);
-                }
+                self.last_writer
+                    .get_mut()
+                    .record_store(rec.addr, width, writer);
                 self.stores += 1;
             }
             _ => {}
@@ -284,5 +370,35 @@ mod tests {
         let stores: Vec<_> = t.iter().filter(|d| d.class == InstClass::Store).collect();
         assert_eq!(stores[0].store_ssn(), Some(1));
         assert_eq!(stores[1].store_ssn(), Some(2));
+    }
+
+    #[test]
+    fn arena_tracer_matches_owned_tracer_across_programs() {
+        let programs: Vec<_> = (0..3)
+            .map(|i| {
+                let mut asm = Assembler::new();
+                let (b, v) = (Reg::int(1), Reg::int(2));
+                asm.li(b, 0x1000 + i * 0x40);
+                asm.li(v, 0x11 * (i + 1));
+                asm.store(v, b, 0, MemWidth::B4);
+                asm.store(v, b, 2, MemWidth::B2);
+                asm.load(v, b, 0, MemWidth::B8, Extension::Zero);
+                asm.halt();
+                asm.finish()
+            })
+            .collect();
+        let mut map = LastWriterMap::new();
+        for prog in &programs {
+            let owned: Vec<_> = Tracer::new(prog, 100).collect();
+            let reused: Vec<_> = Tracer::with_arena(prog, 100, &mut map).collect();
+            assert_eq!(owned.len(), reused.len());
+            for (a, b) in owned.iter().zip(&reused) {
+                assert_eq!(a.seq, b.seq);
+                assert_eq!(
+                    a.mem_dep.map(|d| (d.store_seq, d.coverage, d.shift)),
+                    b.mem_dep.map(|d| (d.store_seq, d.coverage, d.shift)),
+                );
+            }
+        }
     }
 }

@@ -1,9 +1,14 @@
 //! Branch target buffer.
 
 /// A set-associative BTB mapping branch PCs to targets, LRU-replaced.
+///
+/// Entries live in one flat `sets × ways` array (way-major within a
+/// set) so a lookup touches a single contiguous run of memory.
 #[derive(Clone, Debug)]
 pub struct Btb {
-    sets: Vec<Vec<BtbEntry>>,
+    entries: Vec<BtbEntry>,
+    set_mask: usize,
+    ways: usize,
     tick: u64,
 }
 
@@ -25,7 +30,9 @@ impl Btb {
         assert!(ways > 0 && ways <= entries, "invalid btb geometry");
         let n_sets = (entries / ways).next_power_of_two().max(1);
         Btb {
-            sets: vec![vec![BtbEntry::default(); ways]; n_sets],
+            entries: vec![BtbEntry::default(); n_sets * ways],
+            set_mask: n_sets - 1,
+            ways,
             tick: 0,
         }
     }
@@ -36,7 +43,7 @@ impl Btb {
     }
 
     fn index(&self, pc: u64) -> usize {
-        ((pc >> 2) as usize) & (self.sets.len() - 1)
+        ((pc >> 2) as usize) & self.set_mask
     }
 
     /// Predicted target for the control instruction at `pc`, if cached.
@@ -44,7 +51,7 @@ impl Btb {
         self.tick += 1;
         let idx = self.index(pc);
         let tick = self.tick;
-        self.sets[idx]
+        self.entries[idx * self.ways..(idx + 1) * self.ways]
             .iter_mut()
             .find(|e| e.valid && e.pc == pc)
             .map(|e| {
@@ -58,7 +65,7 @@ impl Btb {
         self.tick += 1;
         let idx = self.index(pc);
         let tick = self.tick;
-        let set = &mut self.sets[idx];
+        let set = &mut self.entries[idx * self.ways..(idx + 1) * self.ways];
         if let Some(e) = set.iter_mut().find(|e| e.valid && e.pc == pc) {
             e.target = target;
             e.lru = tick;

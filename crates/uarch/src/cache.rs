@@ -45,10 +45,15 @@ struct Line {
 }
 
 /// A set-associative cache with true-LRU replacement.
+///
+/// Lines live in one flat `sets × ways` array (way-major within a set)
+/// so an access touches a single contiguous run of memory.
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    lines: Vec<Line>,
+    set_mask: usize,
+    ways: usize,
     line_shift: u32,
     tick: u64,
     accesses: u64,
@@ -68,8 +73,10 @@ impl Cache {
         assert!(n_lines >= cfg.ways && n_lines.is_multiple_of(cfg.ways));
         let n_sets = (n_lines / cfg.ways).next_power_of_two();
         Cache {
+            lines: vec![Line::default(); n_sets * cfg.ways],
+            set_mask: n_sets - 1,
+            ways: cfg.ways,
             cfg,
-            sets: vec![vec![Line::default(); cfg.ways]; n_sets],
             line_shift: cfg.line_bytes.trailing_zeros(),
             tick: 0,
             accesses: 0,
@@ -88,8 +95,8 @@ impl Cache {
         self.tick += 1;
         self.accesses += 1;
         let line_addr = addr >> self.line_shift;
-        let set_idx = (line_addr as usize) & (self.sets.len() - 1);
-        let set = &mut self.sets[set_idx];
+        let set_idx = (line_addr as usize) & self.set_mask;
+        let set = &mut self.lines[set_idx * self.ways..(set_idx + 1) * self.ways];
         if let Some(l) = set.iter_mut().find(|l| l.valid && l.tag == line_addr) {
             l.lru = self.tick;
             return true;

@@ -124,19 +124,26 @@ pub enum TssbfLookup {
 }
 
 /// The tagged, set-associative, FIFO-managed T-SSBF.
+///
+/// Entries live in one flat `sets × ways` array (way-major within a
+/// set, FIFO order: the set's first occupied slot is oldest), with
+/// per-set occupancy and eviction-bound side arrays — a lookup touches
+/// one contiguous run of memory.
 #[derive(Clone, Debug)]
 pub struct Tssbf {
-    sets: Vec<TssbfSet>,
+    entries: Vec<TssbfEntry>,
+    set_len: Vec<u8>,
+    evicted: Vec<Ssn>,
+    set_mask: usize,
     ways: usize,
 }
 
-#[derive(Clone, Debug, Default)]
-struct TssbfSet {
-    // FIFO order: index 0 is oldest. Entries within a set are inserted in
-    // commit order, so FIFO eviction removes the oldest SSN.
-    entries: Vec<TssbfEntry>,
-    evicted: Ssn,
-}
+const EMPTY_ENTRY: TssbfEntry = TssbfEntry {
+    line: 0,
+    ssn: Ssn::NONE,
+    offset: 0,
+    size: 0,
+};
 
 impl Tssbf {
     /// Creates a filter with `entries` total entries in `ways`-way sets.
@@ -148,13 +155,16 @@ impl Tssbf {
         assert!(ways > 0 && ways <= entries, "invalid t-ssbf geometry");
         let n_sets = (entries / ways).next_power_of_two().max(1);
         Tssbf {
-            sets: vec![TssbfSet::default(); n_sets],
+            entries: vec![EMPTY_ENTRY; n_sets * ways],
+            set_len: vec![0; n_sets],
+            evicted: vec![Ssn::NONE; n_sets],
+            set_mask: n_sets - 1,
             ways,
         }
     }
 
     fn set_index(&self, line: u64) -> usize {
-        (line as usize) & (self.sets.len() - 1)
+        (line as usize) & self.set_mask
     }
 
     /// Records a committed store (updating an existing line entry in
@@ -178,23 +188,28 @@ impl Tssbf {
     }
 
     fn record_line(&mut self, line: u64, offset: u8, size: u8, ssn: Ssn) {
-        let ways = self.ways;
         let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(pos) = set.entries.iter().position(|e| e.line == line) {
-            // Refresh: remove and re-insert at FIFO tail with the new SSN.
-            set.entries.remove(pos);
+        let mut len = self.set_len[idx] as usize;
+        let set = &mut self.entries[idx * self.ways..(idx + 1) * self.ways];
+        // Refresh: remove an existing line entry (shift keeps FIFO
+        // order), then re-insert at the FIFO tail with the new SSN.
+        if let Some(pos) = set[..len].iter().position(|e| e.line == line) {
+            set.copy_within(pos + 1..len, pos);
+            len -= 1;
         }
-        if set.entries.len() == ways {
-            let victim = set.entries.remove(0);
-            set.evicted = set.evicted.max(victim.ssn);
+        if len == set.len() {
+            let victim = set[0];
+            self.evicted[idx] = self.evicted[idx].max(victim.ssn);
+            set.copy_within(1..len, 0);
+            len -= 1;
         }
-        set.entries.push(TssbfEntry {
+        set[len] = TssbfEntry {
             line,
             ssn,
             offset,
             size,
-        });
+        };
+        self.set_len[idx] = (len + 1) as u8;
     }
 
     /// Looks up the youngest committed store possibly overlapping the
@@ -205,11 +220,13 @@ impl Tssbf {
         if first != last {
             return TssbfLookup::Spanning;
         }
-        let set = &self.sets[self.set_index(first)];
-        match set.entries.iter().find(|e| e.line == first) {
+        let idx = self.set_index(first);
+        let len = self.set_len[idx] as usize;
+        let set = &self.entries[idx * self.ways..idx * self.ways + len];
+        match set.iter().find(|e| e.line == first) {
             Some(e) => TssbfLookup::Hit(*e),
             None => TssbfLookup::Miss {
-                evicted_bound: set.evicted,
+                evicted_bound: self.evicted[idx],
             },
         }
     }
@@ -238,10 +255,8 @@ impl Tssbf {
 
     /// Clears the filter (SSN wrap-around drain).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.entries.clear();
-            set.evicted = Ssn::NONE;
-        }
+        self.set_len.fill(0);
+        self.evicted.fill(Ssn::NONE);
     }
 }
 

@@ -1,9 +1,13 @@
 //! Translation lookaside buffer.
 
 /// A set-associative TLB with LRU replacement (4KB pages).
+///
+/// Entries live in one flat `sets × ways` array (way-major within a
+/// set) so a translation touches a single contiguous run of memory.
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    sets: Vec<Vec<TlbEntry>>,
+    entries: Vec<TlbEntry>,
+    set_mask: usize,
     ways: usize,
     tick: u64,
     accesses: u64,
@@ -29,7 +33,8 @@ impl Tlb {
         assert!(ways > 0 && ways <= entries, "invalid tlb geometry");
         let n_sets = (entries / ways).next_power_of_two().max(1);
         Tlb {
-            sets: vec![vec![TlbEntry::default(); ways]; n_sets],
+            entries: vec![TlbEntry::default(); n_sets * ways],
+            set_mask: n_sets - 1,
             ways,
             tick: 0,
             accesses: 0,
@@ -47,8 +52,8 @@ impl Tlb {
         self.tick += 1;
         self.accesses += 1;
         let vpn = addr >> PAGE_SHIFT;
-        let idx = (vpn as usize) & (self.sets.len() - 1);
-        let set = &mut self.sets[idx];
+        let idx = (vpn as usize) & self.set_mask;
+        let set = &mut self.entries[idx * self.ways..(idx + 1) * self.ways];
         if let Some(e) = set.iter_mut().find(|e| e.valid && e.vpn == vpn) {
             e.lru = self.tick;
             return true;

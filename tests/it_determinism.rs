@@ -4,8 +4,8 @@
 //! twice must yield byte-identical results. A nondeterministic
 //! simulator would silently invalidate every paper comparison.
 
-use nosq_core::{simulate, SimConfig, Simulator, StopCondition};
-use nosq_trace::{synthesize, Profile};
+use nosq_core::{simulate, SimArena, SimConfig, Simulator, StopCondition};
+use nosq_trace::{synthesize, Profile, TraceBuffer};
 
 /// Two independent `synthesize` + `simulate` runs of the same
 /// (profile, seed, config) triple must agree on every metric.
@@ -91,6 +91,71 @@ fn satisfied_stop_conditions_do_not_step() {
         at_500,
         "satisfied conditions advanced the clock"
     );
+}
+
+/// Golden squash-heavy regression: these exact counters were produced
+/// by the seed simulator (PR 3, commit `dcdaf4b`) *before* the
+/// arena/ring/paged-map datapath refactor, for runs chosen to exercise
+/// recovery heavily (ordering squashes in the StoreSets baseline,
+/// bypass-mispredict squashes in no-delay NoSQ). The refactor — and in
+/// particular the removal of the per-squash `machine.clone()` and the
+/// event-driven issue scheduler — must be invisible in every one of
+/// them.
+#[test]
+fn squash_heavy_runs_match_seed_golden_counters() {
+    // (profile, nosq_no_delay?, cycles, ordering_squashes,
+    //  bypass_mispredicts, branch_mispredicts, reexec_filtered,
+    //  backend_dcache_reads, bypassed_loads, sq_forwards)
+    type GoldenRow = (&'static str, bool, u64, u64, u64, u64, u64, u64, u64, u64);
+    #[rustfmt::skip]
+    let golden: [GoldenRow; 6] = [
+        ("gzip",   false, 43446, 37, 0,  162, 3017, 191, 0,   267),
+        ("gzip",   true,  43453, 0,  6,  109, 3053, 155, 295, 0),
+        ("gcc",    false, 44460, 39, 0,  174, 2979, 95,  0,   139),
+        ("gcc",    true,  45877, 0,  6,  118, 3013, 61,  177, 0),
+        ("vortex", false, 41868, 32, 0,  154, 2808, 90,  0,   395),
+        ("vortex", true,  42936, 0,  17, 130, 2718, 180, 316, 0),
+    ];
+    let mut arena = SimArena::new();
+    for (name, nosq, cycles, ord, byp, br, filt, reads, bypassed, fwd) in golden {
+        let profile = Profile::by_name(name).expect("profile exists");
+        let program = synthesize(profile, nosq_bench::SEED);
+        let cfg = if nosq {
+            SimConfig::nosq_no_delay(40_000)
+        } else {
+            SimConfig::baseline_storesets(40_000)
+        };
+        // All three construction paths must reproduce the seed run.
+        let trace = TraceBuffer::record(&program, 40_000);
+        for (path, r) in [
+            ("simulate", simulate(&program, cfg.clone())),
+            (
+                "with_arena",
+                Simulator::with_arena(&program, cfg.clone(), &mut arena).run(),
+            ),
+            (
+                "replay_with_arena",
+                Simulator::replay_with_arena(&program, cfg.clone(), &trace, &mut arena).run(),
+            ),
+        ] {
+            let got = (
+                r.cycles,
+                r.verification.ordering_squashes,
+                r.verification.bypass_mispredicts,
+                r.frontend.branch_mispredicts,
+                r.verification.reexec_filtered,
+                r.verification.backend_dcache_reads,
+                r.memory.bypassed_loads,
+                r.memory.sq_forwards,
+            );
+            assert_eq!(
+                got,
+                (cycles, ord, byp, br, filt, reads, bypassed, fwd),
+                "{name} nosq={nosq} via {path} diverged from the seed simulator"
+            );
+            assert_eq!(r.insts, 40_000, "{name} committed a different count");
+        }
+    }
 }
 
 /// The bench harness itself (workload + run) is reproducible.

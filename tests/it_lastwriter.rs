@@ -1,0 +1,170 @@
+//! Property suite for the paged last-writer map: the tracer's
+//! dependence ground truth must be *exactly* what a naive per-byte
+//! model computes, no matter how stores overlap, straddle pages, or
+//! scatter across the address space. The paged map exists purely for
+//! throughput; any observable difference from the naive model would
+//! silently corrupt every simulated dependence annotation.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use nosq_trace::{ByteWriter, LastWriterMap, LoadScan};
+
+/// The reference model: one `BTreeMap` entry per byte address —
+/// structurally the original tracer implementation.
+#[derive(Default)]
+struct NaiveModel {
+    bytes: BTreeMap<u64, ByteWriter>,
+}
+
+impl NaiveModel {
+    fn record_store(&mut self, addr: u64, width: u64, writer: ByteWriter) {
+        for i in 0..width {
+            self.bytes.insert(addr.wrapping_add(i), writer);
+        }
+    }
+
+    fn scan(&self, addr: u64, width: u64) -> LoadScan {
+        let mut youngest: Option<ByteWriter> = None;
+        let mut all_same = true;
+        let mut any_missing = false;
+        for i in 0..width {
+            match self.bytes.get(&addr.wrapping_add(i)) {
+                Some(w) => match youngest {
+                    None => youngest = Some(*w),
+                    Some(y) if w.store_seq != y.store_seq => {
+                        all_same = false;
+                        if w.store_seq > y.store_seq {
+                            youngest = Some(*w);
+                        }
+                    }
+                    Some(_) => {}
+                },
+                None => any_missing = true,
+            }
+        }
+        LoadScan {
+            youngest,
+            all_same,
+            any_missing,
+        }
+    }
+}
+
+/// One generated memory operation: `store == true` writes, else the
+/// address range is scanned as a load.
+#[derive(Clone, Debug)]
+struct Op {
+    store: bool,
+    addr: u64,
+    width: u64,
+}
+
+/// Address space designed to stress the paged layout: a dense cluster
+/// (heavy overlap), the 1 KiB page boundary the map pages on, the 4 KiB
+/// architectural page boundary, far-apart pages (index growth /
+/// collisions), and the wrap-around end of the address space.
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (0u64..64).prop_map(|o| 0x1000 + o),           // dense cluster
+        (0u64..16).prop_map(|o| 0x13f8 + o),           // map-page straddle
+        (0u64..16).prop_map(|o| 0x1ff8 + o),           // 4 KiB straddle
+        (0u64..64).prop_map(|o| 0x9_0000 + o * 0x400), // one byte per map page
+        (0u64..8).prop_map(|o| u64::MAX - 7 + o),      // address wrap
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        any::<bool>(),
+        addr_strategy(),
+        prop_oneof![Just(1u64), Just(2u64), Just(4u64), Just(8u64)],
+    )
+        .prop_map(|(store, addr, width)| Op { store, addr, width })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of overlapping partial stores and loads:
+    /// the paged map and the naive per-byte model agree on the youngest
+    /// writer (identity, address, width, float32 flag — hence shift)
+    /// and on the coverage facts, for every load.
+    #[test]
+    fn paged_map_matches_naive_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut paged = LastWriterMap::new();
+        let mut naive = NaiveModel::default();
+        let mut stores = 0u64;
+        for (seq, op) in ops.iter().enumerate() {
+            if op.store {
+                let writer = ByteWriter {
+                    store_seq: seq as u64,
+                    store_index: stores,
+                    store_addr: op.addr,
+                    store_width: op.width as u8,
+                    store_float32: stores.is_multiple_of(3),
+                };
+                paged.record_store(op.addr, op.width, writer);
+                naive.record_store(op.addr, op.width, writer);
+                stores += 1;
+            } else {
+                let got = paged.scan(op.addr, op.width);
+                let want = naive.scan(op.addr, op.width);
+                prop_assert_eq!(got, want, "scan({:#x}, {}) diverged", op.addr, op.width);
+            }
+        }
+        // Sweep the touched regions once more with every width.
+        for op in &ops {
+            for width in [1u64, 2, 4, 8] {
+                let got = paged.scan(op.addr, width);
+                let want = naive.scan(op.addr, width);
+                prop_assert_eq!(got, want, "final scan({:#x}, {})", op.addr, width);
+            }
+        }
+    }
+
+    /// `reset` truly empties the map: after an epoch bump a fresh
+    /// store/load history must behave exactly like a brand-new map,
+    /// even though the old pages (and their stale epoch stamps) are
+    /// recycled in place.
+    #[test]
+    fn reset_is_equivalent_to_fresh(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut reused = LastWriterMap::new();
+        // Pollute with everything, twice, then reset.
+        for op in &ops {
+            let writer = ByteWriter {
+                store_seq: 999,
+                store_index: 999,
+                store_addr: op.addr,
+                store_width: op.width as u8,
+                store_float32: true,
+            };
+            reused.record_store(op.addr, op.width, writer);
+        }
+        reused.reset();
+
+        let mut fresh = LastWriterMap::new();
+        let mut naive = NaiveModel::default();
+        let mut stores = 0u64;
+        for op in &ops {
+            if op.store {
+                let writer = ByteWriter {
+                    store_seq: stores,
+                    store_index: stores,
+                    store_addr: op.addr,
+                    store_width: op.width as u8,
+                    store_float32: false,
+                };
+                reused.record_store(op.addr, op.width, writer);
+                fresh.record_store(op.addr, op.width, writer);
+                naive.record_store(op.addr, op.width, writer);
+                stores += 1;
+            } else {
+                let scan = reused.scan(op.addr, op.width);
+                prop_assert_eq!(scan, fresh.scan(op.addr, op.width));
+                prop_assert_eq!(scan, naive.scan(op.addr, op.width));
+            }
+        }
+    }
+}
