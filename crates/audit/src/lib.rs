@@ -1,0 +1,729 @@
+//! # nosq-audit
+//!
+//! A dependence-oracle auditor for the NoSQ pipeline: proves every
+//! speculative bypass right, or says exactly which one is wrong.
+//!
+//! The NoSQ design (MICRO-39 2006) commits loads whose values were
+//! *predicted* — bypassed from a store picked by a path-sensitive
+//! distance predictor and verified only by an SVW-filtered in-order
+//! re-execution. Every counter the simulator reports is therefore the
+//! product of speculation plus verification, and a bug in either half
+//! silently shifts results instead of crashing. This crate closes that
+//! loop with two pieces:
+//!
+//! 1. **The oracle pass** — [`DependenceGraph`] (re-exported from
+//!    `nosq-trace`) statically analyzes a committed instruction stream
+//!    in one pass and records, for every load, the exact per-byte set
+//!    of producing stores, the dependence distance, partial/multi-source
+//!    classification, and static [`StoreSet`] clusters.
+//! 2. **The audit observer** — [`AuditObserver`] implements
+//!    [`SimObserver`] and cross-checks the live
+//!    pipeline against the oracle at commit: a committed, un-squashed
+//!    load must carry the oracle's architectural value; a squash must
+//!    correspond to a real value mismatch; and the run's aggregate
+//!    verification counters must be consistent with the graph.
+//!
+//! Violations become structured [`AuditDiagnostic`]s (rule id, sequence
+//! number, PC, expected vs. actual producer) collected into an
+//! [`AuditReport`] — never panics — so the auditor can run over full
+//! campaign grids and fault-injection experiments alike.
+//!
+//! The rules are value-based on purpose: NoSQ's own verification is
+//! value-based, so a bypass from the *wrong* store that happens to carry
+//! the *right* value commits correctly by design. The auditor counts
+//! those as [`AuditStats::coincidental_bypasses`] instead of flagging
+//! them, which keeps the false-positive rate at zero by construction.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nosq_audit::{audit_config, DependenceGraph};
+//! use nosq_core::SimConfig;
+//! use nosq_trace::{synthesize, Profile};
+//!
+//! let program = synthesize(Profile::by_name("gzip").unwrap(), 42);
+//! let graph = DependenceGraph::from_program(&program, 20_000);
+//! let (report, audit) = audit_config(&program, &graph, SimConfig::nosq(20_000));
+//! assert!(audit.is_clean(), "{}", audit.to_json());
+//! assert_eq!(audit.stats.loads, report.memory.loads);
+//! ```
+//!
+//! Fault injection (`FaultPlan::break_predictor`) corrupts bypass
+//! targets *and* suppresses their verification, which is exactly the
+//! class of bug the auditor exists to catch:
+//!
+//! ```
+//! use nosq_audit::{audit_config, AuditRule, DependenceGraph};
+//! use nosq_core::{FaultPlan, LsuModel, SimConfig};
+//! use nosq_trace::{synthesize, Profile};
+//!
+//! let program = synthesize(Profile::by_name("gzip").unwrap(), 42);
+//! let graph = DependenceGraph::from_program(&program, 30_000);
+//! let cfg = SimConfig::builder()
+//!     .lsu(LsuModel::Nosq { delay: true })
+//!     .max_insts(30_000)
+//!     .faults(FaultPlan {
+//!         break_predictor: Some(8),
+//!     })
+//!     .build();
+//! let (_report, audit) = audit_config(&program, &graph, cfg);
+//! assert!(!audit.is_clean());
+//! assert!(audit
+//!     .diagnostics
+//!     .iter()
+//!     .any(|d| d.rule == AuditRule::SvwFilterUnsound));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nosq_core::ser::{JsonArray, JsonObject};
+use nosq_core::{
+    CommittedLoadKind, LoadCommitEvent, SimConfig, SimObserver, SimReport, Simulator, StopCondition,
+};
+use nosq_isa::Program;
+use nosq_trace::record::Coverage;
+
+pub use nosq_trace::{DepGraphBuilder, DependenceGraph, LoadDep, StoreNode, StoreSet};
+
+/// Default cap on retained [`AuditDiagnostic`]s per report; violations
+/// beyond the cap are still counted in [`AuditReport::violations`].
+pub const DEFAULT_MAX_DIAGNOSTICS: usize = 64;
+
+/// The audit rule a diagnostic violates.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AuditRule {
+    /// A committed, un-squashed load's value differs from the oracle's
+    /// architectural value (the catch-all integrity rule).
+    ValueIntegrity,
+    /// A *bypassed* load with a wrong value committed without
+    /// re-execution: the SVW filter vouched for a bypass it cannot have
+    /// proven correct.
+    SvwFilterUnsound,
+    /// A normal/delayed load that the oracle says communicates
+    /// in-window committed a wrong value without re-execution: the
+    /// pipeline missed a store-load communication entirely.
+    MissedCommunication,
+    /// A re-executed load squashed even though its value matched the
+    /// oracle — re-execution reads committed memory, so a mismatch
+    /// there with a correct value is impossible legitimately.
+    SquashConsistency,
+    /// The pipeline's commit stream diverged from the oracle's load
+    /// order (wrong seq/PC/address/rename view at a commit event).
+    StreamDesync,
+    /// An end-of-run aggregate counter is inconsistent with the
+    /// observed commit stream or the dependence graph.
+    AggregateMismatch,
+}
+
+impl AuditRule {
+    /// Stable machine-readable rule identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            AuditRule::ValueIntegrity => "value-integrity",
+            AuditRule::SvwFilterUnsound => "svw-filter-unsound",
+            AuditRule::MissedCommunication => "missed-communication",
+            AuditRule::SquashConsistency => "squash-consistency",
+            AuditRule::StreamDesync => "stream-desync",
+            AuditRule::AggregateMismatch => "aggregate-mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for AuditRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One audit violation: which rule, where, and what the oracle expected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditDiagnostic {
+    /// The violated rule.
+    pub rule: AuditRule,
+    /// Dynamic sequence number of the offending load (0 for end-of-run
+    /// aggregate checks).
+    pub seq: u64,
+    /// Static PC of the offending load (0 for aggregate checks).
+    pub pc: u64,
+    /// The oracle's producing store SSN (`None` when the oracle says the
+    /// load reads initial/committed memory, or for aggregate checks).
+    pub expected_ssn: Option<u64>,
+    /// The SSN the pipeline bypassed from (`None` for un-bypassed loads
+    /// and aggregate checks).
+    pub actual_ssn: Option<u64>,
+    /// Human-readable specifics (values, counters, distances).
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] seq={} pc={:#x}", self.rule, self.seq, self.pc)?;
+        match (self.expected_ssn, self.actual_ssn) {
+            (Some(e), Some(a)) => write!(f, " expected-ssn={e} actual-ssn={a}")?,
+            (Some(e), None) => write!(f, " expected-ssn={e}")?,
+            (None, Some(a)) => write!(f, " actual-ssn={a}")?,
+            (None, None) => {}
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+impl AuditDiagnostic {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("rule", self.rule.id())
+            .field_u64("seq", self.seq)
+            .field_u64("pc", self.pc);
+        match self.expected_ssn {
+            Some(e) => o.field_u64("expected_ssn", e),
+            None => o.field_raw("expected_ssn", "null"),
+        };
+        match self.actual_ssn {
+            Some(a) => o.field_u64("actual_ssn", a),
+            None => o.field_raw("actual_ssn", "null"),
+        };
+        o.field_str("detail", &self.detail);
+        o.finish()
+    }
+}
+
+/// Commit-stream tallies the auditor keeps alongside its rule checks.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// Committed loads observed.
+    pub loads: u64,
+    /// Loads that committed in bypassed mode.
+    pub bypassed: u64,
+    /// Loads that committed in delayed mode.
+    pub delayed: u64,
+    /// Un-squashed bypasses that named exactly the oracle's
+    /// full-coverage producer.
+    pub exact_bypasses: u64,
+    /// Un-squashed bypasses from a store *other* than the oracle
+    /// producer that still carried the architecturally right value —
+    /// legitimate under value-based verification, so a statistic rather
+    /// than a diagnostic.
+    pub coincidental_bypasses: u64,
+    /// Squashes of loads whose committed value was already right (the
+    /// §3.5 shift-mismatch phantom squash) — legitimate, conservative
+    /// hardware behavior.
+    pub phantom_squashes: u64,
+    /// Verification squashes observed (any cause).
+    pub mispredicts: u64,
+    /// Loads whose re-execution the SVW filter elided.
+    pub filtered: u64,
+    /// Loads re-executed in the back-end.
+    pub reexecs: u64,
+    /// Loads whose bypass was corrupted by fault injection.
+    pub injected: u64,
+}
+
+impl AuditStats {
+    fn to_json(self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("loads", self.loads)
+            .field_u64("bypassed", self.bypassed)
+            .field_u64("delayed", self.delayed)
+            .field_u64("exact_bypasses", self.exact_bypasses)
+            .field_u64("coincidental_bypasses", self.coincidental_bypasses)
+            .field_u64("phantom_squashes", self.phantom_squashes)
+            .field_u64("mispredicts", self.mispredicts)
+            .field_u64("filtered", self.filtered)
+            .field_u64("reexecs", self.reexecs)
+            .field_u64("injected", self.injected);
+        o.finish()
+    }
+}
+
+/// Everything the auditor concluded about one run.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Commit-stream tallies.
+    pub stats: AuditStats,
+    /// Total rule violations (including any past the diagnostics cap).
+    pub violations: u64,
+    /// Retained diagnostics, in detection order.
+    pub diagnostics: Vec<AuditDiagnostic>,
+    /// Whether `violations` exceeded the diagnostics cap.
+    pub truncated: bool,
+}
+
+impl AuditReport {
+    /// Whether the run passed every audit rule.
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut diags = JsonArray::new();
+        for d in &self.diagnostics {
+            diags.push_raw(&d.to_json());
+        }
+        let mut o = JsonObject::new();
+        o.field_u64("violations", self.violations)
+            .field_raw("truncated", if self.truncated { "true" } else { "false" })
+            .field_raw("stats", &self.stats.to_json())
+            .field_raw("diagnostics", &diags.finish());
+        o.finish()
+    }
+}
+
+/// A [`SimObserver`] that cross-checks every committed load against the
+/// dependence oracle, then reconciles the run's aggregate counters in
+/// [`AuditObserver::finalize`].
+///
+/// The observer walks the oracle's committed-load list with a cursor —
+/// loads commit in program order on the correct path, so the `k`-th
+/// commit event must be the `k`-th oracle load; any divergence is itself
+/// a [`AuditRule::StreamDesync`] diagnostic.
+#[derive(Debug)]
+pub struct AuditObserver<'g> {
+    graph: &'g DependenceGraph,
+    /// The pipeline's in-window communication criterion (ROB size).
+    window: u64,
+    cursor: usize,
+    stats: AuditStats,
+    violations: u64,
+    max_diagnostics: usize,
+    diagnostics: Vec<AuditDiagnostic>,
+}
+
+impl<'g> AuditObserver<'g> {
+    /// Creates an auditor over `graph` for a pipeline whose in-window
+    /// communication criterion is `window` instructions (the configured
+    /// ROB size).
+    pub fn new(graph: &'g DependenceGraph, window: u64) -> AuditObserver<'g> {
+        AuditObserver {
+            graph,
+            window,
+            cursor: 0,
+            stats: AuditStats::default(),
+            violations: 0,
+            max_diagnostics: DEFAULT_MAX_DIAGNOSTICS,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Overrides the retained-diagnostics cap (the violation *count* is
+    /// always exact).
+    pub fn max_diagnostics(mut self, cap: usize) -> AuditObserver<'g> {
+        self.max_diagnostics = cap;
+        self
+    }
+
+    /// Tallies so far (useful mid-session).
+    pub fn stats(&self) -> &AuditStats {
+        &self.stats
+    }
+
+    fn flag(
+        &mut self,
+        rule: AuditRule,
+        seq: u64,
+        pc: u64,
+        expected_ssn: Option<u64>,
+        actual_ssn: Option<u64>,
+        detail: String,
+    ) {
+        self.violations += 1;
+        if self.diagnostics.len() < self.max_diagnostics {
+            self.diagnostics.push(AuditDiagnostic {
+                rule,
+                seq,
+                pc,
+                expected_ssn,
+                actual_ssn,
+                detail,
+            });
+        }
+    }
+
+    /// Fetches the oracle record for a commit event, flagging a
+    /// [`AuditRule::StreamDesync`] and resynchronizing when the streams
+    /// disagree.
+    fn oracle_record(&mut self, ev: &LoadCommitEvent) -> Option<LoadDep> {
+        let expected = self.graph.loads().get(self.cursor).copied();
+        match expected {
+            Some(dep) if dep.seq == ev.seq => {
+                self.cursor += 1;
+                let consistent = dep.pc == ev.pc
+                    && dep.addr == ev.addr
+                    && dep.stores_before == ev.stores_before
+                    && dep.value == ev.arch_value;
+                if !consistent {
+                    self.flag(
+                        AuditRule::StreamDesync,
+                        ev.seq,
+                        ev.pc,
+                        None,
+                        None,
+                        format!(
+                            "commit event disagrees with oracle load: \
+                             pc {:#x}/{:#x} addr {:#x}/{:#x} stores_before {}/{} \
+                             arch value {:#x}/{:#x} (event/oracle)",
+                            ev.pc,
+                            dep.pc,
+                            ev.addr,
+                            dep.addr,
+                            ev.stores_before,
+                            dep.stores_before,
+                            ev.arch_value,
+                            dep.value
+                        ),
+                    );
+                    return None;
+                }
+                Some(dep)
+            }
+            _ => {
+                let expected_seq = expected.map(|d| d.seq);
+                self.flag(
+                    AuditRule::StreamDesync,
+                    ev.seq,
+                    ev.pc,
+                    None,
+                    None,
+                    format!(
+                        "commit stream out of step with oracle: event seq {} where the \
+                         oracle expects {:?}",
+                        ev.seq, expected_seq
+                    ),
+                );
+                // Resynchronize on the event's seq so one desync does
+                // not cascade into a diagnostic per remaining load.
+                let found = self.graph.load_by_seq(ev.seq).copied();
+                if let Some(dep) = found {
+                    self.cursor = self.graph.loads().partition_point(|l| l.seq <= dep.seq);
+                }
+                found
+            }
+        }
+    }
+
+    /// Consumes the auditor at end of run, reconciling the session's
+    /// [`SimReport`] aggregates against the observed commit stream and
+    /// the dependence graph.
+    pub fn finalize(mut self, report: &SimReport) -> AuditReport {
+        let mut aggregate = |name: &str, observed: u64, reported: u64| {
+            if observed != reported {
+                self.violations += 1;
+                if self.diagnostics.len() < self.max_diagnostics {
+                    self.diagnostics.push(AuditDiagnostic {
+                        rule: AuditRule::AggregateMismatch,
+                        seq: 0,
+                        pc: 0,
+                        expected_ssn: None,
+                        actual_ssn: None,
+                        detail: format!(
+                            "{name}: audit observed {observed}, report says {reported}"
+                        ),
+                    });
+                }
+            }
+        };
+        aggregate("committed loads", self.stats.loads, report.memory.loads);
+        aggregate(
+            "committed stores",
+            self.graph.stores().len() as u64,
+            report.memory.stores,
+        );
+        aggregate(
+            "verification squashes",
+            self.stats.mispredicts,
+            report.verification.bypass_mispredicts + report.verification.ordering_squashes,
+        );
+        aggregate(
+            "filtered re-executions",
+            self.stats.filtered,
+            report.verification.reexec_filtered,
+        );
+        aggregate(
+            "back-end dcache reads",
+            self.stats.reexecs,
+            report.verification.backend_dcache_reads,
+        );
+        let comm = self.graph.comm_stats(self.window);
+        aggregate(
+            "in-window communicating loads",
+            comm.comm_loads,
+            report.memory.comm_loads,
+        );
+        aggregate(
+            "partial-word communicating loads",
+            comm.partial_comm,
+            report.memory.partial_comm_loads,
+        );
+        let truncated = self.violations > self.diagnostics.len() as u64;
+        AuditReport {
+            stats: self.stats,
+            violations: self.violations,
+            diagnostics: self.diagnostics,
+            truncated,
+        }
+    }
+}
+
+impl SimObserver for AuditObserver<'_> {
+    fn on_load_commit(&mut self, ev: &LoadCommitEvent) {
+        self.stats.loads += 1;
+        match ev.kind {
+            CommittedLoadKind::Bypassed { .. } => self.stats.bypassed += 1,
+            CommittedLoadKind::Delayed => self.stats.delayed += 1,
+            CommittedLoadKind::Normal => {}
+        }
+        if ev.reexec {
+            self.stats.reexecs += 1;
+        } else {
+            self.stats.filtered += 1;
+        }
+        if ev.mispredict {
+            self.stats.mispredicts += 1;
+        }
+        if ev.injected {
+            self.stats.injected += 1;
+        }
+
+        let Some(dep) = self.oracle_record(ev) else {
+            return;
+        };
+        let bypassed = matches!(ev.kind, CommittedLoadKind::Bypassed { .. });
+        let oracle_producer = (dep.youngest_ssn != 0).then_some(dep.youngest_ssn);
+
+        // Rule 1 — value integrity: an un-squashed committed load must
+        // carry the oracle's architectural value.
+        if !ev.mispredict && ev.value != dep.value {
+            let rule = if ev.reexec {
+                // Re-execution reads committed memory; a wrong value
+                // here means the replay datapath itself is broken.
+                AuditRule::ValueIntegrity
+            } else if bypassed {
+                AuditRule::SvwFilterUnsound
+            } else if dep.in_window(self.window) {
+                AuditRule::MissedCommunication
+            } else {
+                AuditRule::ValueIntegrity
+            };
+            self.flag(
+                rule,
+                ev.seq,
+                ev.pc,
+                oracle_producer,
+                ev.predicted_ssn,
+                format!(
+                    "committed value {:#x}, oracle says {:#x} (distance {}, coverage {:?}{})",
+                    ev.value,
+                    dep.value,
+                    dep.store_distance,
+                    dep.coverage,
+                    if ev.injected { ", fault-injected" } else { "" }
+                ),
+            );
+        }
+
+        // Rule 2 — squash consistency: a re-executed load only squashes
+        // on a real value mismatch (re-execution is exact). Filtered
+        // squashes with a right value are the §3.5 shift-mismatch
+        // phantom squash: conservative but legitimate.
+        if ev.mispredict && ev.value == dep.value {
+            if ev.reexec {
+                self.flag(
+                    AuditRule::SquashConsistency,
+                    ev.seq,
+                    ev.pc,
+                    oracle_producer,
+                    ev.predicted_ssn,
+                    format!(
+                        "re-executed load squashed with the correct value {:#x}",
+                        ev.value
+                    ),
+                );
+            } else {
+                self.stats.phantom_squashes += 1;
+            }
+        }
+
+        // Rule 3 — producer attribution for surviving bypasses. A
+        // bypass from the wrong store with the right value is legal
+        // under value-based verification: a statistic, not a violation.
+        if bypassed && !ev.mispredict {
+            let exact = match ev.predicted_ssn {
+                // A real bypass is exact when it names the oracle's
+                // youngest producer and that store covers every byte;
+                // the perfect-SMB oracle additionally gets idealized
+                // multi-source support, so naming the youngest producer
+                // suffices there.
+                Some(p) => p == dep.youngest_ssn && (dep.coverage == Coverage::Full || ev.oracle),
+                None => ev.oracle,
+            };
+            if exact {
+                self.stats.exact_bypasses += 1;
+            } else {
+                self.stats.coincidental_bypasses += 1;
+            }
+        }
+    }
+}
+
+/// Runs `cfg` over `program` with an [`AuditObserver`] attached and
+/// returns both the session's [`SimReport`] and the audit verdict.
+///
+/// `graph` must be the oracle for the same committed stream the
+/// configuration will execute (same program, same instruction budget) —
+/// [`DependenceGraph::from_program`] with `cfg`'s `max_insts` — and is
+/// borrowed rather than rebuilt so one oracle pass can audit a whole
+/// grid of configurations.
+pub fn audit_config(
+    program: &Program,
+    graph: &DependenceGraph,
+    cfg: SimConfig,
+) -> (SimReport, AuditReport) {
+    let window = cfg.machine.rob_size as u64;
+    let mut obs = AuditObserver::new(graph, window);
+    let mut sim = Simulator::new(program, cfg);
+    sim.attach_observer(Box::new(&mut obs));
+    sim.run_until(StopCondition::Done);
+    let report = sim.finish();
+    let audit = obs.finalize(&report);
+    (report, audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nosq_core::{FaultPlan, LsuModel};
+    use nosq_trace::{synthesize, Profile};
+
+    fn program() -> Program {
+        synthesize(Profile::by_name("gzip").unwrap(), 42)
+    }
+
+    #[test]
+    fn clean_run_has_no_diagnostics() {
+        let p = program();
+        let graph = DependenceGraph::from_program(&p, 20_000);
+        for cfg in [
+            SimConfig::nosq(20_000),
+            SimConfig::nosq_no_delay(20_000),
+            SimConfig::perfect_smb(20_000),
+            SimConfig::baseline_storesets(20_000),
+        ] {
+            let (report, audit) = audit_config(&p, &graph, cfg);
+            assert!(
+                audit.is_clean(),
+                "expected clean audit, got {}",
+                audit.to_json()
+            );
+            assert_eq!(audit.stats.loads, report.memory.loads);
+        }
+    }
+
+    #[test]
+    fn fault_injection_is_caught() {
+        let p = program();
+        let graph = DependenceGraph::from_program(&p, 30_000);
+        let cfg = SimConfig::builder()
+            .lsu(LsuModel::Nosq { delay: true })
+            .max_insts(30_000)
+            .faults(FaultPlan {
+                break_predictor: Some(8),
+            })
+            .build();
+        let (_report, audit) = audit_config(&p, &graph, cfg);
+        assert!(!audit.is_clean(), "injected faults must surface");
+        assert!(audit
+            .diagnostics
+            .iter()
+            .all(|d| d.rule == AuditRule::SvwFilterUnsound));
+        assert!(audit.stats.injected > 0);
+    }
+
+    #[test]
+    fn desync_is_reported_and_resynchronized() {
+        let p = program();
+        let graph = DependenceGraph::from_program(&p, 5_000);
+        let mut obs = AuditObserver::new(&graph, 128);
+        let dep = graph.loads()[3];
+        // Replay oracle loads 3.. as commit events: the first is a
+        // desync (cursor expects load 0), then the cursor resyncs and
+        // the rest stream cleanly.
+        for dep in &graph.loads()[3..] {
+            let ev = LoadCommitEvent {
+                cycle: 1,
+                seq: dep.seq,
+                pc: dep.pc,
+                addr: dep.addr,
+                kind: CommittedLoadKind::Normal,
+                predicted_ssn: None,
+                value: dep.value,
+                arch_value: dep.value,
+                reexec: true,
+                mispredict: false,
+                oracle: false,
+                stores_before: dep.stores_before,
+                injected: false,
+            };
+            obs.on_load_commit(&ev);
+        }
+        assert_eq!(obs.violations, 1);
+        assert_eq!(obs.diagnostics[0].rule, AuditRule::StreamDesync);
+        assert_eq!(obs.diagnostics[0].seq, dep.seq);
+    }
+
+    #[test]
+    fn diagnostics_cap_truncates_but_counts() {
+        let p = program();
+        let graph = DependenceGraph::from_program(&p, 5_000);
+        let mut obs = AuditObserver::new(&graph, 128).max_diagnostics(2);
+        for dep in graph.loads() {
+            let ev = LoadCommitEvent {
+                cycle: 1,
+                seq: dep.seq,
+                pc: dep.pc,
+                addr: dep.addr,
+                kind: CommittedLoadKind::Normal,
+                predicted_ssn: None,
+                value: dep.value ^ 0xdead, // every value wrong
+                arch_value: dep.value,
+                reexec: true,
+                mispredict: false,
+                oracle: false,
+                stores_before: dep.stores_before,
+                injected: false,
+            };
+            obs.on_load_commit(&ev);
+        }
+        let loads = graph.loads().len() as u64;
+        let report = SimReport::default();
+        let audit = obs.finalize(&report);
+        assert!(audit.violations >= loads);
+        assert_eq!(audit.diagnostics.len(), 2);
+        assert!(audit.truncated);
+        assert!(!audit.is_clean());
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let audit = AuditReport {
+            stats: AuditStats::default(),
+            violations: 1,
+            diagnostics: vec![AuditDiagnostic {
+                rule: AuditRule::ValueIntegrity,
+                seq: 7,
+                pc: 0x400,
+                expected_ssn: Some(3),
+                actual_ssn: None,
+                detail: "demo".into(),
+            }],
+            truncated: false,
+        };
+        let json = audit.to_json();
+        assert!(json.contains("\"violations\":1"));
+        assert!(json.contains("\"rule\":\"value-integrity\""));
+        assert!(json.contains("\"actual_ssn\":null"));
+        let display = audit.diagnostics[0].to_string();
+        assert!(display.contains("[value-integrity]"));
+        assert!(display.contains("expected-ssn=3"));
+    }
+}

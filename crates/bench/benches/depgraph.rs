@@ -1,0 +1,30 @@
+//! Criterion benchmarks for the dependence-oracle pass: how fast
+//! `nosq-audit`'s ground truth is produced. The oracle runs once per
+//! audited profile and amortizes over every preset in the grid, so its
+//! single-pass build throughput (and the derived `comm_stats` fold)
+//! bounds how much auditing a campaign can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nosq_trace::{synthesize, DependenceGraph, Profile};
+
+const INSTS: u64 = 50_000;
+
+fn bench_oracle_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("depgraph");
+    for name in ["gzip", "gcc"] {
+        let program = synthesize(Profile::by_name(name).expect("profile"), 42);
+        g.bench_function(&format!("build/{name}"), |b| {
+            b.iter(|| black_box(DependenceGraph::from_program(black_box(&program), INSTS)));
+        });
+        let graph = DependenceGraph::from_program(&program, INSTS);
+        g.bench_function(&format!("comm_stats/{name}"), |b| {
+            b.iter(|| black_box(graph.comm_stats(black_box(128))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oracle_pass);
+criterion_main!(benches);

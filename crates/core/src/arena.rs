@@ -114,6 +114,12 @@ impl CoreBuffers {
 pub(crate) struct InstPool {
     slots: Vec<DynInst>,
     free: Vec<u32>,
+    /// Debug-build liveness tracking: `live[i]` iff slot `i` is
+    /// allocated. Turns double-release and use-after-release into
+    /// immediate assertion failures under `cargo test`; absent from
+    /// release builds entirely.
+    #[cfg(debug_assertions)]
+    live: Vec<bool>,
 }
 
 impl InstPool {
@@ -122,10 +128,17 @@ impl InstPool {
         match self.free.pop() {
             Some(i) => {
                 self.slots[i as usize] = d;
+                #[cfg(debug_assertions)]
+                {
+                    debug_assert!(!self.live[i as usize], "free list held a live slot");
+                    self.live[i as usize] = true;
+                }
                 i
             }
             None => {
                 self.slots.push(d);
+                #[cfg(debug_assertions)]
+                self.live.push(true);
                 (self.slots.len() - 1) as u32
             }
         }
@@ -135,6 +148,11 @@ impl InstPool {
     /// afterwards.
     pub(crate) fn release(&mut self, idx: u32) {
         debug_assert!((idx as usize) < self.slots.len());
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.live[idx as usize], "double release of pool slot {idx}");
+            self.live[idx as usize] = false;
+        }
         self.free.push(idx);
     }
 
@@ -142,6 +160,8 @@ impl InstPool {
     pub(crate) fn clear(&mut self) {
         self.slots.clear();
         self.free.clear();
+        #[cfg(debug_assertions)]
+        self.live.clear();
     }
 }
 
@@ -150,6 +170,8 @@ impl std::ops::Index<u32> for InstPool {
 
     #[inline]
     fn index(&self, idx: u32) -> &DynInst {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.live[idx as usize], "read of released pool slot {idx}");
         &self.slots[idx as usize]
     }
 }
@@ -182,12 +204,23 @@ impl<T> Default for Ring<T> {
 impl<T> Ring<T> {
     #[inline]
     fn mask(&self) -> usize {
+        debug_assert!(
+            self.buf.len().is_power_of_two(),
+            "ring capacity {} is not a power of two",
+            self.buf.len()
+        );
         self.buf.len() - 1
     }
 
     #[inline]
     fn slot_of(&self, pos: u64) -> usize {
         // Power-of-two masking is stable under u64 wrap-around.
+        debug_assert!(
+            pos.wrapping_sub(self.head) <= self.len as u64,
+            "position {pos} outside ring residency [head {}, +{}]",
+            self.head,
+            self.len
+        );
         (pos as usize) & self.mask()
     }
 

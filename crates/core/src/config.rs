@@ -131,6 +131,34 @@ impl LsuModel {
     }
 }
 
+/// Deliberate hardware-bug injection, used by `nosq audit
+/// --break-predictor` to prove the dependence-oracle auditor catches
+/// real violations.
+///
+/// A corrupted bypass alone is *not* observable at commit: value-based
+/// verification squashes every wrong-value bypass, so the architectural
+/// stream stays correct. The injected fault therefore models a
+/// predictor bug *and* a complicit SVW filter: the victim load bypasses
+/// from the wrong in-flight store and is exempted from verification, so
+/// a genuinely wrong value commits — exactly the class of silent
+/// failure the auditor exists to detect.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Corrupt every `period`-th bypassing load (1-based count over
+    /// loads that dispatch in bypassing mode). `None` disables
+    /// injection. Only NoSQ predictor-driven runs ([`LsuModel::Nosq`])
+    /// are affected; loads with no alternative in-flight store to
+    /// bypass from are skipped.
+    pub break_predictor: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Whether any fault is enabled.
+    pub fn is_active(&self) -> bool {
+        self.break_predictor.is_some()
+    }
+}
+
 /// Complete configuration for one simulation run.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -142,6 +170,8 @@ pub struct SimConfig {
     pub predictor: PredictorConfig,
     /// Dynamic-instruction budget.
     pub max_insts: u64,
+    /// Fault injection for auditor validation (defaults to none).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -151,6 +181,7 @@ impl SimConfig {
             lsu,
             predictor: PredictorConfig::paper_default(),
             max_insts,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -248,6 +279,9 @@ impl SimConfig {
         if self.lsu.is_nosq() && !p.unbounded {
             check_table("bypassing predictor", p.entries_per_table, p.ways)?;
         }
+        if self.faults.break_predictor == Some(0) {
+            return Err(ConfigError::ZeroResource("faults.break_predictor"));
+        }
         Ok(())
     }
 }
@@ -288,6 +322,13 @@ impl SimConfigBuilder {
     /// Sets the dynamic-instruction budget.
     pub fn max_insts(mut self, max_insts: u64) -> Self {
         self.cfg.max_insts = max_insts;
+        self
+    }
+
+    /// Sets the fault-injection plan (auditor validation only; defaults
+    /// to no faults).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
         self
     }
 

@@ -111,9 +111,10 @@ pub mod ser;
 pub mod srq;
 
 pub use arena::SimArena;
-pub use config::{ConfigError, LsuModel, Scheduling, SimConfig, SimConfigBuilder};
+pub use config::{ConfigError, FaultPlan, LsuModel, Scheduling, SimConfig, SimConfigBuilder};
 pub use observer::{
-    BypassEvent, CommitEvent, CycleEvent, ReexecEvent, SimObserver, SquashCause, SquashEvent,
+    BypassEvent, CommitEvent, CommittedLoadKind, CycleEvent, LoadCommitEvent, ReexecEvent,
+    SimObserver, SquashCause, SquashEvent,
 };
 pub use pipeline::{simulate, Simulator, StopCondition};
 pub use predictor::{BypassingPredictor, PathHistory, Prediction, PredictorConfig};

@@ -90,6 +90,66 @@ pub struct BypassEvent {
     pub distance: Option<u16>,
 }
 
+/// How a committed load obtained its value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CommittedLoadKind {
+    /// Executed through the data cache as usual.
+    Normal,
+    /// Held at the scheduler until its predicted producer committed,
+    /// then read the cache (NoSQ "Delay", paper §3.3).
+    Delayed,
+    /// Took its value from an in-flight store via speculative memory
+    /// bypassing.
+    Bypassed {
+        /// Whether the bypass went through the injected shift & mask
+        /// instruction (partial-word communication, paper §3.5).
+        partial: bool,
+    },
+}
+
+/// Commit-time verification outcome of one load — the per-load record
+/// the dependence-oracle auditor (`nosq-audit`) cross-checks against
+/// the trace's exact store→load graph.
+///
+/// Fired once per committed load, after verification resolved (and, on
+/// a mismatch, before the squash event for the same load).
+#[derive(Copy, Clone, Debug)]
+pub struct LoadCommitEvent {
+    /// Commit cycle.
+    pub cycle: u64,
+    /// The load's dynamic sequence number in the correct-path stream.
+    pub seq: u64,
+    /// The load's PC.
+    pub pc: u64,
+    /// The load's effective address.
+    pub addr: u64,
+    /// How the load obtained its value.
+    pub kind: CommittedLoadKind,
+    /// SSN of the store the load bypassed from, for a bypassed load
+    /// with a predictor-produced distance (`None` under the perfect-SMB
+    /// oracle or for non-bypassed loads).
+    pub predicted_ssn: Option<u64>,
+    /// The value the load's execution produced (before any squash
+    /// correction).
+    pub value: u64,
+    /// The architecturally correct value from the trace record.
+    pub arch_value: u64,
+    /// Whether verification re-executed the load (SVW filter miss).
+    pub reexec: bool,
+    /// Whether verification failed and squashed younger instructions.
+    pub mispredict: bool,
+    /// Whether the run uses idealized (oracle) verification, which
+    /// filters every re-execution.
+    pub oracle: bool,
+    /// Stores renamed before this load in the dynamic stream (the
+    /// load's `SSNrename` view).
+    pub stores_before: u64,
+    /// Whether fault injection deliberately corrupted this load's
+    /// bypass and exempted it from verification
+    /// (`FaultPlan::break_predictor`).
+    pub injected: bool,
+}
+
 /// A committed load re-executed in the back-end (SVW filter miss).
 #[derive(Copy, Clone, Debug)]
 pub struct ReexecEvent {
@@ -134,6 +194,11 @@ pub trait SimObserver {
     fn on_reexec(&mut self, ev: &ReexecEvent) {
         let _ = ev;
     }
+
+    /// Called for every committed load once its verification resolved.
+    fn on_load_commit(&mut self, ev: &LoadCommitEvent) {
+        let _ = ev;
+    }
 }
 
 /// Forwarding impl so a session can borrow an observer (`Box::new(&mut
@@ -154,6 +219,9 @@ impl<O: SimObserver + ?Sized> SimObserver for &mut O {
     }
     fn on_reexec(&mut self, ev: &ReexecEvent) {
         (**self).on_reexec(ev);
+    }
+    fn on_load_commit(&mut self, ev: &LoadCommitEvent) {
+        (**self).on_load_commit(ev);
     }
 }
 

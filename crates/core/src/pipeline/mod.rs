@@ -41,7 +41,8 @@ use crate::arena::{CoreBuffers, InstPool, Ring, SimArena};
 use crate::bypass::{bypass_value, needs_shift_mask};
 use crate::config::{LsuModel, Scheduling, SimConfig};
 use crate::observer::{
-    BypassEvent, CommitEvent, CycleEvent, ReexecEvent, SimObserver, SquashCause, SquashEvent,
+    BypassEvent, CommitEvent, CommittedLoadKind, CycleEvent, LoadCommitEvent, ReexecEvent,
+    SimObserver, SquashCause, SquashEvent,
 };
 use crate::predictor::{BypassingPredictor, PathHistory, Prediction};
 use crate::report::SimReport;
@@ -82,6 +83,31 @@ struct LoadState {
     pred: Option<Prediction>,
     /// Oracle loads skip verification entirely.
     oracle: bool,
+    /// Fault injection corrupted this load's bypass target and exempted
+    /// it from verification ([`crate::FaultPlan::break_predictor`]).
+    injected: bool,
+}
+
+/// Decode-stage classification of a NoSQ load (result of
+/// [`Simulator::plan_nosq_load`]).
+#[derive(Copy, Clone, Debug)]
+struct LoadPlan {
+    mode: LoadMode,
+    pred: Option<Prediction>,
+    ssn_byp: Option<Ssn>,
+    /// Fault injection corrupted this plan.
+    injected: bool,
+}
+
+impl LoadPlan {
+    fn normal(pred: Option<Prediction>) -> LoadPlan {
+        LoadPlan {
+            mode: LoadMode::Normal,
+            pred,
+            ssn_byp: None,
+            injected: false,
+        }
+    }
 }
 
 /// One ROB entry. The dynamic instruction itself lives in the
@@ -325,6 +351,9 @@ pub struct Simulator<'p> {
     predictor: BypassingPredictor,
     storesets: StoreSets,
     draining_for_wrap: bool,
+    /// Bypassing loads planned so far, counted only under fault
+    /// injection (selects every `period`-th victim deterministically).
+    fault_bypass_seen: u64,
     // Results / instrumentation.
     stats: SimReport,
     observers: Vec<Box<dyn SimObserver + 'p>>,
@@ -477,6 +506,7 @@ impl<'p> Simulator<'p> {
             predictor: BypassingPredictor::new(cfg.predictor),
             storesets: StoreSets::new(4096),
             draining_for_wrap: false,
+            fault_bypass_seen: 0,
             stats: SimReport::default(),
             observers: Vec::new(),
             cfg,
@@ -771,6 +801,11 @@ impl<'p> Simulator<'p> {
         if ls.oracle {
             return false;
         }
+        if ls.injected {
+            // The injected fault models a complicit SVW filter: the
+            // corrupted bypass is (wrongly) claimed provably correct.
+            return false;
+        }
         let d = &self.insts[entry.inst];
         let width = d.rec.inst.mem_width().expect("load width").bytes() as u8;
         match ls.mode {
@@ -804,6 +839,7 @@ impl<'p> Simulator<'p> {
         }
         if ls.oracle {
             self.stats.verification.reexec_filtered += 1;
+            self.emit_load_commit(&d, ls, false, false);
             return false;
         }
 
@@ -835,17 +871,22 @@ impl<'p> Simulator<'p> {
             self.stats.verification.reexec_filtered += 1;
             // The filter said the value is provably correct — except for a
             // predicted shift, which is verified without replay (§3.5).
-            if let LoadMode::Bypassed { .. } = ls.mode {
-                if let TssbfLookup::Hit(e) = self.tssbf.lookup(d.rec.addr, width.bytes() as u8) {
-                    let actual_shift = d.rec.addr.wrapping_sub(e.store_addr()) as u8;
-                    let predicted_shift = ls.pred.map(|p| p.shift).unwrap_or(0);
-                    if actual_shift != predicted_shift {
-                        mispredict = true;
-                    } else {
-                        debug_assert_eq!(
-                            ls.exec_value, d.rec.load_value,
-                            "filtered bypass with correct shift must be correct"
-                        );
+            // Injected loads skip even the shift check: the modelled
+            // filter bug vouches for them unconditionally.
+            if !ls.injected {
+                if let LoadMode::Bypassed { .. } = ls.mode {
+                    if let TssbfLookup::Hit(e) = self.tssbf.lookup(d.rec.addr, width.bytes() as u8)
+                    {
+                        let actual_shift = d.rec.addr.wrapping_sub(e.store_addr()) as u8;
+                        let predicted_shift = ls.pred.map(|p| p.shift).unwrap_or(0);
+                        if actual_shift != predicted_shift {
+                            mispredict = true;
+                        } else {
+                            debug_assert_eq!(
+                                ls.exec_value, d.rec.load_value,
+                                "filtered bypass with correct shift must be correct"
+                            );
+                        }
                     }
                 }
             }
@@ -866,7 +907,37 @@ impl<'p> Simulator<'p> {
             LsuModel::Nosq { .. } => self.train_bypass_predictor(entry, &d, ls, mispredict),
             LsuModel::NosqOracle => {}
         }
+        self.emit_load_commit(&d, ls, reexec, mispredict);
         mispredict
+    }
+
+    /// Emits the commit-time verification record for one load (the
+    /// event `nosq-audit` cross-checks against the dependence oracle).
+    fn emit_load_commit(&mut self, d: &DynInst, ls: &LoadState, reexec: bool, mispredict: bool) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let kind = match ls.mode {
+            LoadMode::Normal => CommittedLoadKind::Normal,
+            LoadMode::Delayed => CommittedLoadKind::Delayed,
+            LoadMode::Bypassed { partial } => CommittedLoadKind::Bypassed { partial },
+        };
+        let ev = LoadCommitEvent {
+            cycle: self.clock,
+            seq: d.seq,
+            pc: d.rec.pc,
+            addr: d.rec.addr,
+            kind,
+            predicted_ssn: ls.ssn_byp.map(|s| s.0),
+            value: ls.exec_value,
+            arch_value: d.rec.load_value,
+            reexec,
+            mispredict,
+            oracle: ls.oracle,
+            stores_before: d.stores_before,
+            injected: ls.injected,
+        };
+        self.emit(|o| o.on_load_commit(&ev));
     }
 
     fn train_bypass_predictor(
@@ -1392,7 +1463,7 @@ impl<'p> Simulator<'p> {
         let mut needs_iq = !matches!(class, InstClass::Halt) && !is_jump;
         let mut needs_lq = false;
         let mut needs_sq = false;
-        let mut load_plan: Option<(LoadMode, Option<Prediction>, Option<Ssn>)> = None;
+        let mut load_plan: Option<LoadPlan> = None;
 
         match class {
             InstClass::Store => {
@@ -1414,11 +1485,11 @@ impl<'p> Simulator<'p> {
                     }
                 } else {
                     // NoSQ decode-stage bypassing prediction.
-                    let (mode, pred, ssn_byp) = self.plan_nosq_load(inst_idx, path_snap);
-                    if matches!(mode, LoadMode::Bypassed { partial: false }) {
+                    let plan = self.plan_nosq_load(inst_idx, path_snap);
+                    if matches!(plan.mode, LoadMode::Bypassed { partial: false }) {
                         needs_iq = false;
                     }
-                    load_plan = Some((mode, pred, ssn_byp));
+                    load_plan = Some(plan);
                 }
             }
             _ => {}
@@ -1430,7 +1501,10 @@ impl<'p> Simulator<'p> {
         }
         let pure_bypass = matches!(
             load_plan,
-            Some((LoadMode::Bypassed { partial: false }, _, _))
+            Some(LoadPlan {
+                mode: LoadMode::Bypassed { partial: false },
+                ..
+            })
         );
         if needs_dest && !pure_bypass && !self.regs.can_alloc() {
             self.stats.stalls.reg_dispatch_stalls += 1;
@@ -1499,14 +1573,14 @@ impl<'p> Simulator<'p> {
         true
     }
 
-    fn rename_sources(
-        &self,
-        inst_idx: u32,
-        load_plan: &Option<(LoadMode, Option<Prediction>, Option<Ssn>)>,
-    ) -> [Option<NodeId>; 2] {
+    fn rename_sources(&self, inst_idx: u32, load_plan: &Option<LoadPlan>) -> [Option<NodeId>; 2] {
         // A pure bypassed load has no out-of-order sources; a partial
         // bypass consumes only the store's data node (set later).
-        if let Some((LoadMode::Bypassed { .. }, _, _)) = load_plan {
+        if let Some(LoadPlan {
+            mode: LoadMode::Bypassed { .. },
+            ..
+        }) = load_plan
+        {
             return [None, None];
         }
         let mut srcs = [None, None];
@@ -1574,11 +1648,7 @@ impl<'p> Simulator<'p> {
     }
 
     /// Decode-stage classification of a NoSQ load (paper Table 3).
-    fn plan_nosq_load(
-        &mut self,
-        inst_idx: u32,
-        path_snap: u64,
-    ) -> (LoadMode, Option<Prediction>, Option<Ssn>) {
+    fn plan_nosq_load(&mut self, inst_idx: u32, path_snap: u64) -> LoadPlan {
         let (pc, dinst, dep_ssn) = {
             let d = &self.insts[inst_idx];
             (d.rec.pc, d.rec.inst, d.dep_ssn())
@@ -1588,33 +1658,61 @@ impl<'p> Simulator<'p> {
             // producing store, with idealized partial-word support.
             if let Some(dep_ssn) = dep_ssn.map(Ssn) {
                 if dep_ssn > self.ssn.commit() {
-                    return (LoadMode::Bypassed { partial: false }, None, Some(dep_ssn));
+                    return LoadPlan {
+                        mode: LoadMode::Bypassed { partial: false },
+                        pred: None,
+                        ssn_byp: Some(dep_ssn),
+                        injected: false,
+                    };
                 }
             }
-            return (LoadMode::Normal, None, None);
+            return LoadPlan::normal(None);
         }
         let delay_enabled = matches!(self.cfg.lsu, LsuModel::Nosq { delay: true });
         let mut history = PathHistory::new();
         history.restore(path_snap);
         let pred = self.predictor.predict(pc, &history);
         let Some(p) = pred else {
-            return (LoadMode::Normal, None, None);
+            return LoadPlan::normal(None);
         };
         let ssn_byp = Ssn(self.ssn.rename().0.saturating_sub(p.dist as u64));
         if ssn_byp <= self.ssn.commit() || ssn_byp == Ssn::NONE {
             // Predicted store already committed: non-bypassing.
-            return (LoadMode::Normal, pred, None);
+            return LoadPlan::normal(pred);
         }
         if delay_enabled && !p.confident {
-            return (LoadMode::Delayed, pred, Some(ssn_byp));
+            return LoadPlan {
+                mode: LoadMode::Delayed,
+                pred,
+                ssn_byp: Some(ssn_byp),
+                injected: false,
+            };
         }
-        let Some(info) = self.srq.get(ssn_byp) else {
-            return (LoadMode::Normal, pred, None);
+        if self.srq.get(ssn_byp).is_none() {
+            return LoadPlan::normal(pred);
         };
         let (lw, lext) = match dinst {
             Inst::Load { width, ext, .. } => (width, ext),
             _ => unreachable!("load"),
         };
+        // Fault injection: every `period`-th bypassing load is pointed
+        // at a neighboring in-flight store instead of the predicted one
+        // and exempted from verification (see `FaultPlan`).
+        let (ssn_byp, injected) = match self.cfg.faults.break_predictor {
+            Some(period) => {
+                self.fault_bypass_seen += 1;
+                if self.fault_bypass_seen.is_multiple_of(period) {
+                    match self.corrupt_bypass_target(ssn_byp) {
+                        Some(bad) => (bad, true),
+                        None => (ssn_byp, false),
+                    }
+                } else {
+                    (ssn_byp, false)
+                }
+            }
+            None => (ssn_byp, false),
+        };
+        let info = self.srq.get(ssn_byp).expect("bypass target in flight");
         let sw = match info.width {
             1 => MemWidth::B1,
             2 => MemWidth::B2,
@@ -1622,14 +1720,29 @@ impl<'p> Simulator<'p> {
             _ => MemWidth::B8,
         };
         let partial = needs_shift_mask(sw, info.float32, p.shift, lw, lext);
-        (LoadMode::Bypassed { partial }, pred, Some(ssn_byp))
+        LoadPlan {
+            mode: LoadMode::Bypassed { partial },
+            pred,
+            ssn_byp: Some(ssn_byp),
+            injected,
+        }
     }
 
-    fn dispatch_load(
-        &mut self,
-        entry: &mut Entry,
-        plan: Option<(LoadMode, Option<Prediction>, Option<Ssn>)>,
-    ) {
+    /// Picks an in-flight store adjacent to the predicted bypass target,
+    /// for fault injection. Returns `None` when the predicted store is
+    /// the only eligible one (the victim is then left uncorrupted).
+    fn corrupt_bypass_target(&self, predicted: Ssn) -> Option<Ssn> {
+        [Ssn(predicted.0.wrapping_sub(1)), Ssn(predicted.0 + 1)]
+            .into_iter()
+            .find(|&candidate| {
+                candidate != Ssn::NONE
+                    && candidate > self.ssn.commit()
+                    && candidate <= self.ssn.rename()
+                    && self.srq.get(candidate).is_some()
+            })
+    }
+
+    fn dispatch_load(&mut self, entry: &mut Entry, plan: Option<LoadPlan>) {
         let d = self.insts[entry.inst];
         let rd = d.rec.inst.dest();
         let mut ls = LoadState {
@@ -1641,6 +1754,7 @@ impl<'p> Simulator<'p> {
             exec_value: 0,
             pred: None,
             oracle: false,
+            injected: false,
         };
 
         match self.cfg.lsu {
@@ -1672,11 +1786,17 @@ impl<'p> Simulator<'p> {
                 entry.map_node = Some(node);
             }
             LsuModel::Nosq { .. } | LsuModel::NosqOracle => {
-                let (mode, pred, ssn_byp) = plan.expect("nosq load plan");
+                let LoadPlan {
+                    mode,
+                    pred,
+                    ssn_byp,
+                    injected,
+                } = plan.expect("nosq load plan");
                 ls.mode = mode;
                 ls.pred = pred;
                 ls.ssn_byp = ssn_byp;
                 ls.oracle = self.cfg.lsu == LsuModel::NosqOracle;
+                ls.injected = injected;
                 match mode {
                     LoadMode::Bypassed { partial } => {
                         self.stats.memory.bypassed_loads += 1;

@@ -91,6 +91,15 @@ impl StoreRegisterQueue {
     /// older occupant).
     pub fn insert(&mut self, info: StoreInfo) {
         let i = self.slot(info.ssn);
+        // Rename allocates SSNs monotonically and squashes invalidate
+        // their stores' slots, so an occupied slot can only hold a
+        // strictly older store (one full ring-wrap behind).
+        debug_assert!(
+            self.ring[i].is_none_or(|old| old.ssn < info.ssn),
+            "SRQ insert out of order: slot {i} holds {:?}, inserting {:?}",
+            self.ring[i].map(|old| old.ssn),
+            info.ssn
+        );
         self.ring[i] = Some(info);
     }
 

@@ -4,6 +4,8 @@
 //! nosq run <spec-file> [--threads N] [--out DIR] [--max-insts N] [--progress]
 //! nosq table5          [--threads N] [--out DIR] [--max-insts N]
 //! nosq smoke           [--threads N] [--out DIR]
+//! nosq audit           [--small] [--break-predictor N] [--threads N] [--out DIR] [--max-insts N]
+//! nosq lint            [--allow FILE] [--root DIR]
 //! nosq list [profiles|presets]
 //! ```
 //!
@@ -16,10 +18,11 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use nosq_lab::lint::{lint_tree, Allowlist};
 use nosq_lab::reports::{table5, table5_json, Table5Row};
 use nosq_lab::{
-    artifacts, json, run_campaign, timing_artifact, write_artifacts, Artifact, Campaign, Preset,
-    RunOptions,
+    artifacts, audit_json, json, run_audit, run_campaign, timing_artifact, write_artifacts,
+    Artifact, AuditOptions, Campaign, Preset, RunOptions,
 };
 use nosq_trace::{Profile, Suite};
 
@@ -30,14 +33,22 @@ USAGE:
     nosq run <spec-file> [OPTIONS]   run a campaign from a spec file
     nosq table5 [OPTIONS]            regenerate paper Table 5 (47 benchmarks)
     nosq smoke [OPTIONS]             sub-second self-check campaign
+    nosq audit [OPTIONS]             prove every speculative bypass against the
+                                     dependence oracle (4 profiles x 3 NoSQ presets)
+    nosq lint [OPTIONS]              determinism source lint over crates/
     nosq list [profiles|presets]     show available benchmarks / presets
     nosq help                        this text
 
 OPTIONS:
-    --threads N      worker threads (default: one per CPU)
-    --out DIR        artifact directory (default: $NOSQ_ARTIFACT_DIR or ./nosq-artifacts)
-    --max-insts N    override the per-job dynamic-instruction budget
-    --progress       live progress line on stderr
+    --threads N          worker threads (default: one per CPU)
+    --out DIR            artifact directory (default: $NOSQ_ARTIFACT_DIR or ./nosq-artifacts)
+    --max-insts N        override the per-job dynamic-instruction budget
+    --progress           live progress line on stderr
+    --small              (audit) single-cell gzip x nosq grid, small budget
+    --break-predictor N  (audit) corrupt every Nth bypass and hide it from
+                         verification; exits 0 only if the auditor catches it
+    --allow FILE         (lint) allowlist path (default: ./lint.allow)
+    --root DIR           (lint) workspace root to scan (default: .)
 ";
 
 /// The built-in smoke campaign: 2 presets × 3 profiles, small budget.
@@ -55,6 +66,10 @@ struct Options {
     out: PathBuf,
     max_insts: Option<u64>,
     progress: bool,
+    small: bool,
+    break_predictor: Option<u64>,
+    allow: Option<PathBuf>,
+    root: PathBuf,
 }
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -92,6 +107,14 @@ fn main() -> ExitCode {
         }
         "table5" => cmd_table5(&options),
         "smoke" => cmd_smoke(&options),
+        "audit" if !positional.is_empty() => {
+            usage_error("`nosq audit` takes no positional arguments")
+        }
+        "audit" => cmd_audit(&options),
+        "lint" if !positional.is_empty() => {
+            usage_error("`nosq lint` takes no positional arguments")
+        }
+        "lint" => cmd_lint(&options),
         other => usage_error(format!("unknown command `{other}`")),
     }
 }
@@ -104,6 +127,10 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
             .unwrap_or_else(|| PathBuf::from("nosq-artifacts")),
         max_insts: None,
         progress: false,
+        small: false,
+        break_predictor: None,
+        allow: None,
+        root: PathBuf::from("."),
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -128,6 +155,18 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
                 options.max_insts = Some(v);
             }
             "--progress" => options.progress = true,
+            "--small" => options.small = true,
+            "--break-predictor" => {
+                let v: u64 = value_of("--break-predictor")?
+                    .parse()
+                    .map_err(|_| "`--break-predictor` expects an integer".to_owned())?;
+                if v == 0 {
+                    return Err("`--break-predictor` expects a period >= 1".to_owned());
+                }
+                options.break_predictor = Some(v);
+            }
+            "--allow" => options.allow = Some(PathBuf::from(value_of("--allow")?)),
+            "--root" => options.root = PathBuf::from(value_of("--root")?),
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             _ => positional.push(arg.clone()),
         }
@@ -403,6 +442,132 @@ fn cmd_smoke(options: &Options) -> ExitCode {
     println!(
         "smoke OK: {} artifacts validated, determinism checked",
         files.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `nosq audit`: run the dependence-oracle grid, write `audit.json`,
+/// and gate on the verdict. Without `--break-predictor`, any violation
+/// fails; with it, *zero* violations fail — the injected faults must be
+/// caught for the auditor to count as healthy.
+fn cmd_audit(options: &Options) -> ExitCode {
+    let mut opts = AuditOptions {
+        threads: options.threads,
+        break_predictor: options.break_predictor,
+        ..AuditOptions::default()
+    };
+    if options.small {
+        opts.profiles.truncate(1); // gzip
+        opts.presets = vec![Preset::Nosq];
+        opts.max_insts = 20_000;
+    }
+    if let Some(n) = options.max_insts {
+        opts.max_insts = n;
+    }
+
+    let result = run_audit(&opts);
+    println!(
+        "{:<10} {:<12} {:>9} {:>9} {:>8} {:>12} {:>10}",
+        "profile", "preset", "loads", "bypassed", "exact", "coincidental", "violations"
+    );
+    for cell in &result.cells {
+        println!(
+            "{:<10} {:<12} {:>9} {:>9} {:>8} {:>12} {:>10}",
+            cell.profile.name,
+            cell.preset.name(),
+            cell.audit.stats.loads,
+            cell.audit.stats.bypassed,
+            cell.audit.stats.exact_bypasses,
+            cell.audit.stats.coincidental_bypasses,
+            cell.audit.violations,
+        );
+    }
+
+    let contents = audit_json(&result);
+    if let Err(e) = json::parse(&contents) {
+        return fail(format!("generated audit.json is malformed: {e}"));
+    }
+    let artifact = Artifact {
+        file_name: "audit.json".to_owned(),
+        contents,
+    };
+    match write_artifacts(&options.out, std::slice::from_ref(&artifact)) {
+        Ok(paths) => {
+            for path in &paths {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => return fail(format!("writing audit.json: {e}")),
+    }
+
+    let violations = result.total_violations();
+    if result.injecting {
+        if violations == 0 {
+            return fail("fault injection was active but the auditor reported no violations");
+        }
+        println!(
+            "audit OK (self-test): {} injected-fault violations caught across {} loads",
+            violations,
+            result.total_loads()
+        );
+        ExitCode::SUCCESS
+    } else if violations > 0 {
+        for cell in &result.cells {
+            for diag in &cell.audit.diagnostics {
+                eprintln!(
+                    "nosq audit: {} × {}: {diag}",
+                    cell.profile.name,
+                    cell.preset.name()
+                );
+            }
+        }
+        fail(format!(
+            "{violations} audit violations across {} cells",
+            result.cells.len()
+        ))
+    } else {
+        println!(
+            "audit OK: {} loads across {} cells proved against the dependence oracle",
+            result.total_loads(),
+            result.cells.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+/// `nosq lint`: the determinism source lint over `crates/`. Violations
+/// exit non-zero (the CI hard gate); stale allowlist entries warn.
+fn cmd_lint(options: &Options) -> ExitCode {
+    let allow_path = options
+        .allow
+        .clone()
+        .unwrap_or_else(|| options.root.join("lint.allow"));
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    let result = match lint_tree(&options.root, &allow) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    for finding in &result.findings {
+        eprintln!("nosq lint: {finding}");
+    }
+    for stale in &result.stale_allows {
+        eprintln!("nosq lint: warning: stale allowlist entry `{stale}`");
+    }
+    if !result.is_clean() {
+        return fail(format!(
+            "{} determinism violations in {} scanned files (allowlist: {})",
+            result.findings.len(),
+            result.files_scanned,
+            allow_path.display()
+        ));
+    }
+    println!(
+        "lint OK: {} files scanned, 0 violations, {} stale allowlist entries",
+        result.files_scanned,
+        result.stale_allows.len()
     );
     ExitCode::SUCCESS
 }

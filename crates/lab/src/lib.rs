@@ -19,10 +19,16 @@
 //! * [`aggregate`] — per-profile matrices, suite geomeans, and
 //!   speedup-vs-baseline tables as JSON/CSV [`Artifact`]s;
 //! * [`reports`] — engine-backed regeneration of paper tables shared by
-//!   the CLI and the bench harnesses.
+//!   the CLI and the bench harnesses;
+//! * [`audit`] — the dependence-oracle audit grid (`nosq audit`):
+//!   per-profile oracle pass, per-preset [`nosq_audit::AuditObserver`]
+//!   sessions, optional fault injection;
+//! * [`lint`] — the determinism source lint (`nosq lint`) with its
+//!   `lint.allow` allowlist.
 //!
 //! The `nosq` binary in this crate drives all of it from the command
-//! line: `nosq run <spec>`, `nosq table5`, `nosq smoke`, `nosq list`.
+//! line: `nosq run <spec>`, `nosq table5`, `nosq smoke`, `nosq audit`,
+//! `nosq lint`, `nosq list`.
 //!
 //! ## Quick start
 //!
@@ -56,13 +62,16 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod audit;
 pub mod campaign;
 pub mod executor;
 pub mod json;
+pub mod lint;
 pub mod reports;
 pub mod spec;
 
 pub use aggregate::{artifacts, timing_artifact, write_artifacts, Artifact};
+pub use audit::{audit_json, run_audit, AuditCell, AuditOptions, AuditRunResult};
 pub use campaign::{
     suite_from_name, Campaign, CampaignBuilder, NamedConfig, Preset, SpecError, Workload,
     DEFAULT_MAX_INSTS, DEFAULT_SEED,
@@ -71,3 +80,4 @@ pub use executor::{
     effective_threads, parallel_map_indexed, run_campaign, run_campaign_on, synthesize_programs,
     CampaignResult, JobTiming, RunOptions,
 };
+pub use lint::{lint_tree, Allowlist, LintFinding, LintResult};

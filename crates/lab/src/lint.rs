@@ -1,0 +1,295 @@
+//! The `nosq lint` determinism lint: a source scan for constructs that
+//! break the workspace's byte-identical-artifacts contract.
+//!
+//! Every simulator artifact must be reproducible bit-for-bit across
+//! machines, thread counts, and re-runs, so three families of std
+//! constructs are forbidden in `crates/` outside an explicit allowlist:
+//!
+//! * `HashMap` / `HashSet` — iteration order is randomized per process,
+//!   so any result that iterates one is silently nondeterministic
+//!   (deterministic *keyed lookups* are fine, but must be allowlisted
+//!   with a justification);
+//! * `SystemTime` / `Instant` — wall-clock reads belong only in the
+//!   explicitly nondeterministic timing artifacts;
+//! * `std::env` — environment reads are hidden inputs; only the
+//!   documented knobs (`NOSQ_ARTIFACT_DIR`, `NOSQ_DYN_INSTS`,
+//!   `NOSQ_DEBUG_MISPREDICTS`) and CLI argument parsing are exempt.
+//!
+//! The allowlist lives at the repository root (`lint.allow`): one
+//! `path pattern` pair per line, `#` comments. An entry permits a
+//! pattern in exactly one file; stale entries (nothing left to permit)
+//! are reported so the list cannot rot. The scan strips `//` comments
+//! before matching, so prose mentioning a pattern does not trip it.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The forbidden construct names. Built with `concat!` so this file's
+/// own source never contains a matching token.
+pub fn patterns() -> &'static [&'static str] {
+    &[
+        concat!("Hash", "Map"),
+        concat!("Hash", "Set"),
+        concat!("System", "Time"),
+        concat!("Inst", "ant"),
+        concat!("std::", "env"),
+    ]
+}
+
+/// One forbidden-construct occurrence outside the allowlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The pattern that matched.
+    pub pattern: &'static str,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` is not allowlisted: {}",
+            self.file, self.line, self.pattern, self.text
+        )
+    }
+}
+
+/// A parsed `lint.allow` file.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// `(file, pattern)` pairs, in file order.
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text: one `path pattern` pair per line,
+    /// `#`-to-end-of-line comments, blank lines ignored.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(path), Some(pattern), None) => {
+                    entries.push((path.replace('\\', "/"), pattern.to_owned()));
+                }
+                _ => {
+                    return Err(format!(
+                        "lint.allow:{}: expected `path pattern`, got `{line}`",
+                        idx + 1
+                    ));
+                }
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads the allowlist from `path`; a missing file is an empty list.
+    pub fn load(path: &Path) -> Result<Allowlist, String> {
+        match fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    fn permits(&self, file: &str, pattern: &str) -> bool {
+        self.entries.iter().any(|(f, p)| f == file && p == pattern)
+    }
+
+    /// Entries that permitted nothing in a finished scan — stale lines
+    /// that should be deleted from `lint.allow`.
+    pub fn stale(&self, used: &[(String, String)]) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(f, p)| !used.iter().any(|(uf, up)| uf == f && up == p))
+            .map(|(f, p)| format!("{f} {p}"))
+            .collect()
+    }
+}
+
+/// The outcome of a lint scan.
+#[derive(Clone, Debug, Default)]
+pub struct LintResult {
+    /// Violations (pattern hits outside the allowlist).
+    pub findings: Vec<LintFinding>,
+    /// Allowlist entries that permitted nothing (stale).
+    pub stale_allows: Vec<String>,
+    /// Rust files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintResult {
+    /// Whether the tree is clean (stale allowlist entries are warnings,
+    /// not failures).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Scans every `.rs` file under `root/crates` against `allow`.
+pub fn lint_tree(root: &Path, allow: &Allowlist) -> Result<LintResult, String> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    collect_rs_files(&crates, &mut files)
+        .map_err(|e| format!("walking {}: {e}", crates.display()))?;
+    files.sort();
+
+    let mut result = LintResult::default();
+    let mut used: Vec<(String, String)> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        result.files_scanned += 1;
+        for (line_idx, raw) in text.lines().enumerate() {
+            // Strip line comments so prose does not match; `//` inside
+            // a string literal conservatively truncates the line, which
+            // can only under-match.
+            let code = raw.split("//").next().unwrap_or("");
+            for &pattern in patterns() {
+                if !code.contains(pattern) {
+                    continue;
+                }
+                if allow.permits(&rel, pattern) {
+                    let key = (rel.clone(), pattern.to_owned());
+                    if !used.contains(&key) {
+                        used.push(key);
+                    }
+                } else {
+                    result.findings.push(LintFinding {
+                        file: rel.clone(),
+                        line: line_idx + 1,
+                        pattern,
+                        text: raw.trim().to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    result.stale_allows = allow.stale(&used);
+    Ok(result)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            // Build output is the only tree worth skipping under
+            // `crates/`; everything else (src, benches, bin, tests)
+            // is in scope.
+            if name != "target" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, text: &str) {
+        let path = dir.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, text).unwrap();
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nosq-lint-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn flags_forbidden_constructs_and_honors_allowlist() {
+        let root = scratch("basic");
+        let map = concat!("Hash", "Map");
+        write(
+            &root,
+            "crates/x/src/lib.rs",
+            &format!("use std::collections::{map};\n// a {map} in prose is fine\n"),
+        );
+        let clean = lint_tree(&root, &Allowlist::default()).unwrap();
+        assert_eq!(clean.findings.len(), 1);
+        assert_eq!(clean.findings[0].pattern, map);
+        assert_eq!(clean.findings[0].line, 1);
+        assert_eq!(clean.findings[0].file, "crates/x/src/lib.rs");
+
+        let allow = Allowlist::parse(&format!("crates/x/src/lib.rs {map} # keyed only\n")).unwrap();
+        let allowed = lint_tree(&root, &allow).unwrap();
+        assert!(allowed.is_clean());
+        assert!(allowed.stale_allows.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_allowlist_entries_are_reported() {
+        let root = scratch("stale");
+        write(&root, "crates/x/src/lib.rs", "pub fn f() {}\n");
+        let allow =
+            Allowlist::parse(&format!("crates/x/src/lib.rs {}\n", concat!("Inst", "ant"))).unwrap();
+        let result = lint_tree(&root, &allow).unwrap();
+        assert!(result.is_clean());
+        assert_eq!(result.stale_allows.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn malformed_allowlist_is_rejected() {
+        assert!(Allowlist::parse("just-a-path\n").is_err());
+        assert!(Allowlist::parse("a b c\n").is_err());
+        assert!(Allowlist::parse("# only a comment\n\n")
+            .unwrap()
+            .entries
+            .is_empty());
+    }
+
+    #[test]
+    fn the_workspace_itself_is_clean() {
+        // CARGO_MANIFEST_DIR = crates/lab; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let allow = Allowlist::load(&root.join("lint.allow")).unwrap();
+        let result = lint_tree(root, &allow).unwrap();
+        assert!(
+            result.is_clean(),
+            "determinism lint violations:\n{}",
+            result
+                .findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            result.stale_allows.is_empty(),
+            "stale lint.allow entries: {:?}",
+            result.stale_allows
+        );
+        assert!(result.files_scanned > 20);
+    }
+}

@@ -1,9 +1,8 @@
 //! Communication-signature measurement (paper Table 5, left half).
 
-use nosq_isa::{InstClass, Program};
+use nosq_isa::Program;
 
-use crate::record::Coverage;
-use crate::tracer::Tracer;
+use crate::depgraph::DependenceGraph;
 
 /// Measured in-window store-load communication of a workload.
 #[derive(Copy, Clone, Debug, Default)]
@@ -55,39 +54,73 @@ fn percent(num: u64, den: u64) -> f64 {
 /// Replays up to `max_insts` dynamic instructions of `program` and
 /// measures its store-load communication within a `window`-instruction
 /// window (the paper uses the 128-instruction ROB with no store limit).
+///
+/// The stats are derived from the dependence oracle's
+/// [`DependenceGraph`] — the same exact producer analysis `nosq-audit`
+/// cross-checks the pipeline against — so Table 5 and the auditor can
+/// never drift apart.
 pub fn analyze_program(program: &Program, max_insts: u64, window: u64) -> CommStats {
-    let mut stats = CommStats {
-        window,
-        ..CommStats::default()
-    };
-    for d in Tracer::new(program, max_insts) {
-        stats.insts += 1;
-        match d.class {
-            InstClass::Load => {
-                stats.loads += 1;
-                if let Some(dep) = d.mem_dep {
-                    if dep.inst_distance < window {
-                        stats.comm_loads += 1;
-                        if d.is_partial_word_comm() {
-                            stats.partial_comm += 1;
-                        }
-                        if dep.coverage == Coverage::Partial {
-                            stats.multi_source += 1;
-                        }
-                    }
-                }
-            }
-            InstClass::Store => stats.stores += 1,
-            _ => {}
-        }
-    }
-    stats
+    DependenceGraph::from_program(program, max_insts).comm_stats(window)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nosq_isa::{Assembler, Extension, MemWidth, Reg};
+    use nosq_isa::{Assembler, Extension, InstClass, MemWidth, Reg};
+
+    /// The pre-oracle streaming measurement, kept verbatim as the
+    /// regression reference for the graph-derived implementation.
+    fn naive_comm_stats(program: &Program, max_insts: u64, window: u64) -> CommStats {
+        use crate::record::Coverage;
+        use crate::tracer::Tracer;
+        let mut stats = CommStats {
+            window,
+            ..CommStats::default()
+        };
+        for d in Tracer::new(program, max_insts) {
+            stats.insts += 1;
+            match d.class {
+                InstClass::Load => {
+                    stats.loads += 1;
+                    if let Some(dep) = d.mem_dep {
+                        if dep.inst_distance < window {
+                            stats.comm_loads += 1;
+                            if d.is_partial_word_comm() {
+                                stats.partial_comm += 1;
+                            }
+                            if dep.coverage == Coverage::Partial {
+                                stats.multi_source += 1;
+                            }
+                        }
+                    }
+                }
+                InstClass::Store => stats.stores += 1,
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn graph_derived_stats_match_streaming_reference() {
+        use crate::profiles::Profile;
+        use crate::synth::synthesize;
+        for name in ["gzip", "gcc", "mesa.o", "applu", "gsm.e"] {
+            let profile = Profile::by_name(name).unwrap();
+            let prog = synthesize(profile, 42);
+            for window in [128u64, 256] {
+                let new = analyze_program(&prog, 25_000, window);
+                let old = naive_comm_stats(&prog, 25_000, window);
+                assert_eq!(new.insts, old.insts, "{name} w{window}");
+                assert_eq!(new.loads, old.loads, "{name} w{window}");
+                assert_eq!(new.stores, old.stores, "{name} w{window}");
+                assert_eq!(new.comm_loads, old.comm_loads, "{name} w{window}");
+                assert_eq!(new.partial_comm, old.partial_comm, "{name} w{window}");
+                assert_eq!(new.multi_source, old.multi_source, "{name} w{window}");
+                assert_eq!(new.window, old.window, "{name} w{window}");
+            }
+        }
+    }
 
     #[test]
     fn window_gates_communication() {

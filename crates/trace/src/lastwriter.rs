@@ -251,6 +251,36 @@ impl LastWriterMap {
         }
     }
 
+    /// Reports the recorded writer of each of the `width` bytes starting
+    /// at `addr` (wrapping addressing), one slot per byte in `out`.
+    /// `None` means no traced store wrote that byte. Slots past `width`
+    /// are cleared. This is the exact per-byte view the dependence
+    /// oracle (`nosq-audit`) builds its producer sets from;
+    /// [`LastWriterMap::scan`] is the summarized form the tracer uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 8` (the ISA's widest access).
+    pub fn scan_bytes(&self, addr: u64, width: u64, out: &mut [Option<ByteWriter>; 8]) {
+        assert!(width <= 8, "access width {width} exceeds 8 bytes");
+        *out = [None; 8];
+        let mut i = 0u64;
+        while i < width {
+            let byte_addr = addr.wrapping_add(i);
+            let offset = (byte_addr & PAGE_MASK) as usize;
+            let run = ((PAGE_SLOTS - offset) as u64).min(width - i) as usize;
+            if let Some(page) = self.find(byte_addr >> PAGE_SHIFT) {
+                let slots = &self.pages[page as usize][offset..offset + run];
+                for (k, slot) in slots.iter().enumerate() {
+                    if slot.epoch == self.epoch {
+                        out[i as usize + k] = Some(slot.writer);
+                    }
+                }
+            }
+            i += run as u64;
+        }
+    }
+
     /// Scans the writers of `width` bytes starting at `addr`, reporting
     /// the youngest one and the coverage facts the tracer annotates
     /// loads with.
@@ -376,6 +406,52 @@ mod tests {
             assert_eq!(scan.youngest.unwrap().store_seq, p);
         }
         assert_eq!(map.pages_in_use(), 4096);
+    }
+
+    #[test]
+    fn scan_bytes_matches_scan_per_byte() {
+        let mut map = LastWriterMap::new();
+        map.record_store(0x100, 8, writer(1, 0x100, 8));
+        map.record_store(0x104, 2, writer(2, 0x104, 2));
+        let mut bytes = [None; 8];
+        map.scan_bytes(0x102, 6, &mut bytes);
+        // Bytes 0x102..0x104 from store 1, 0x104..0x106 from store 2,
+        // 0x106..0x108 from store 1 again; slots past width cleared.
+        let seqs: Vec<_> = bytes.iter().map(|w| w.map(|w| w.store_seq)).collect();
+        assert_eq!(
+            seqs,
+            vec![
+                Some(1),
+                Some(1),
+                Some(2),
+                Some(2),
+                Some(1),
+                Some(1),
+                None,
+                None
+            ]
+        );
+        // Every byte individually agrees with the summarizing scan.
+        for i in 0..6u64 {
+            let one = map.scan(0x102 + i, 1);
+            assert_eq!(one.youngest, bytes[i as usize]);
+        }
+    }
+
+    #[test]
+    fn scan_bytes_crosses_pages_and_wraps() {
+        let mut map = LastWriterMap::new();
+        let addr = (1u64 << PAGE_SHIFT) - 3;
+        map.record_store(addr, 8, writer(7, addr, 8));
+        map.record_store(u64::MAX - 1, 4, writer(9, u64::MAX - 1, 4));
+        let mut bytes = [None; 8];
+        map.scan_bytes(addr, 8, &mut bytes);
+        assert!(bytes.iter().all(|w| w.map(|w| w.store_seq) == Some(7)));
+        map.scan_bytes(u64::MAX, 4, &mut bytes);
+        assert_eq!(bytes[0].unwrap().store_seq, 9); // u64::MAX
+        assert_eq!(bytes[1].unwrap().store_seq, 9); // wrapped 0
+        assert_eq!(bytes[2].unwrap().store_seq, 9); // wrapped 1
+        assert_eq!(bytes[3], None); // wrapped 2: never written
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`profiles`] defines the 47 benchmark profiles from paper Table 5.
 //! * [`synth`] composes kernels into a runnable [`Program`] per profile.
 //! * [`analyze`] measures communication signatures (Table 5, left half).
+//! * [`depgraph`] derives the exact per-byte store→load
+//!   [`DependenceGraph`] — the dependence oracle `nosq-audit` checks the
+//!   pipeline against, and the source of [`analyze`]'s stats.
 //!
 //! [`Program`]: nosq_isa::Program
 
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod depgraph;
 pub mod kernels;
 pub mod lastwriter;
 pub mod profiles;
@@ -36,6 +40,7 @@ pub mod synth;
 pub mod tracer;
 
 pub use analyze::{analyze_program, CommStats};
+pub use depgraph::{DepGraphBuilder, DependenceGraph, LoadDep, StoreNode, StoreSet};
 pub use lastwriter::{ByteWriter, LastWriterMap, LoadScan};
 pub use profiles::{Profile, Suite};
 pub use record::{Coverage, DynInst, MemDep};

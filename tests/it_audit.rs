@@ -1,0 +1,128 @@
+//! End-to-end audit acceptance: the dependence-oracle auditor must
+//! prove every cell of the profile × NoSQ-preset grid violation-free,
+//! and must *fail* the grid when fault injection deliberately breaks
+//! the bypass predictor behind the SVW filter's back. Together the two
+//! halves show the auditor has discriminating power — silence means
+//! "proven right", not "looked away".
+
+use nosq_audit::{audit_config, AuditRule, DependenceGraph};
+use nosq_core::{FaultPlan, LsuModel, SimConfig};
+use nosq_lab::{audit_json, json, run_audit, AuditOptions, Preset};
+use nosq_trace::{synthesize, Profile};
+
+const PROFILES: [&str; 4] = ["gzip", "gcc", "applu", "gsm.e"];
+const BUDGET: u64 = 30_000;
+
+fn presets(max_insts: u64) -> [(&'static str, SimConfig); 3] {
+    [
+        ("nosq-nd", SimConfig::nosq_no_delay(max_insts)),
+        ("nosq", SimConfig::nosq(max_insts)),
+        ("perfect-smb", SimConfig::perfect_smb(max_insts)),
+    ]
+}
+
+/// Every trace profile × every NoSQ preset commits with zero audit
+/// diagnostics: all bypasses, squashes, filters, and aggregate counters
+/// are consistent with the exact store→load dependence graph.
+#[test]
+fn all_profiles_and_nosq_presets_audit_clean() {
+    for name in PROFILES {
+        let profile = Profile::by_name(name).expect("built-in profile");
+        let program = synthesize(profile, 42);
+        let graph = DependenceGraph::from_program(&program, BUDGET);
+        for (preset, cfg) in presets(BUDGET) {
+            let (report, audit) = audit_config(&program, &graph, cfg);
+            assert!(
+                audit.is_clean(),
+                "{name} × {preset}: {} violations, first: {}",
+                audit.violations,
+                audit
+                    .diagnostics
+                    .first()
+                    .map(ToString::to_string)
+                    .unwrap_or_default()
+            );
+            assert_eq!(audit.stats.loads, report.memory.loads, "{name} × {preset}");
+            assert!(audit.stats.loads > 0, "{name} × {preset} audited no loads");
+        }
+    }
+}
+
+/// The baseline store-queue pipeline is auditable too (no bypasses, but
+/// the value-integrity and aggregate rules still apply).
+#[test]
+fn baseline_audits_clean() {
+    let program = synthesize(Profile::by_name("gzip").unwrap(), 42);
+    let graph = DependenceGraph::from_program(&program, BUDGET);
+    let (_report, audit) = audit_config(&program, &graph, SimConfig::baseline_storesets(BUDGET));
+    assert!(audit.is_clean(), "{}", audit.to_json());
+    assert_eq!(audit.stats.bypassed, 0);
+}
+
+/// `--break-predictor` corrupts every Nth bypass target *and* exempts
+/// it from verification; the auditor must catch the wrong-value commits
+/// as SVW-filter-unsoundness diagnostics with producer attribution.
+#[test]
+fn fault_injection_produces_diagnostics() {
+    let program = synthesize(Profile::by_name("gzip").unwrap(), 42);
+    let graph = DependenceGraph::from_program(&program, 50_000);
+    let cfg = SimConfig::builder()
+        .lsu(LsuModel::Nosq { delay: true })
+        .max_insts(50_000)
+        .faults(FaultPlan {
+            break_predictor: Some(16),
+        })
+        .build();
+    let (_report, audit) = audit_config(&program, &graph, cfg);
+    assert!(!audit.is_clean(), "injected faults went unnoticed");
+    assert!(audit.stats.injected > 0);
+    for diag in &audit.diagnostics {
+        assert_eq!(diag.rule, AuditRule::SvwFilterUnsound, "{diag}");
+        assert!(
+            diag.actual_ssn.is_some(),
+            "{diag} lacks producer attribution"
+        );
+        assert_ne!(diag.expected_ssn, diag.actual_ssn, "{diag}");
+    }
+}
+
+/// The same program without injection is clean under the identical
+/// configuration — the diagnostics above are the injection's doing.
+#[test]
+fn injection_control_group_is_clean() {
+    let program = synthesize(Profile::by_name("gzip").unwrap(), 42);
+    let graph = DependenceGraph::from_program(&program, 50_000);
+    let (_report, audit) = audit_config(&program, &graph, SimConfig::nosq(50_000));
+    assert!(audit.is_clean(), "{}", audit.to_json());
+}
+
+/// The lab grid runner: cell layout, totals, and a machine-readable
+/// `audit.json` that the workspace's own JSON parser accepts.
+#[test]
+fn lab_grid_runs_and_serializes() {
+    let opts = AuditOptions {
+        profiles: vec![
+            Profile::by_name("gzip").unwrap(),
+            Profile::by_name("gsm.e").unwrap(),
+        ],
+        presets: vec![Preset::NosqNoDelay, Preset::PerfectSmb],
+        max_insts: 10_000,
+        threads: 2,
+        ..AuditOptions::default()
+    };
+    let result = run_audit(&opts);
+    assert_eq!(result.cells.len(), 4);
+    assert_eq!(result.total_violations(), 0);
+
+    let text = audit_json(&result);
+    let parsed = json::parse(&text).expect("audit.json parses");
+    assert_eq!(
+        parsed.get("total_violations").and_then(|v| v.as_u64()),
+        Some(0)
+    );
+    let cells = parsed
+        .get("cells")
+        .and_then(|v| v.as_array())
+        .expect("cells array");
+    assert_eq!(cells.len(), 4);
+}
