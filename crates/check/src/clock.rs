@@ -1,0 +1,107 @@
+//! Vector clocks: the happens-before partial order the race detector
+//! and the synchronization model are built on.
+//!
+//! Every model thread carries a [`VClock`]; every synchronizing
+//! operation (spawn, join, release-store → acquire-load) merges clocks,
+//! and every plain-data access is checked against them. Two accesses
+//! race exactly when neither's epoch is contained in the other
+//! thread's clock at access time.
+
+use std::fmt;
+
+/// A vector clock: one logical-time component per model thread.
+///
+/// Components default to zero; the vector grows on demand, so clocks
+/// created before a thread existed compare correctly against it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The all-zero clock.
+    pub fn new() -> VClock {
+        VClock::default()
+    }
+
+    /// This clock's component for `tid` (zero when never touched).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets component `tid` to `value`, growing the vector as needed.
+    pub fn set(&mut self, tid: usize, value: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value;
+    }
+
+    /// Advances this thread's own component by one; returns the new
+    /// value (the epoch of the event that just happened).
+    pub fn bump(&mut self, tid: usize) -> u32 {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+        next
+    }
+
+    /// Componentwise maximum: after `a.join(&b)`, everything ordered
+    /// before either clock is ordered before `a`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Whether the event `(tid, epoch)` happens-before (or is) the
+    /// point in time this clock represents.
+    pub fn contains(&self, tid: usize, epoch: u32) -> bool {
+        self.get(tid) >= epoch
+    }
+
+    /// Folds every component into a state hash (see the explorer's
+    /// state-hashing pruner).
+    pub fn fold_hash(&self, hash: &mut crate::sched::StateHash) {
+        for (tid, &component) in self.0.iter().enumerate() {
+            if component != 0 {
+                hash.mix(tid as u64);
+                hash.mix(u64::from(component));
+            }
+        }
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_grow_and_join() {
+        let mut a = VClock::new();
+        assert_eq!(a.get(3), 0);
+        assert_eq!(a.bump(1), 1);
+        assert_eq!(a.bump(1), 2);
+        let mut b = VClock::new();
+        b.set(0, 5);
+        b.set(2, 1);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (5, 2, 1));
+        assert!(a.contains(1, 2));
+        assert!(!a.contains(1, 3));
+        assert!(a.contains(7, 0));
+    }
+}

@@ -1,0 +1,310 @@
+//! [`ModelSync`]: the checker-side implementation of the `sync`
+//! facade.
+//!
+//! Every operation on a [`ModelAtomic`] or [`ModelSlot`] is a
+//! scheduling point routed through the engine in
+//! [`sched`], so code generic over
+//! [`SyncFacade`] is explored exhaustively
+//! when instantiated at [`ModelSync`] — the same source that runs on
+//! real atomics under [`StdSync`](crate::sync::StdSync).
+//!
+//! Model types may only be constructed and used *inside* a model run
+//! (within the closure passed to [`check_model`](crate::check_model));
+//! use elsewhere panics with a clear message.
+
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+use crate::sched::{self, RaceOpKind, ShimOp, ShimResult};
+use crate::sync::{AtomicCell, Ordering, SlotCell, SyncFacade};
+
+/// The model-checking facade; see the [module docs](self).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ModelSync;
+
+/// A checker-shimmed atomic: a handle to an engine-owned location.
+/// The engine stores every value as `u64`; the type parameter fixes
+/// the client-facing width.
+#[derive(Debug)]
+pub struct ModelAtomic<T> {
+    loc: usize,
+    _width: PhantomData<T>,
+}
+
+impl<T> ModelAtomic<T> {
+    fn register(init: u64) -> ModelAtomic<T> {
+        ModelAtomic {
+            loc: sched::register_atomic(init),
+            _width: PhantomData,
+        }
+    }
+}
+
+fn expect_value(r: ShimResult) -> u64 {
+    match r {
+        ShimResult::Value(v) => v,
+        _ => unreachable!("engine returned wrong result kind"),
+    }
+}
+
+fn expect_cas(r: ShimResult) -> Result<u64, u64> {
+    match r {
+        ShimResult::Cas(v) => v,
+        _ => unreachable!("engine returned wrong result kind"),
+    }
+}
+
+impl AtomicCell<usize> for ModelAtomic<usize> {
+    fn new(value: usize) -> Self {
+        ModelAtomic::register(value as u64)
+    }
+    fn load(&self, order: Ordering) -> usize {
+        expect_value(sched::shim(ShimOp::Load {
+            loc: self.loc,
+            order,
+        })) as usize
+    }
+    fn store(&self, value: usize, order: Ordering) {
+        sched::shim(ShimOp::Store {
+            loc: self.loc,
+            order,
+            value: value as u64,
+        });
+    }
+    fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        expect_value(sched::shim(ShimOp::FetchAdd {
+            loc: self.loc,
+            order,
+            value: value as u64,
+        })) as usize
+    }
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        expect_cas(sched::shim(ShimOp::CompareExchange {
+            loc: self.loc,
+            current: current as u64,
+            new: new as u64,
+            success,
+            failure,
+        }))
+        .map(|v| v as usize)
+        .map_err(|v| v as usize)
+    }
+}
+
+impl AtomicCell<u64> for ModelAtomic<u64> {
+    fn new(value: u64) -> Self {
+        ModelAtomic::register(value)
+    }
+    fn load(&self, order: Ordering) -> u64 {
+        expect_value(sched::shim(ShimOp::Load {
+            loc: self.loc,
+            order,
+        }))
+    }
+    fn store(&self, value: u64, order: Ordering) {
+        sched::shim(ShimOp::Store {
+            loc: self.loc,
+            order,
+            value,
+        });
+    }
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        expect_value(sched::shim(ShimOp::FetchAdd {
+            loc: self.loc,
+            order,
+            value,
+        }))
+    }
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        expect_cas(sched::shim(ShimOp::CompareExchange {
+            loc: self.loc,
+            current,
+            new,
+            success,
+            failure,
+        }))
+    }
+}
+
+/// A checker-shimmed plain-data slot: the payload lives in an
+/// (uncontended — the engine runs one thread at a time) mutex, while
+/// every `put`/`take` is reported to the race detector as a plain
+/// write against the slot's engine location.
+#[derive(Debug)]
+pub struct ModelSlot<T> {
+    loc: usize,
+    value: Mutex<Option<T>>,
+}
+
+impl<T: Send> SlotCell<T> for ModelSlot<T> {
+    fn new() -> Self {
+        ModelSlot {
+            loc: sched::register_race_cell(),
+            value: Mutex::new(None),
+        }
+    }
+    fn put(&self, value: T) -> Option<T> {
+        sched::shim(ShimOp::RaceAccess {
+            loc: self.loc,
+            kind: RaceOpKind::Put,
+        });
+        self.value
+            .lock()
+            .expect("model slot poisoned")
+            .replace(value)
+    }
+    fn take(&self) -> Option<T> {
+        sched::shim(ShimOp::RaceAccess {
+            loc: self.loc,
+            kind: RaceOpKind::Take,
+        });
+        self.value.lock().expect("model slot poisoned").take()
+    }
+}
+
+impl SyncFacade for ModelSync {
+    type AtomicUsize = ModelAtomic<usize>;
+    type AtomicU64 = ModelAtomic<u64>;
+    type Slot<T: Send> = ModelSlot<T>;
+
+    /// Runs `threads` logical model threads under the engine's
+    /// scheduler. `poll` is ignored: polling is a wall-clock-driven
+    /// progress affordance with no bearing on the synchronization
+    /// protocol under check.
+    fn run_threads<T, F>(threads: usize, f: F, _poll: Option<&mut dyn FnMut()>) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        sched::run_child_threads(threads, f)
+    }
+
+    fn spin_hint() {
+        sched::shim(ShimOp::Yield);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CheckRule;
+    use crate::sched::{check_model, Bounds};
+
+    #[test]
+    fn counter_explores_both_orders_and_is_clean() {
+        let report = check_model("counter", &Bounds::default(), || {
+            let counter = <ModelSync as SyncFacade>::AtomicUsize::new(0);
+            ModelSync::run_threads(
+                2,
+                |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                },
+                None,
+            );
+            assert_eq!(counter.load(Ordering::Relaxed), 2);
+        });
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.complete);
+        assert!(report.interleavings >= 2, "{report:?}");
+    }
+
+    fn publish_model(store_order: Ordering) {
+        let slot = <ModelSync as SyncFacade>::Slot::<u32>::new();
+        let flag = <ModelSync as SyncFacade>::AtomicUsize::new(0);
+        ModelSync::run_threads(
+            2,
+            |k| {
+                if k == 0 {
+                    slot.put(42);
+                    flag.store(1, store_order);
+                } else {
+                    while flag.load(Ordering::Acquire) == 0 {
+                        ModelSync::spin_hint();
+                    }
+                    assert_eq!(slot.take(), Some(42));
+                }
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn release_acquire_publish_is_clean() {
+        let report = check_model("spsc", &Bounds::default(), || {
+            publish_model(Ordering::Release)
+        });
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.complete);
+        assert!(report.interleavings >= 2, "{report:?}");
+    }
+
+    #[test]
+    fn relaxed_publish_is_flagged_as_a_race() {
+        let report = check_model("spsc-relaxed", &Bounds::default(), || {
+            publish_model(Ordering::Relaxed)
+        });
+        assert!(!report.is_clean());
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == CheckRule::DataRace),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn failed_assertions_become_diagnostics() {
+        let report = check_model("boom", &Bounds::default(), || {
+            let v = <ModelSync as SyncFacade>::AtomicUsize::new(0);
+            assert_eq!(v.load(Ordering::Relaxed), 1, "seeded failure");
+        });
+        assert!(!report.is_clean());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == CheckRule::AssertFailed && d.message.contains("seeded failure")));
+    }
+
+    #[test]
+    fn cas_loop_is_exact_under_contention() {
+        let report = check_model("cas", &Bounds::default(), || {
+            let total = <ModelSync as SyncFacade>::AtomicU64::new(0);
+            ModelSync::run_threads(
+                2,
+                |k| loop {
+                    let cur = total.load(Ordering::Relaxed);
+                    if total
+                        .compare_exchange(
+                            cur,
+                            cur + (k as u64 + 1),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    ModelSync::spin_hint();
+                },
+                None,
+            );
+            assert_eq!(total.load(Ordering::Relaxed), 3);
+        });
+        assert!(report.is_clean(), "{:?}", report.diagnostics);
+        assert!(report.complete);
+    }
+}

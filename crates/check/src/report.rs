@@ -1,0 +1,226 @@
+//! Structured checker output: diagnostics and per-model reports.
+//!
+//! Like `nosq-audit`, the checker never panics on a finding — every
+//! violation becomes a [`CheckDiagnostic`] collected into a
+//! [`CheckReport`], so a grid of models can run to completion and CI
+//! can gate on the aggregate verdict (and on the *absence* of findings
+//! in the deliberately broken self-test model).
+
+use std::fmt;
+
+use nosq_core::ser::{JsonArray, JsonObject};
+
+/// Cap on retained diagnostics per report; findings beyond the cap are
+/// still counted in [`CheckReport::violations`].
+pub const MAX_DIAGNOSTICS: usize = 64;
+
+/// The class of defect a diagnostic reports.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CheckRule {
+    /// Two accesses to a plain-data location, at least one a write,
+    /// with no happens-before edge between them: a data race.
+    DataRace,
+    /// A model assertion failed (a thread panicked) under some
+    /// explored interleaving.
+    AssertFailed,
+    /// Unfinished threads remained but none was runnable.
+    Deadlock,
+    /// A replayed schedule diverged from its recording: the model is
+    /// nondeterministic beyond scheduling (forbidden — models must
+    /// derive all nondeterminism from thread interleaving).
+    NondeterministicModel,
+}
+
+impl CheckRule {
+    /// Stable machine-readable rule identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            CheckRule::DataRace => "data-race",
+            CheckRule::AssertFailed => "assert-failed",
+            CheckRule::Deadlock => "deadlock",
+            CheckRule::NondeterministicModel => "nondeterministic-model",
+        }
+    }
+}
+
+impl fmt::Display for CheckRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One access in a reported race pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessInfo {
+    /// Model thread id (0 is the model's main thread).
+    pub thread: usize,
+    /// Human-readable operation kind (`"write"` / `"read"`).
+    pub op: &'static str,
+}
+
+/// One checker finding, in the structured-diagnostic style of
+/// `nosq-audit`: rule id, the location involved, and the two accesses
+/// (for races) or a message (for assertion failures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckDiagnostic {
+    /// The violated rule.
+    pub rule: CheckRule,
+    /// The shared location involved (registration-order name such as
+    /// `cell#2` or `atomic#0`), when one is.
+    pub location: Option<String>,
+    /// The earlier access of a racing pair.
+    pub prior: Option<AccessInfo>,
+    /// The access that exposed the defect.
+    pub current: Option<AccessInfo>,
+    /// Free-form detail (assertion payloads, deadlock thread sets).
+    pub message: String,
+    /// 0-based index of the interleaving that exposed the defect.
+    pub interleaving: u64,
+}
+
+impl CheckDiagnostic {
+    /// Serializes the diagnostic as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("rule", self.rule.id());
+        if let Some(loc) = &self.location {
+            obj.field_str("location", loc);
+        }
+        if let Some(prior) = &self.prior {
+            obj.field_u64("prior_thread", prior.thread as u64);
+            obj.field_str("prior_op", prior.op);
+        }
+        if let Some(current) = &self.current {
+            obj.field_u64("thread", current.thread as u64);
+            obj.field_str("op", current.op);
+        }
+        obj.field_str("message", &self.message);
+        obj.field_u64("interleaving", self.interleaving);
+        obj.finish()
+    }
+}
+
+impl fmt::Display for CheckDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.rule)?;
+        if let Some(loc) = &self.location {
+            write!(f, " {loc}")?;
+        }
+        if let (Some(p), Some(c)) = (&self.prior, &self.current) {
+            write!(
+                f,
+                ": {} by thread {} unordered against {} by thread {}",
+                c.op, c.thread, p.op, p.thread
+            )?;
+        }
+        if !self.message.is_empty() {
+            write!(f, ": {}", self.message)?;
+        }
+        write!(f, " (interleaving {})", self.interleaving)
+    }
+}
+
+/// The outcome of exhaustively (or boundedly) checking one model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckReport {
+    /// The model's name.
+    pub model: String,
+    /// Interleavings executed to completion.
+    pub interleavings: u64,
+    /// Executions abandoned because their frontier state had already
+    /// been fully explored (state-hash pruning).
+    pub pruned_states: u64,
+    /// Executions abandoned because a thread exceeded the spin bound
+    /// (a possible livelock; also clears [`CheckReport::complete`]).
+    pub pruned_spin: u64,
+    /// Schedule alternatives never explored because taking them would
+    /// exceed the preemption bound.
+    pub skipped_preemptions: u64,
+    /// Total scheduled operations across all executions.
+    pub ops: u64,
+    /// Whether exploration ran to natural exhaustion — no interleaving
+    /// cap, per-execution op budget, or spin bound was hit. A clean
+    /// verdict is only a proof (modulo the documented memory model)
+    /// when this is `true`.
+    pub complete: bool,
+    /// Total violations found (diagnostics beyond [`MAX_DIAGNOSTICS`]
+    /// are counted here but not retained).
+    pub violations: u64,
+    /// Retained diagnostics, deduplicated by (rule, location, thread
+    /// pair).
+    pub diagnostics: Vec<CheckDiagnostic>,
+}
+
+impl CheckReport {
+    /// Whether the model came back with zero violations.
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut diags = JsonArray::new();
+        for d in &self.diagnostics {
+            diags.push_raw(&d.to_json());
+        }
+        let mut obj = JsonObject::new();
+        obj.field_str("model", &self.model)
+            .field_u64("interleavings", self.interleavings)
+            .field_u64("pruned_states", self.pruned_states)
+            .field_u64("pruned_spin", self.pruned_spin)
+            .field_u64("skipped_preemptions", self.skipped_preemptions)
+            .field_u64("ops", self.ops)
+            .field_raw("complete", if self.complete { "true" } else { "false" })
+            .field_u64("violations", self.violations)
+            .field_raw("diagnostics", &diags.finish());
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_renders_and_serializes() {
+        let diag = CheckDiagnostic {
+            rule: CheckRule::DataRace,
+            location: Some("cell#1".to_owned()),
+            prior: Some(AccessInfo {
+                thread: 1,
+                op: "write",
+            }),
+            current: Some(AccessInfo {
+                thread: 2,
+                op: "read",
+            }),
+            message: String::new(),
+            interleaving: 7,
+        };
+        let text = diag.to_string();
+        assert!(text.contains("data-race"), "{text}");
+        assert!(text.contains("cell#1"), "{text}");
+        let json = diag.to_json();
+        assert!(json.contains("\"rule\":\"data-race\""), "{json}");
+        assert!(json.contains("\"interleaving\":7"), "{json}");
+    }
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let report = CheckReport {
+            model: "m".to_owned(),
+            interleavings: 3,
+            pruned_states: 1,
+            pruned_spin: 0,
+            skipped_preemptions: 2,
+            ops: 40,
+            complete: true,
+            violations: 0,
+            diagnostics: Vec::new(),
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"complete\":true"), "{json}");
+        assert!(json.contains("\"diagnostics\":[]"), "{json}");
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,1060 @@
+//! The checker engine: a deterministic cooperative scheduler, a DFS
+//! schedule explorer, and the vector-clock race detector.
+//!
+//! # How an execution runs
+//!
+//! The model closure runs on a real OS thread, but every shimmed
+//! operation (atomic access, slot access, spin hint, child spawn/join)
+//! funnels through the engine's shim, which parks the thread until the
+//! controller grants it the next turn. Exactly one model thread is
+//! ever between grant and park, so the whole execution is a sequential
+//! interleaving chosen by the controller — and the *choice points* are
+//! precisely the shimmed operations.
+//!
+//! # How exploration works
+//!
+//! The controller records each scheduling decision (which paused
+//! thread to grant) together with the viable alternatives, runs the
+//! execution to completion, then backtracks: flip the deepest decision
+//! with an untried alternative, replay the unchanged prefix, and
+//! continue fresh from there — classic stateless DFS in the CHESS
+//! style. Three bounds keep it finite and fast:
+//!
+//! * a **preemption bound** (alternatives that would switch away from
+//!   a still-runnable thread beyond the budget are skipped);
+//! * **state-hash pruning**: at every frontier decision the shared
+//!   state — atomic values and sync clocks, per-thread positions and
+//!   observation hashes, slot epochs, remaining preemption budget — is
+//!   hashed; re-reaching a seen state abandons the execution, because
+//!   a deterministic model behaves identically from equal states;
+//! * **spin fairness**: a yield shim op deprioritizes the spinning
+//!   thread until some other thread writes, so polling loops do not
+//!   inflate the schedule space.
+//!
+//! # The memory model
+//!
+//! Atomic *values* are sequentially consistent (every load sees the
+//! latest store), but *synchronization* follows the ordering
+//! arguments: only an acquire load reading from a release store (or a
+//! release sequence continued by RMWs) joins vector clocks. Plain-data
+//! [`SlotCell`](crate::sync::SlotCell) accesses are checked against
+//! those clocks, so a publish over a `Relaxed` store is reported as a
+//! data race even though the value itself arrives. This is the
+//! standard DRF-style compromise: it cannot witness stale-value reads
+//! that genuinely relaxed hardware could produce, but it proves the
+//! absence of the unsynchronized access pairs that make such reads
+//! dangerous. `SeqCst` is modeled as `AcqRel` (no global SC order).
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+use crate::clock::VClock;
+use crate::report::{AccessInfo, CheckDiagnostic, CheckReport, CheckRule, MAX_DIAGNOSTICS};
+use crate::sync::Ordering;
+
+/// Exploration bounds for one model run; [`Bounds::default`] explores
+/// exhaustively (no preemption bound) with generous safety caps.
+#[derive(Clone, Debug)]
+pub struct Bounds {
+    /// Maximum preemptive context switches per schedule (`None` =
+    /// unbounded, i.e. exhaustive modulo the other caps). Two or three
+    /// preemptions find almost all real concurrency bugs at a tiny
+    /// fraction of the exhaustive cost (the CHESS observation).
+    pub preemptions: Option<u32>,
+    /// Hard cap on executions (completed + pruned); exceeding it
+    /// clears [`CheckReport::complete`].
+    pub max_interleavings: u64,
+    /// Per-execution operation budget; exceeding it abandons the
+    /// execution and clears [`CheckReport::complete`].
+    pub max_ops: u64,
+    /// Consecutive unproductive spins allowed per thread before the
+    /// execution is abandoned as a possible livelock.
+    pub max_spins: u32,
+}
+
+impl Default for Bounds {
+    fn default() -> Bounds {
+        Bounds {
+            preemptions: None,
+            max_interleavings: 250_000,
+            max_ops: 50_000,
+            max_spins: 256,
+        }
+    }
+}
+
+impl Bounds {
+    /// A preemption-bounded preset for bigger models (`--bound small`).
+    pub fn small() -> Bounds {
+        Bounds {
+            preemptions: Some(2),
+            max_interleavings: 60_000,
+            ..Bounds::default()
+        }
+    }
+}
+
+/// 128-bit FNV-1a accumulator for state and observation hashing. With
+/// a 128-bit digest, accidental collisions (which would prune a
+/// genuinely new state) are negligible at the ≤10⁶-state scales the
+/// checker runs at.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StateHash(u128);
+
+impl StateHash {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    /// The empty hash.
+    pub fn new() -> StateHash {
+        StateHash(Self::OFFSET)
+    }
+
+    /// Folds a word into the digest.
+    pub fn mix(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 ^= u128::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn digest(self) -> u128 {
+        self.0
+    }
+}
+
+impl Default for StateHash {
+    fn default() -> StateHash {
+        StateHash::new()
+    }
+}
+
+/// The kind of plain-data slot access (both mutate, so both are
+/// "writes" to the race detector).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum RaceOpKind {
+    Put,
+    Take,
+}
+
+impl RaceOpKind {
+    fn name(self) -> &'static str {
+        match self {
+            RaceOpKind::Put => "put",
+            RaceOpKind::Take => "take",
+        }
+    }
+}
+
+/// One shimmed operation: the unit of scheduling.
+#[derive(Clone, Debug)]
+pub(crate) enum ShimOp {
+    /// First scheduling point of every thread, before any model code.
+    Start,
+    /// Atomic load.
+    Load { loc: usize, order: Ordering },
+    /// Atomic store.
+    Store {
+        loc: usize,
+        order: Ordering,
+        value: u64,
+    },
+    /// Atomic fetch-add (wrapping).
+    FetchAdd {
+        loc: usize,
+        order: Ordering,
+        value: u64,
+    },
+    /// Atomic strong compare-exchange.
+    CompareExchange {
+        loc: usize,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    },
+    /// Plain-data slot access (race-checked).
+    RaceAccess { loc: usize, kind: RaceOpKind },
+    /// Spin hint: deprioritize until another thread writes.
+    Yield,
+    /// Parent resuming after all children finished (join edge).
+    JoinDone { children: Vec<usize> },
+}
+
+impl ShimOp {
+    fn tag(&self) -> u64 {
+        match self {
+            ShimOp::Start => 1,
+            ShimOp::Load { .. } => 2,
+            ShimOp::Store { .. } => 3,
+            ShimOp::FetchAdd { .. } => 4,
+            ShimOp::CompareExchange { .. } => 5,
+            ShimOp::RaceAccess { .. } => 6,
+            ShimOp::Yield => 7,
+            ShimOp::JoinDone { .. } => 8,
+        }
+    }
+}
+
+/// Result of applying a [`ShimOp`].
+pub(crate) enum ShimResult {
+    Unit,
+    Value(u64),
+    Cas(Result<u64, u64>),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    /// Between grant and the next park (or registered, not yet run).
+    Running,
+    /// Parked at a shim point, runnable.
+    Paused,
+    /// Waiting for children to finish (not runnable).
+    Blocked(Vec<usize>),
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    clock: VClock,
+    /// Rolling hash of everything this thread has observed; equal
+    /// hashes mean (up to collision) equal local state, which is what
+    /// makes state-hash pruning sound for deterministic models.
+    obs: StateHash,
+    yielded: bool,
+    spins: u32,
+    ops: u64,
+}
+
+struct AtomicSt {
+    value: u64,
+    /// The clock published by the last release store (and joined by
+    /// RMWs continuing the release sequence); `None` after a relaxed
+    /// store breaks the chain.
+    sync: Option<VClock>,
+}
+
+struct RaceSt {
+    /// Last access: (thread, epoch, kind). Slot accesses all mutate,
+    /// so one epoch suffices — any later access unordered with it is a
+    /// race.
+    last: Option<(usize, u32, RaceOpKind)>,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum AbortCause {
+    StatePruned,
+    SpinBound,
+    OpBudget,
+    Failed,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSt>,
+    atomics: Vec<AtomicSt>,
+    races: Vec<RaceSt>,
+    /// Which paused thread currently holds the grant.
+    active: Option<usize>,
+    aborted: Option<AbortCause>,
+    diagnostics: Vec<CheckDiagnostic>,
+    ops: u64,
+    interleaving: u64,
+    /// Copy of [`Bounds::max_spins`] so `apply`/`shim` see it without
+    /// threading the bounds through every call.
+    spin_bound: u32,
+}
+
+pub(crate) struct ExecShared {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+impl ExecShared {
+    fn lock(&self) -> MutexGuard<'_, ExecState> {
+        // A model panic (assertion or abort sentinel) can poison the
+        // mutex while unwinding out of a shim point; the state is
+        // still consistent (mutations are never partial), so recover.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, guard: MutexGuard<'a, ExecState>) -> MutexGuard<'a, ExecState> {
+        self.cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Sentinel panic payload: tear down the current execution quietly.
+struct Aborted;
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<ExecShared>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn bind(exec: Arc<ExecShared>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+}
+
+fn current() -> (Arc<ExecShared>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("nosq-check model types may only be used inside a model run")
+    })
+}
+
+fn in_model_thread() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Installs (once) a panic hook that silences panics on model threads:
+/// sentinel aborts are routine control flow, and model assertion
+/// failures are captured as diagnostics, so neither should spray
+/// backtraces over test output.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !in_model_thread() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn abort_sentinel() -> ! {
+    std::panic::panic_any(Aborted)
+}
+
+/// Registers a fresh atomic location; called from shim constructors
+/// (only one model thread runs at a time, so registration order — and
+/// therefore location ids — is a deterministic function of the
+/// schedule).
+pub(crate) fn register_atomic(init: u64) -> usize {
+    let (exec, _) = current();
+    let mut st = exec.lock();
+    st.atomics.push(AtomicSt {
+        value: init,
+        sync: None,
+    });
+    st.atomics.len() - 1
+}
+
+/// Registers a fresh plain-data (race-checked) location. The creating
+/// thread is recorded as the initial writer so any access unordered
+/// with creation is already a race.
+pub(crate) fn register_race_cell() -> usize {
+    let (exec, tid) = current();
+    let mut st = exec.lock();
+    let epoch = st.threads[tid].clock.get(tid);
+    st.races.push(RaceSt {
+        last: Some((tid, epoch, RaceOpKind::Put)),
+    });
+    st.races.len() - 1
+}
+
+/// The heart of the shim: park at a scheduling point, wait for the
+/// grant, apply the operation's effect, and return its result.
+pub(crate) fn shim(op: ShimOp) -> ShimResult {
+    let (exec, tid) = current();
+    let mut st = exec.lock();
+    if st.aborted.is_some() {
+        drop(st);
+        abort_sentinel();
+    }
+    st.threads[tid].status = Status::Paused;
+    exec.cv.notify_all();
+    while st.active != Some(tid) {
+        st = exec.wait(st);
+        if st.aborted.is_some() {
+            drop(st);
+            abort_sentinel();
+        }
+    }
+    st.active = None;
+    st.threads[tid].status = Status::Running;
+    let result = apply(&mut st, tid, &op);
+    if st.threads[tid].spins > st.spin_bound {
+        st.aborted = Some(AbortCause::SpinBound);
+        exec.cv.notify_all();
+        drop(st);
+        abort_sentinel();
+    }
+    exec.cv.notify_all();
+    result
+}
+
+/// Applies one granted operation: value semantics, clock updates, race
+/// checks, observation hashing, yield bookkeeping.
+fn apply(st: &mut ExecState, tid: usize, op: &ShimOp) -> ShimResult {
+    st.threads[tid].clock.bump(tid);
+    st.threads[tid].ops += 1;
+    let mut obs = st.threads[tid].obs;
+    obs.mix(op.tag());
+    let mut wrote = false;
+    let result = match op {
+        ShimOp::Start => ShimResult::Unit,
+        ShimOp::Load { loc, order } => {
+            debug_assert!(
+                !matches!(order, Ordering::Release | Ordering::AcqRel),
+                "invalid load ordering"
+            );
+            let (value, sync) = {
+                let a = &st.atomics[*loc];
+                (a.value, a.sync.clone())
+            };
+            if order.acquires() {
+                if let Some(vc) = &sync {
+                    st.threads[tid].clock.join(vc);
+                }
+            }
+            obs.mix(*loc as u64);
+            obs.mix(value);
+            ShimResult::Value(value)
+        }
+        ShimOp::Store { loc, order, value } => {
+            debug_assert!(
+                !matches!(order, Ordering::Acquire | Ordering::AcqRel),
+                "invalid store ordering"
+            );
+            wrote = true;
+            let clock = st.threads[tid].clock.clone();
+            let a = &mut st.atomics[*loc];
+            a.value = *value;
+            // A release store publishes this thread's clock; a relaxed
+            // store breaks the release sequence, so later acquire
+            // loads synchronize with nothing.
+            a.sync = if order.releases() { Some(clock) } else { None };
+            obs.mix(*loc as u64);
+            obs.mix(*value);
+            ShimResult::Unit
+        }
+        ShimOp::FetchAdd { loc, order, value } => {
+            wrote = true;
+            let old = st.atomics[*loc].value;
+            if order.acquires() {
+                if let Some(vc) = st.atomics[*loc].sync.clone() {
+                    st.threads[tid].clock.join(&vc);
+                }
+            }
+            let clock = st.threads[tid].clock.clone();
+            let a = &mut st.atomics[*loc];
+            a.value = old.wrapping_add(*value);
+            if order.releases() {
+                // RMWs continue the release sequence: the published
+                // clock accumulates the prior sync clock.
+                let mut vc = a.sync.take().unwrap_or_default();
+                vc.join(&clock);
+                a.sync = Some(vc);
+            }
+            // A relaxed RMW leaves the existing sync clock in place
+            // (it continues, without extending, the release sequence).
+            obs.mix(*loc as u64);
+            obs.mix(old);
+            ShimResult::Value(old)
+        }
+        ShimOp::CompareExchange {
+            loc,
+            current,
+            new,
+            success,
+            failure,
+        } => {
+            let old = st.atomics[*loc].value;
+            obs.mix(*loc as u64);
+            obs.mix(old);
+            if old == *current {
+                wrote = true;
+                if success.acquires() {
+                    if let Some(vc) = st.atomics[*loc].sync.clone() {
+                        st.threads[tid].clock.join(&vc);
+                    }
+                }
+                let clock = st.threads[tid].clock.clone();
+                let a = &mut st.atomics[*loc];
+                a.value = *new;
+                if success.releases() {
+                    let mut vc = a.sync.take().unwrap_or_default();
+                    vc.join(&clock);
+                    a.sync = Some(vc);
+                }
+                obs.mix(1);
+                ShimResult::Cas(Ok(old))
+            } else {
+                if failure.acquires() {
+                    if let Some(vc) = st.atomics[*loc].sync.clone() {
+                        st.threads[tid].clock.join(&vc);
+                    }
+                }
+                obs.mix(0);
+                ShimResult::Cas(Err(old))
+            }
+        }
+        ShimOp::RaceAccess { loc, kind } => {
+            wrote = true;
+            let epoch = st.threads[tid].clock.get(tid);
+            let prior = st.races[*loc].last;
+            if let Some((ptid, pepoch, pkind)) = prior {
+                if ptid != tid && !st.threads[tid].clock.contains(ptid, pepoch) {
+                    let diag = CheckDiagnostic {
+                        rule: CheckRule::DataRace,
+                        location: Some(format!("cell#{loc}")),
+                        prior: Some(AccessInfo {
+                            thread: ptid,
+                            op: pkind.name(),
+                        }),
+                        current: Some(AccessInfo {
+                            thread: tid,
+                            op: kind.name(),
+                        }),
+                        message: format!(
+                            "no happens-before edge orders these accesses to cell#{loc}"
+                        ),
+                        interleaving: st.interleaving,
+                    };
+                    st.diagnostics.push(diag);
+                }
+                // The taken value is identified by its producing write
+                // event, so mixing the prior epoch into the observation
+                // hash captures the (engine-invisible) slot payload.
+                obs.mix(ptid as u64);
+                obs.mix(u64::from(pepoch));
+            }
+            st.races[*loc].last = Some((tid, epoch, *kind));
+            obs.mix(*loc as u64);
+            obs.mix(*kind as u64);
+            ShimResult::Unit
+        }
+        ShimOp::Yield => {
+            st.threads[tid].yielded = true;
+            st.threads[tid].spins += 1;
+            ShimResult::Unit
+        }
+        ShimOp::JoinDone { children } => {
+            for &c in children {
+                let child_clock = st.threads[c].clock.clone();
+                st.threads[tid].clock.join(&child_clock);
+                let child_obs = st.threads[c].obs;
+                obs.mix(child_obs.digest() as u64);
+                obs.mix((child_obs.digest() >> 64) as u64);
+            }
+            ShimResult::Unit
+        }
+    };
+    if !matches!(op, ShimOp::Yield) {
+        st.threads[tid].spins = 0;
+    }
+    if wrote {
+        // A write is progress: wake every spinner so polling loops get
+        // exactly one fresh look per state change.
+        for (other, t) in st.threads.iter_mut().enumerate() {
+            if other != tid {
+                t.yielded = false;
+            }
+        }
+    }
+    st.threads[tid].obs = obs;
+    result
+}
+
+/// Registers `n` children of `parent` (spawn edges included) and
+/// returns their ids. Must be called by the running parent thread.
+fn register_children(exec: &ExecShared, parent: usize, n: usize) -> Vec<usize> {
+    let mut st = exec.lock();
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        st.threads[parent].clock.bump(parent);
+        let tid = st.threads.len();
+        let mut clock = st.threads[parent].clock.clone();
+        clock.bump(tid);
+        let mut obs = StateHash::new();
+        obs.mix(tid as u64);
+        st.threads.push(ThreadSt {
+            status: Status::Paused,
+            clock,
+            obs,
+            yielded: false,
+            spins: 0,
+            ops: 0,
+        });
+        ids.push(tid);
+    }
+    ids
+}
+
+fn thread_finished(exec: &ExecShared, tid: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+    let mut st = exec.lock();
+    if let Some(payload) = panic {
+        if payload.downcast_ref::<Aborted>().is_none() {
+            // A real model panic: a failed assertion under this
+            // interleaving. Capture it and tear the execution down.
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked".to_owned());
+            let diag = CheckDiagnostic {
+                rule: CheckRule::AssertFailed,
+                location: None,
+                prior: None,
+                current: Some(AccessInfo {
+                    thread: tid,
+                    op: "panic",
+                }),
+                message,
+                interleaving: st.interleaving,
+            };
+            st.diagnostics.push(diag);
+            st.aborted = Some(AbortCause::Failed);
+        } else if st.aborted.is_none() {
+            st.aborted = Some(AbortCause::Failed);
+        }
+    }
+    st.threads[tid].status = Status::Finished;
+    exec.cv.notify_all();
+}
+
+/// Runs `n` logical child threads of the calling model thread; the
+/// engine half of `ModelSync::run_threads`.
+pub(crate) fn run_child_threads<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let (exec, parent) = current();
+    let ids = register_children(&exec, parent, n);
+    let outputs: Vec<Option<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(k, &tid)| {
+                let exec = Arc::clone(&exec);
+                let f = &f;
+                scope.spawn(move || {
+                    bind(Arc::clone(&exec), tid);
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        shim(ShimOp::Start);
+                        f(k)
+                    }));
+                    let (value, panic) = match out {
+                        Ok(v) => (Some(v), None),
+                        Err(p) => (None, Some(p)),
+                    };
+                    thread_finished(&exec, tid, panic);
+                    value
+                })
+            })
+            .collect();
+        {
+            // Park the parent for the duration of the physical joins
+            // below so the controller schedules only the children.
+            let mut st = exec.lock();
+            st.threads[parent].status = Status::Blocked(ids.clone());
+            exec.cv.notify_all();
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("model child wrapper never panics"))
+            .collect()
+    });
+    // All children are finished; re-enter the schedule (this is the
+    // join edge: the parent's clock absorbs every child's).
+    shim(ShimOp::JoinDone {
+        children: ids.clone(),
+    });
+    outputs
+        .into_iter()
+        .map(|v| v.unwrap_or_else(|| abort_sentinel()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The explorer.
+// ---------------------------------------------------------------------
+
+struct Decision {
+    taken: usize,
+    alternatives: Vec<usize>,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum ExecEnd {
+    Completed,
+    Pruned(AbortCause),
+}
+
+/// Dedup key for diagnostics across interleavings: the same defect
+/// reached along a different schedule must not be reported twice.
+type DiagKey = (CheckRule, Option<String>, Option<usize>, Option<usize>);
+
+struct Explorer<'m, F> {
+    bounds: &'m Bounds,
+    model: &'m F,
+    stack: Vec<Decision>,
+    visited: BTreeSet<u128>,
+    // Report accumulators.
+    interleavings: u64,
+    pruned_states: u64,
+    pruned_spin: u64,
+    skipped_preemptions: u64,
+    op_budget_hits: u64,
+    total_ops: u64,
+    diagnostics: Vec<CheckDiagnostic>,
+    diag_keys: Vec<DiagKey>,
+    violations: u64,
+}
+
+impl ExecState {
+    fn new(interleaving: u64, spin_bound: u32) -> ExecState {
+        let mut obs = StateHash::new();
+        obs.mix(0);
+        let mut clock = VClock::new();
+        clock.bump(0);
+        ExecState {
+            threads: vec![ThreadSt {
+                status: Status::Paused,
+                clock,
+                obs,
+                yielded: false,
+                spins: 0,
+                ops: 0,
+            }],
+            atomics: Vec::new(),
+            races: Vec::new(),
+            active: None,
+            aborted: None,
+            diagnostics: Vec::new(),
+            ops: 0,
+            interleaving,
+            spin_bound,
+        }
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+    }
+
+    /// Quiescent: nobody running, no grant outstanding, and no parent
+    /// about to resume from a completed join (its OS thread is in
+    /// flight between the physical join and the `JoinDone` shim).
+    fn quiescent(&self) -> bool {
+        self.active.is_none()
+            && self.threads.iter().all(|t| match &t.status {
+                Status::Running => false,
+                Status::Blocked(children) => !children
+                    .iter()
+                    .all(|&c| matches!(self.threads[c].status, Status::Finished)),
+                _ => true,
+            })
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.status, Status::Paused))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Candidate grant order: fresh (non-yielded) threads first — if
+    /// every enabled thread has yielded, clear the flags and consider
+    /// them all — with the previously running thread preferred (a
+    /// non-switch costs no preemption budget).
+    fn candidates(&mut self, enabled: &[usize], prev: Option<usize>) -> Vec<usize> {
+        let mut pool: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|&t| !self.threads[t].yielded)
+            .collect();
+        if pool.is_empty() {
+            for &t in enabled {
+                self.threads[t].yielded = false;
+            }
+            pool = enabled.to_vec();
+        }
+        pool.sort_unstable_by_key(|&t| (Some(t) != prev, t));
+        pool
+    }
+
+    /// The frontier state digest; see the module docs for what makes
+    /// this a sound pruning key for deterministic models.
+    fn state_hash(&self, budget_left: Option<u32>, prev: Option<usize>) -> u128 {
+        let mut h = StateHash::new();
+        for t in &self.threads {
+            h.mix(match t.status {
+                Status::Running => 0,
+                Status::Paused => 1,
+                Status::Blocked(_) => 2,
+                Status::Finished => 3,
+            });
+            h.mix(u64::from(t.yielded));
+            h.mix(t.ops);
+            h.mix(t.obs.digest() as u64);
+            h.mix((t.obs.digest() >> 64) as u64);
+            t.clock.fold_hash(&mut h);
+        }
+        for a in &self.atomics {
+            h.mix(a.value);
+            match &a.sync {
+                None => h.mix(0),
+                Some(vc) => {
+                    h.mix(1);
+                    vc.fold_hash(&mut h);
+                }
+            }
+        }
+        for r in &self.races {
+            match r.last {
+                None => h.mix(0),
+                Some((tid, epoch, kind)) => {
+                    h.mix(1 + tid as u64);
+                    h.mix(u64::from(epoch));
+                    h.mix(kind as u64);
+                }
+            }
+        }
+        h.mix(budget_left.map_or(u64::MAX, u64::from));
+        h.mix(prev.map_or(u64::MAX, |p| p as u64));
+        h.digest()
+    }
+}
+
+impl<'m, F: Fn() + Sync> Explorer<'m, F> {
+    fn new(bounds: &'m Bounds, model: &'m F) -> Explorer<'m, F> {
+        Explorer {
+            bounds,
+            model,
+            stack: Vec::new(),
+            visited: BTreeSet::new(),
+            interleavings: 0,
+            pruned_states: 0,
+            pruned_spin: 0,
+            skipped_preemptions: 0,
+            op_budget_hits: 0,
+            total_ops: 0,
+            diagnostics: Vec::new(),
+            diag_keys: Vec::new(),
+            violations: 0,
+        }
+    }
+
+    fn explore(mut self, name: &str) -> CheckReport {
+        install_quiet_hook();
+        let mut executions = 0u64;
+        let mut capped = false;
+        loop {
+            if executions >= self.bounds.max_interleavings {
+                capped = true;
+                break;
+            }
+            let end = self.run_one(executions);
+            executions += 1;
+            match end {
+                ExecEnd::Completed | ExecEnd::Pruned(AbortCause::Failed) => {
+                    self.interleavings += 1;
+                }
+                ExecEnd::Pruned(AbortCause::StatePruned) => self.pruned_states += 1,
+                ExecEnd::Pruned(AbortCause::SpinBound) => self.pruned_spin += 1,
+                ExecEnd::Pruned(AbortCause::OpBudget) => self.op_budget_hits += 1,
+            }
+            if !self.advance() {
+                break;
+            }
+        }
+        let complete = !capped && self.pruned_spin == 0 && self.op_budget_hits == 0;
+        CheckReport {
+            model: name.to_owned(),
+            interleavings: self.interleavings,
+            pruned_states: self.pruned_states,
+            pruned_spin: self.pruned_spin,
+            skipped_preemptions: self.skipped_preemptions,
+            ops: self.total_ops,
+            complete,
+            violations: self.violations,
+            diagnostics: self.diagnostics,
+        }
+    }
+
+    /// Flips the deepest decision with an untried alternative;
+    /// `false` when the whole tree is exhausted.
+    fn advance(&mut self) -> bool {
+        while let Some(d) = self.stack.last_mut() {
+            if let Some(alt) = d.alternatives.pop() {
+                d.taken = alt;
+                return true;
+            }
+            self.stack.pop();
+        }
+        false
+    }
+
+    fn run_one(&mut self, interleaving: u64) -> ExecEnd {
+        let shared = Arc::new(ExecShared {
+            state: Mutex::new(ExecState::new(interleaving, self.bounds.max_spins)),
+            cv: Condvar::new(),
+        });
+        let end = std::thread::scope(|scope| {
+            let exec = Arc::clone(&shared);
+            let model = self.model;
+            scope.spawn(move || {
+                bind(Arc::clone(&exec), 0);
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    shim(ShimOp::Start);
+                    model();
+                }));
+                thread_finished(&exec, 0, out.err());
+            });
+            self.drive(&shared)
+        });
+        // Merge this execution's diagnostics, deduplicated across the
+        // whole exploration by (rule, location, thread pair).
+        let diags = std::mem::take(&mut shared.lock().diagnostics);
+        for d in diags {
+            let key = (
+                d.rule,
+                d.location.clone(),
+                d.prior.as_ref().map(|a| a.thread),
+                d.current.as_ref().map(|a| a.thread),
+            );
+            if !self.diag_keys.contains(&key) {
+                self.diag_keys.push(key);
+                self.violations += 1;
+                if self.diagnostics.len() < MAX_DIAGNOSTICS {
+                    self.diagnostics.push(d);
+                }
+            }
+        }
+        end
+    }
+
+    /// The controller loop for one execution: wait for quiescence,
+    /// choose (or replay) the next grant, hand the turn over.
+    fn drive(&mut self, shared: &ExecShared) -> ExecEnd {
+        let mut step = 0usize;
+        let mut preemptions = 0u32;
+        let mut prev: Option<usize> = None;
+        loop {
+            let mut st = shared.lock();
+            while !st.quiescent() {
+                st = shared.wait(st);
+            }
+            if let Some(cause) = st.aborted {
+                while !st.all_finished() {
+                    st = shared.wait(st);
+                }
+                self.total_ops += st.ops;
+                return ExecEnd::Pruned(cause);
+            }
+            if st.all_finished() {
+                self.total_ops += st.ops;
+                return ExecEnd::Completed;
+            }
+            let enabled = st.enabled();
+            if enabled.is_empty() {
+                // Unreachable with join-only blocking (a blocked
+                // parent always has a non-finished, schedulable
+                // descendant), but diagnose rather than hang.
+                let diag = CheckDiagnostic {
+                    rule: CheckRule::Deadlock,
+                    location: None,
+                    prior: None,
+                    current: None,
+                    message: "no runnable threads but the model has not finished".to_owned(),
+                    interleaving: st.interleaving,
+                };
+                st.diagnostics.push(diag);
+                st.aborted = Some(AbortCause::Failed);
+                shared.cv.notify_all();
+                continue;
+            }
+            // Whether the previously granted thread sits at a yield
+            // point, captured before `candidates` may clear the flags:
+            // switching away from a spinner is a free (non-preemptive)
+            // switch — the CHESS rule that keeps polling loops
+            // schedulable after the preemption budget is spent.
+            let prev_spinning = prev.is_some_and(|p| st.threads[p].yielded);
+            let candidates = st.candidates(&enabled, prev);
+            let chosen = if step < self.stack.len() {
+                let taken = self.stack[step].taken;
+                if !enabled.contains(&taken) {
+                    let diag = CheckDiagnostic {
+                        rule: CheckRule::NondeterministicModel,
+                        location: None,
+                        prior: None,
+                        current: None,
+                        message: format!(
+                            "replayed schedule step {step} chose thread {taken}, \
+                             which is no longer runnable"
+                        ),
+                        interleaving: st.interleaving,
+                    };
+                    st.diagnostics.push(diag);
+                    st.aborted = Some(AbortCause::Failed);
+                    shared.cv.notify_all();
+                    continue;
+                }
+                taken
+            } else {
+                let budget_left = self.bounds.preemptions.map(|b| b - preemptions.min(b));
+                let hash = st.state_hash(budget_left, prev);
+                if !self.visited.insert(hash) {
+                    // Frontier state already fully explored elsewhere:
+                    // a deterministic model behaves identically from
+                    // here, so abandon this execution.
+                    st.aborted = Some(AbortCause::StatePruned);
+                    shared.cv.notify_all();
+                    continue;
+                }
+                let costs = |t: usize| -> u32 {
+                    u32::from(
+                        !prev_spinning && prev.is_some_and(|p| p != t && enabled.contains(&p)),
+                    )
+                };
+                let viable: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&t| budget_left.is_none_or(|b| costs(t) <= b))
+                    .collect();
+                self.skipped_preemptions += (candidates.len() - viable.len()) as u64;
+                // Never empty: if any candidate costs a preemption,
+                // `prev` is enabled and not spinning, so it is itself
+                // a zero-cost candidate.
+                let chosen = viable[0];
+                self.stack.push(Decision {
+                    taken: chosen,
+                    alternatives: viable[1..].to_vec(),
+                });
+                chosen
+            };
+            if !prev_spinning && prev.is_some_and(|p| p != chosen && enabled.contains(&p)) {
+                preemptions += 1;
+            }
+            prev = Some(chosen);
+            step += 1;
+            st.ops += 1;
+            if st.ops > self.bounds.max_ops {
+                st.aborted = Some(AbortCause::OpBudget);
+                shared.cv.notify_all();
+                continue;
+            }
+            st.active = Some(chosen);
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// Exhaustively (modulo `bounds`) explores every interleaving of
+/// `model`, returning a structured [`CheckReport`]. The model runs
+/// once per explored schedule; it must be deterministic apart from
+/// thread interleaving (same shim-visible behavior whenever it
+/// observes the same values), which every pure in-memory model is.
+pub fn check_model<F: Fn() + Sync>(name: &str, bounds: &Bounds, model: F) -> CheckReport {
+    Explorer::new(bounds, &model).explore(name)
+}

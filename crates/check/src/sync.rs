@@ -1,0 +1,320 @@
+//! The `sync` facade: the one door through which workspace code
+//! reaches atomics and threads.
+//!
+//! Concurrent code in this workspace is written against the
+//! [`SyncFacade`] trait instead of `std` directly, so the *same*
+//! algorithm compiles two ways:
+//!
+//! * [`StdSync`] — real `std` atomics and scoped threads, fully
+//!   inlined, zero overhead: what production binaries run;
+//! * [`ModelSync`](crate::model::ModelSync) — checker-shimmed types
+//!   whose every operation is a scheduling point: what `nosq check`
+//!   explores exhaustively.
+//!
+//! The `nosq lint` concurrency rule enforces the funnel: outside this
+//! module (and the checker's own scheduler), `std::sync::atomic` and
+//! `std::thread` are forbidden in `crates/`, so everything concurrent
+//! is model-checkable by construction.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Memory-ordering selector, mirroring `std::sync::atomic::Ordering`.
+///
+/// The facade defines its own enum so facade clients never name the
+/// `std` module (the lint rule's door stays shut) and so the model
+/// checker can interpret orderings directly: under
+/// [`ModelSync`](crate::model::ModelSync) an `Acquire` load reading a
+/// `Release` store joins vector clocks, while `Relaxed` accesses move
+/// values but never synchronize.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// No synchronization; only the access itself is atomic.
+    Relaxed,
+    /// Loads (and the load half of RMWs) observe the release clock of
+    /// the store they read from.
+    Acquire,
+    /// Stores (and the store half of RMWs) publish the writer's clock.
+    Release,
+    /// Both halves: `Acquire` on the read, `Release` on the write.
+    AcqRel,
+    /// Treated by the checker as [`Ordering::AcqRel`]; the model does
+    /// not additionally enforce a single total order over `SeqCst`
+    /// operations (see the crate docs for the memory-model caveats).
+    SeqCst,
+}
+
+impl Ordering {
+    /// Whether a load at this ordering acquires.
+    pub fn acquires(self) -> bool {
+        matches!(
+            self,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    /// Whether a store at this ordering releases.
+    pub fn releases(self) -> bool {
+        matches!(
+            self,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    fn to_std(self) -> std::sync::atomic::Ordering {
+        match self {
+            Ordering::Relaxed => std::sync::atomic::Ordering::Relaxed,
+            Ordering::Acquire => std::sync::atomic::Ordering::Acquire,
+            Ordering::Release => std::sync::atomic::Ordering::Release,
+            Ordering::AcqRel => std::sync::atomic::Ordering::AcqRel,
+            Ordering::SeqCst => std::sync::atomic::Ordering::SeqCst,
+        }
+    }
+}
+
+/// An atomic integer cell; implemented by the real `std` atomics and by
+/// the checker's shims.
+///
+/// Orderings must be valid for the operation exactly as in `std`
+/// (`load` rejects `Release`/`AcqRel`, `store` rejects
+/// `Acquire`/`AcqRel`) — [`StdSync`] delegates to `std`, which panics
+/// on misuse.
+pub trait AtomicCell<T: Copy>: Send + Sync {
+    /// Creates a cell holding `value`.
+    fn new(value: T) -> Self;
+    /// Atomically reads the value.
+    fn load(&self, order: Ordering) -> T;
+    /// Atomically writes the value.
+    fn store(&self, value: T, order: Ordering);
+    /// Atomically adds, returning the previous value.
+    fn fetch_add(&self, value: T, order: Ordering) -> T;
+    /// Strong compare-exchange: `Ok(previous)` on success, the observed
+    /// value in `Err` on failure.
+    fn compare_exchange(
+        &self,
+        current: T,
+        new: T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<T, T>;
+}
+
+/// A single-value plain-data hand-off cell: the *non-atomic* shared
+/// storage whose safe use the surrounding atomic protocol must prove.
+///
+/// Under [`StdSync`] this is a mutex-protected option — safe Rust needs
+/// *some* interior-mutability wrapper, and an uncontended mutex costs a
+/// few nanoseconds — but correctness must never depend on that lock:
+/// the protocol around it has to guarantee exclusive access on its own.
+/// That is precisely what the checker proves — under
+/// [`ModelSync`](crate::model::ModelSync) every `put`/`take` is a
+/// vector-clock-checked plain write, and any pair of accesses without a
+/// happens-before edge is reported as a data race.
+pub trait SlotCell<T: Send>: Send + Sync {
+    /// Creates an empty slot.
+    fn new() -> Self;
+    /// Stores `value`, returning whatever the slot previously held (a
+    /// correctly synchronized protocol sees `None`).
+    fn put(&self, value: T) -> Option<T>;
+    /// Removes and returns the stored value, if any.
+    fn take(&self) -> Option<T>;
+}
+
+/// The family of synchronization primitives an algorithm is generic
+/// over; see the [module docs](self) for the two implementations.
+pub trait SyncFacade: 'static + Sized {
+    /// `usize` atomic (job cursors, queue positions).
+    type AtomicUsize: AtomicCell<usize>;
+    /// `u64` atomic (progress counters).
+    type AtomicU64: AtomicCell<u64>;
+    /// Plain-data hand-off slot.
+    type Slot<T: Send>: SlotCell<T>;
+
+    /// Runs `threads` logical threads of `f(thread_index)` to
+    /// completion and returns their results in index order. The spawns
+    /// happen-before every `f`, and every `f` happens-before the
+    /// return — the join edges lock-free hand-offs rely on.
+    ///
+    /// `poll` (when given) runs periodically on the calling thread
+    /// while workers drain; it must not block.
+    fn run_threads<T, F>(threads: usize, f: F, poll: Option<&mut dyn FnMut()>) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync;
+
+    /// Tells the scheduler this thread is spinning without progress.
+    /// Real hardware gets a `spin_loop` hint; the checker deprioritizes
+    /// the thread until another thread writes, which keeps polling
+    /// loops explorable without unbounded schedules.
+    fn spin_hint();
+}
+
+/// The production facade: real `std` atomics and scoped OS threads.
+/// Every method is a direct, inlinable delegation — code generic over
+/// [`SyncFacade`] instantiated at `StdSync` compiles to exactly what it
+/// would with `std` types written in place.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StdSync;
+
+impl AtomicCell<usize> for std::sync::atomic::AtomicUsize {
+    #[inline]
+    fn new(value: usize) -> Self {
+        std::sync::atomic::AtomicUsize::new(value)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> usize {
+        self.load(order.to_std())
+    }
+    #[inline]
+    fn store(&self, value: usize, order: Ordering) {
+        self.store(value, order.to_std())
+    }
+    #[inline]
+    fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        self.fetch_add(value, order.to_std())
+    }
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: usize,
+        new: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<usize, usize> {
+        self.compare_exchange(current, new, success.to_std(), failure.to_std())
+    }
+}
+
+impl AtomicCell<u64> for std::sync::atomic::AtomicU64 {
+    #[inline]
+    fn new(value: u64) -> Self {
+        std::sync::atomic::AtomicU64::new(value)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        self.load(order.to_std())
+    }
+    #[inline]
+    fn store(&self, value: u64, order: Ordering) {
+        self.store(value, order.to_std())
+    }
+    #[inline]
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.fetch_add(value, order.to_std())
+    }
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.compare_exchange(current, new, success.to_std(), failure.to_std())
+    }
+}
+
+/// [`SlotCell`] for [`StdSync`]: a mutex-protected option (see the
+/// trait docs for why the lock is belt-and-braces, not load-bearing).
+#[derive(Debug, Default)]
+pub struct StdSlot<T>(Mutex<Option<T>>);
+
+impl<T: Send> SlotCell<T> for StdSlot<T> {
+    fn new() -> Self {
+        StdSlot(Mutex::new(None))
+    }
+    fn put(&self, value: T) -> Option<T> {
+        self.0.lock().expect("slot poisoned").replace(value)
+    }
+    fn take(&self) -> Option<T> {
+        self.0.lock().expect("slot poisoned").take()
+    }
+}
+
+impl SyncFacade for StdSync {
+    type AtomicUsize = std::sync::atomic::AtomicUsize;
+    type AtomicU64 = std::sync::atomic::AtomicU64;
+    type Slot<T: Send> = StdSlot<T>;
+
+    fn run_threads<T, F>(threads: usize, f: F, mut poll: Option<&mut dyn FnMut()>) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = (0..threads).map(|k| scope.spawn(move || f(k))).collect();
+            // Watch worker liveness, not a completion counter: a
+            // panicking worker is `finished` too, so this loop always
+            // terminates and the panic propagates at join below.
+            if let Some(poll) = poll.as_mut() {
+                while !handles.iter().all(|h| h.is_finished()) {
+                    poll();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+    }
+
+    #[inline]
+    fn spin_hint() {
+        std::hint::spin_loop();
+    }
+}
+
+/// Hardware threads available to this process (at least 1). Lives here
+/// so facade clients never need `std::thread` directly.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_atomics_roundtrip_through_the_facade() {
+        fn exercise<S: SyncFacade>() -> (usize, u64) {
+            let a = S::AtomicUsize::new(5);
+            assert_eq!(a.fetch_add(3, Ordering::Relaxed), 5);
+            assert_eq!(
+                a.compare_exchange(8, 1, Ordering::AcqRel, Ordering::Acquire),
+                Ok(8)
+            );
+            assert_eq!(
+                a.compare_exchange(8, 2, Ordering::AcqRel, Ordering::Acquire),
+                Err(1)
+            );
+            let b = S::AtomicU64::new(0);
+            b.store(7, Ordering::Release);
+            (a.load(Ordering::Acquire), b.load(Ordering::Acquire))
+        }
+        assert_eq!(exercise::<StdSync>(), (1, 7));
+    }
+
+    #[test]
+    fn std_slots_hand_off() {
+        let slot = <StdSync as SyncFacade>::Slot::<String>::new();
+        assert_eq!(slot.take(), None);
+        assert_eq!(slot.put("a".into()), None);
+        assert_eq!(slot.put("b".into()), Some("a".into()));
+        assert_eq!(slot.take(), Some("b".into()));
+    }
+
+    #[test]
+    fn run_threads_returns_in_index_order() {
+        let mut polled = 0usize;
+        let mut poll = || polled += 1;
+        let out = StdSync::run_threads(4, |k| k * 10, Some(&mut poll));
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        let empty: Vec<usize> = StdSync::run_threads(0, |k| k, None);
+        assert!(empty.is_empty());
+        assert!(available_parallelism() >= 1);
+    }
+}

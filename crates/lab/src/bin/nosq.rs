@@ -5,6 +5,7 @@
 //! nosq table5          [--threads N] [--out DIR] [--max-insts N]
 //! nosq smoke           [--threads N] [--out DIR]
 //! nosq audit           [--small] [--break-predictor N] [--threads N] [--out DIR] [--max-insts N]
+//! nosq check           [--bound small|full] [--model NAME] [--seed-bug] [--out DIR]
 //! nosq lint            [--allow FILE] [--root DIR]
 //! nosq list [profiles|presets]
 //! ```
@@ -21,8 +22,9 @@ use std::process::ExitCode;
 use nosq_lab::lint::{lint_tree, Allowlist};
 use nosq_lab::reports::{table5, table5_json, Table5Row};
 use nosq_lab::{
-    artifacts, audit_json, json, run_audit, run_campaign, timing_artifact, write_artifacts,
-    Artifact, AuditOptions, Campaign, Preset, RunOptions,
+    artifacts, audit_json, check_json, json, run_audit, run_campaign, run_checks, timing_artifact,
+    write_artifacts, Artifact, AuditOptions, BoundPreset, Campaign, CheckOptions, Preset,
+    RunOptions,
 };
 use nosq_trace::{Profile, Suite};
 
@@ -35,6 +37,8 @@ USAGE:
     nosq smoke [OPTIONS]             sub-second self-check campaign
     nosq audit [OPTIONS]             prove every speculative bypass against the
                                      dependence oracle (4 profiles x 3 NoSQ presets)
+    nosq check [OPTIONS]             model-check the lock-free executor core and
+                                     injection queue over every thread interleaving
     nosq lint [OPTIONS]              determinism source lint over crates/
     nosq list [profiles|presets]     show available benchmarks / presets
     nosq help                        this text
@@ -49,6 +53,11 @@ OPTIONS:
                          verification; exits 0 only if the auditor catches it
     --allow FILE         (lint) allowlist path (default: ./lint.allow)
     --root DIR           (lint) workspace root to scan (default: .)
+    --bound NAME         (check) exploration preset: `small` (preemption-bounded,
+                         the CI setting) or `full` (exhaustive); default small
+    --model NAME         (check) run a single model instead of the whole suite
+    --seed-bug           (check) run the deliberately broken models; exits 0
+                         only if the checker flags them
 ";
 
 /// The built-in smoke campaign: 2 presets × 3 profiles, small budget.
@@ -70,6 +79,9 @@ struct Options {
     break_predictor: Option<u64>,
     allow: Option<PathBuf>,
     root: PathBuf,
+    bound: BoundPreset,
+    model: Option<String>,
+    seed_bug: bool,
 }
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -111,6 +123,10 @@ fn main() -> ExitCode {
             usage_error("`nosq audit` takes no positional arguments")
         }
         "audit" => cmd_audit(&options),
+        "check" if !positional.is_empty() => {
+            usage_error("`nosq check` takes no positional arguments")
+        }
+        "check" => cmd_check(&options),
         "lint" if !positional.is_empty() => {
             usage_error("`nosq lint` takes no positional arguments")
         }
@@ -131,6 +147,9 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
         break_predictor: None,
         allow: None,
         root: PathBuf::from("."),
+        bound: BoundPreset::Small,
+        model: None,
+        seed_bug: false,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -167,6 +186,13 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
             }
             "--allow" => options.allow = Some(PathBuf::from(value_of("--allow")?)),
             "--root" => options.root = PathBuf::from(value_of("--root")?),
+            "--bound" => {
+                let name = value_of("--bound")?;
+                options.bound = BoundPreset::parse(&name)
+                    .ok_or_else(|| format!("`--bound` expects `small` or `full`, got `{name}`"))?;
+            }
+            "--model" => options.model = Some(value_of("--model")?),
+            "--seed-bug" => options.seed_bug = true,
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             _ => positional.push(arg.clone()),
         }
@@ -535,6 +561,92 @@ fn cmd_audit(options: &Options) -> ExitCode {
     }
 }
 
+/// `nosq check`: model-check the lock-free lab structures over every
+/// thread interleaving, write `check.json`, and gate on the verdict.
+/// A clean run fails on any violation or incomplete exploration; a
+/// `--seed-bug` run fails unless the checker flags the planted bug (a
+/// checker that passes its seeded bug proves nothing).
+fn cmd_check(options: &Options) -> ExitCode {
+    let opts = CheckOptions {
+        bound: options.bound,
+        model: options.model.clone(),
+        seed_bug: options.seed_bug,
+    };
+    let reports = match run_checks(&opts) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+
+    println!(
+        "{:<15} {:>14} {:>9} {:>9} {:>12} {:>9} {:>11}",
+        "model", "interleavings", "pruned", "skipped", "ops", "complete", "violations"
+    );
+    for r in &reports {
+        println!(
+            "{:<15} {:>14} {:>9} {:>9} {:>12} {:>9} {:>11}",
+            r.model,
+            r.interleavings,
+            r.pruned_states,
+            r.skipped_preemptions,
+            r.ops,
+            r.complete,
+            r.violations,
+        );
+    }
+
+    let contents = check_json(&opts, &reports);
+    if let Err(e) = json::parse(&contents) {
+        return fail(format!("generated check.json is malformed: {e}"));
+    }
+    let artifact = Artifact {
+        file_name: "check.json".to_owned(),
+        contents,
+    };
+    match write_artifacts(&options.out, std::slice::from_ref(&artifact)) {
+        Ok(paths) => {
+            for path in &paths {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => return fail(format!("writing check.json: {e}")),
+    }
+
+    let violations: u64 = reports.iter().map(|r| r.violations).sum();
+    let interleavings: u64 = reports.iter().map(|r| r.interleavings).sum();
+    if opts.seed_bug {
+        if violations == 0 {
+            return fail("the seeded bug was active but the checker reported no violations");
+        }
+        println!(
+            "check OK (self-test): {violations} seeded-bug violations caught across {} models",
+            reports.len()
+        );
+        ExitCode::SUCCESS
+    } else if violations > 0 {
+        for r in &reports {
+            for diag in &r.diagnostics {
+                eprintln!("nosq check: {}: {diag}", r.model);
+            }
+        }
+        fail(format!(
+            "{violations} concurrency violations across {} models",
+            reports.len()
+        ))
+    } else if let Some(r) = reports.iter().find(|r| !r.complete) {
+        fail(format!(
+            "model `{}` hit an exploration bound before finishing; rerun with `--bound full`",
+            r.model
+        ))
+    } else {
+        println!(
+            "check OK: {} models verified clean over {interleavings} interleavings ({} bounds)",
+            reports.len(),
+            opts.bound.name()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
 /// `nosq lint`: the determinism source lint over `crates/`. Violations
 /// exit non-zero (the CI hard gate); stale allowlist entries warn.
 fn cmd_lint(options: &Options) -> ExitCode {
@@ -554,7 +666,7 @@ fn cmd_lint(options: &Options) -> ExitCode {
         eprintln!("nosq lint: {finding}");
     }
     for stale in &result.stale_allows {
-        eprintln!("nosq lint: warning: stale allowlist entry `{stale}`");
+        eprintln!("nosq lint: warning: stale allowlist entry {stale}");
     }
     if !result.is_clean() {
         return fail(format!(

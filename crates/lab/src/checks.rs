@@ -1,0 +1,261 @@
+//! The `nosq check` model registry: bounded concurrency models of the
+//! workspace's lock-free structures, run under the `nosq-check`
+//! engine.
+//!
+//! Each model is a small, fixed-size instantiation of *production
+//! code* — [`run_grid`] and [`InjectionQueue`] are generic over the
+//! `sync` facade, so the checker explores the exact statements the
+//! executor runs, not a transliteration. The `spsc` pair is the
+//! checker's own self-test: the `Release` variant must verify clean,
+//! and the deliberately broken `Relaxed` variant (run under
+//! `--seed-bug`) must be flagged — a check run that cannot catch a
+//! seeded bug proves nothing.
+
+use nosq_check::sync::{AtomicCell, Ordering, SlotCell, SyncFacade};
+use nosq_check::{check_model, Bounds, CheckReport, ModelSync};
+use nosq_core::ser::{JsonArray, JsonObject};
+
+use crate::grid::{run_grid, ProgressCounters};
+use crate::mpmc::InjectionQueue;
+
+/// Which exploration preset to run the models under.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BoundPreset {
+    /// Preemption-bounded (2 preemptions): seconds, catches almost
+    /// everything; the CI smoke setting.
+    Small,
+    /// No preemption bound: exhaustive exploration of every model.
+    Full,
+}
+
+impl BoundPreset {
+    /// Parses a `--bound` argument.
+    pub fn parse(s: &str) -> Option<BoundPreset> {
+        match s {
+            "small" => Some(BoundPreset::Small),
+            "full" => Some(BoundPreset::Full),
+            _ => None,
+        }
+    }
+
+    /// The preset's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundPreset::Small => "small",
+            BoundPreset::Full => "full",
+        }
+    }
+
+    fn bounds(self) -> Bounds {
+        match self {
+            BoundPreset::Small => Bounds::small(),
+            BoundPreset::Full => Bounds::default(),
+        }
+    }
+}
+
+/// Options for one `nosq check` run.
+#[derive(Clone, Debug)]
+pub struct CheckOptions {
+    /// Exploration preset.
+    pub bound: BoundPreset,
+    /// Run only the named model (default: every model in the suite).
+    pub model: Option<String>,
+    /// Run the deliberately broken models instead of the clean suite;
+    /// the run *succeeds* only if they are flagged.
+    pub seed_bug: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> CheckOptions {
+        CheckOptions {
+            bound: BoundPreset::Small,
+            model: None,
+            seed_bug: false,
+        }
+    }
+}
+
+/// The names in the selected suite, in run order.
+pub fn model_names(seed_bug: bool) -> Vec<&'static str> {
+    if seed_bug {
+        vec!["spsc-relaxed"]
+    } else {
+        vec!["spsc", "executor-core", "mpmc"]
+    }
+}
+
+/// SPSC publish: producer fills a slot then raises a flag with
+/// `store_order`; consumer spins on an `Acquire` load, then takes the
+/// slot. Clean iff `store_order` releases.
+fn spsc_model(store_order: Ordering) {
+    let data = <ModelSync as SyncFacade>::Slot::<u64>::new();
+    let flag = <ModelSync as SyncFacade>::AtomicUsize::new(0);
+    ModelSync::run_threads(
+        2,
+        |k| {
+            if k == 0 {
+                data.put(42);
+                flag.store(1, store_order);
+            } else {
+                while flag.load(Ordering::Acquire) == 0 {
+                    ModelSync::spin_hint();
+                }
+                assert_eq!(data.take(), Some(42));
+            }
+        },
+        None,
+    );
+}
+
+/// The executor's lock-free core at model scale: 2 workers drain a
+/// 3-job grid through the atomic cursor, each job writes a result
+/// mailbox slot and bumps the progress counters, and the coordinator
+/// reads everything after the join edge. Exactly the
+/// [`run_grid`] code production runs on `StdSync`.
+fn executor_core_model() {
+    const JOBS: usize = 3;
+    let counters = ProgressCounters::<ModelSync>::new();
+    let mailbox: Vec<<ModelSync as SyncFacade>::Slot<u64>> =
+        (0..JOBS).map(|_| SlotCell::new()).collect();
+    let out = run_grid::<ModelSync, _, _, _, _>(
+        JOBS,
+        2,
+        1,
+        || (),
+        |(), i| {
+            mailbox[i].put(i as u64 + 1);
+            counters.add_insts(10);
+            counters.job_done();
+            i
+        },
+        None,
+    );
+    assert_eq!(out, (0..JOBS).collect::<Vec<_>>());
+    assert_eq!(counters.snapshot(), (JOBS, 10 * JOBS as u64));
+    for (i, slot) in mailbox.iter().enumerate() {
+        assert_eq!(slot.take(), Some(i as u64 + 1));
+    }
+}
+
+/// The injection queue at model scale: 2 producers push one item each
+/// into a capacity-2 [`InjectionQueue`] while a consumer drains both;
+/// conservation is asserted after the join.
+fn mpmc_model() {
+    let queue = InjectionQueue::<u64, ModelSync>::new(2);
+    let sum = <ModelSync as SyncFacade>::AtomicU64::new(0);
+    ModelSync::run_threads(
+        3,
+        |k| {
+            if k < 2 {
+                let mut item = k as u64 + 1;
+                loop {
+                    match queue.try_push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            item = back;
+                            ModelSync::spin_hint();
+                        }
+                    }
+                }
+            } else {
+                let mut got = 0;
+                while got < 2 {
+                    match queue.try_pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            got += 1;
+                        }
+                        None => ModelSync::spin_hint(),
+                    }
+                }
+            }
+        },
+        None,
+    );
+    assert_eq!(sum.load(Ordering::Relaxed), 3);
+}
+
+fn run_one(name: &str, bounds: &Bounds) -> CheckReport {
+    match name {
+        "spsc" => check_model(name, bounds, || spsc_model(Ordering::Release)),
+        "spsc-relaxed" => check_model(name, bounds, || spsc_model(Ordering::Relaxed)),
+        "executor-core" => check_model(name, bounds, executor_core_model),
+        "mpmc" => check_model(name, bounds, mpmc_model),
+        _ => unreachable!("unknown model {name}"),
+    }
+}
+
+/// Runs the selected model suite; `Err` names the unknown model if
+/// `opts.model` is not in the suite.
+pub fn run_checks(opts: &CheckOptions) -> Result<Vec<CheckReport>, String> {
+    let suite = model_names(opts.seed_bug);
+    let selected: Vec<&str> = match &opts.model {
+        Some(name) => {
+            if !suite.contains(&name.as_str()) {
+                return Err(format!(
+                    "unknown model '{name}' (suite: {})",
+                    suite.join(", ")
+                ));
+            }
+            vec![name.as_str()]
+        }
+        None => suite,
+    };
+    let bounds = opts.bound.bounds();
+    Ok(selected.iter().map(|m| run_one(m, &bounds)).collect())
+}
+
+/// Serializes a check run as the `check.json` artifact.
+pub fn check_json(opts: &CheckOptions, reports: &[CheckReport]) -> String {
+    let mut models = JsonArray::new();
+    for r in reports {
+        models.push_raw(&r.to_json());
+    }
+    let total: u64 = reports.iter().map(|r| r.violations).sum();
+    let complete = reports.iter().all(|r| r.complete);
+    let mut obj = JsonObject::new();
+    obj.field_str("bound", opts.bound.name())
+        .field_raw("seed_bug", if opts.seed_bug { "true" } else { "false" })
+        .field_u64("total_violations", total)
+        .field_raw("complete", if complete { "true" } else { "false" })
+        .field_raw("models", &models.finish());
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_parse() {
+        assert_eq!(BoundPreset::parse("small"), Some(BoundPreset::Small));
+        assert_eq!(BoundPreset::parse("full"), Some(BoundPreset::Full));
+        assert_eq!(BoundPreset::parse("tiny"), None);
+        assert_eq!(BoundPreset::Full.name(), "full");
+    }
+
+    #[test]
+    fn unknown_models_are_rejected() {
+        let opts = CheckOptions {
+            model: Some("nope".into()),
+            ..CheckOptions::default()
+        };
+        let err = run_checks(&opts).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("executor-core"), "{err}");
+    }
+
+    #[test]
+    fn check_json_shape() {
+        let opts = CheckOptions {
+            model: Some("spsc".into()),
+            ..CheckOptions::default()
+        };
+        let reports = run_checks(&opts).unwrap();
+        let json = check_json(&opts, &reports);
+        assert!(json.contains("\"bound\":\"small\""), "{json}");
+        assert!(json.contains("\"total_violations\":0"), "{json}");
+        assert!(json.contains("\"model\":\"spsc\""), "{json}");
+    }
+}

@@ -17,6 +17,12 @@
 //! Claiming whole jobs (not cycles) keeps the cursor cold: one
 //! contended cache line touched once per ~10⁵ simulated instructions.
 //!
+//! The protocol itself — cursor, buffers, progress counters — lives in
+//! [`grid`](crate::grid), written against the `sync` facade so `nosq
+//! check` can exhaustively model-check the exact code that runs here
+//! on real atomics (see `nosq_lab::checks`); this module keeps the
+//! campaign-specific machinery (sessions, trace caching, timing).
+//!
 //! # Determinism
 //!
 //! Each job is an independent, deterministic simulation; the merge is
@@ -24,15 +30,16 @@
 //! Thread count therefore changes only wall-clock time, never a byte of
 //! any artifact — `tests/it_lab.rs` locks this in.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use nosq_check::sync::StdSync;
 use nosq_core::observer::{CycleEvent, SimObserver};
 use nosq_core::{SimArena, SimReport, Simulator, StopCondition};
 use nosq_isa::Program;
 use nosq_trace::{synthesize, TraceBuffer};
 
 use crate::campaign::Campaign;
+use crate::grid::{run_grid, ProgressCounters};
 
 /// Executor knobs; [`RunOptions::default`] is right for most callers.
 #[derive(Clone, Debug)]
@@ -60,9 +67,7 @@ impl Default for RunOptions {
 
 /// Resolves a requested thread count against the machine and job count.
 pub fn effective_threads(requested: usize, jobs: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = nosq_check::sync::available_parallelism();
     let want = if requested == 0 { hw } else { requested };
     want.clamp(1, jobs.max(1))
 }
@@ -120,71 +125,21 @@ where
             })
             .collect();
     }
-    let cursor = AtomicUsize::new(0);
-    let buffers: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut ctx = init();
-                    let mut local = Vec::new();
-                    loop {
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= len {
-                            break;
-                        }
-                        for i in start..(start + chunk).min(len) {
-                            local.push((i, f(&mut ctx, i)));
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        // Watch worker liveness, not a completion counter: a panicking
-        // worker is `finished` too, so the loop always terminates and
-        // the panic propagates at join below.
-        if let Some(poll) = poll.as_mut() {
-            while !handles.iter().all(|h| h.is_finished()) {
-                poll();
-                std::thread::sleep(Duration::from_millis(50));
-            }
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    merge_indexed(len, buffers)
-}
-
-/// Merges per-worker `(index, value)` buffers into index order.
-fn merge_indexed<T>(len: usize, buffers: Vec<Vec<(usize, T)>>) -> Vec<T> {
-    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
-    for buffer in buffers {
-        for (i, value) in buffer {
-            debug_assert!(slots[i].is_none(), "job {i} produced twice");
-            slots[i] = Some(value);
-        }
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} never produced")))
-        .collect()
-}
-
-/// Live progress counters shared between workers and the coordinator.
-#[derive(Default)]
-struct Progress {
-    jobs_done: AtomicUsize,
-    insts: AtomicU64,
+    run_grid::<StdSync, _, _, _, _>(
+        len,
+        threads,
+        chunk,
+        init,
+        f,
+        poll.as_mut().map(|p| p as &mut dyn FnMut()),
+    )
 }
 
 /// A [`SimObserver`] that publishes committed-instruction progress into
 /// the shared campaign counters, batched per session chunk so the hot
 /// cycle loop never touches shared state.
 struct InstProgress<'a> {
-    shared: &'a AtomicU64,
+    shared: &'a ProgressCounters<StdSync>,
     published: u64,
     batch_cycles: u64,
 }
@@ -192,8 +147,7 @@ struct InstProgress<'a> {
 impl SimObserver for InstProgress<'_> {
     fn on_cycle(&mut self, ev: &CycleEvent) {
         if ev.cycle.is_multiple_of(self.batch_cycles) && ev.insts > self.published {
-            self.shared
-                .fetch_add(ev.insts - self.published, Ordering::Relaxed);
+            self.shared.add_insts(ev.insts - self.published);
             self.published = ev.insts;
         }
     }
@@ -272,7 +226,7 @@ fn run_job(
     n_configs: usize,
     cfg: nosq_core::SimConfig,
     opts: &RunOptions,
-    progress: &Progress,
+    progress: &ProgressCounters<StdSync>,
 ) -> (SimReport, JobTiming) {
     // Buffer the trace only when it can actually be replayed (several
     // configurations per profile) and stays reasonably sized; otherwise
@@ -293,7 +247,7 @@ fn run_job(
     }
 
     let mut obs = InstProgress {
-        shared: &progress.insts,
+        shared: progress,
         published: 0,
         batch_cycles: opts.chunk_cycles.max(1),
     };
@@ -310,11 +264,9 @@ fn run_job(
     let report = sim.finish();
     let sim_secs = started.elapsed().as_secs_f64();
     if report.insts > obs.published {
-        progress
-            .insts
-            .fetch_add(report.insts - obs.published, Ordering::Relaxed);
+        progress.add_insts(report.insts - obs.published);
     }
-    progress.jobs_done.fetch_add(1, Ordering::Relaxed);
+    progress.job_done();
     let timing = JobTiming {
         profile: profile_idx,
         config: config_idx,
@@ -401,7 +353,7 @@ pub fn run_campaign_on(
     let n_configs = campaign.configs.len();
     let jobs = campaign.jobs();
     let threads = effective_threads(opts.threads, jobs);
-    let progress = Progress::default();
+    let progress = ProgressCounters::<StdSync>::new();
     let started = Instant::now();
 
     let job = |worker: &mut WorkerState, i: usize| {
@@ -456,9 +408,8 @@ pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> CampaignResult {
     run_campaign_on(campaign, &programs, opts)
 }
 
-fn print_progress(name: &str, progress: &Progress, jobs: usize, started: Instant) {
-    let done = progress.jobs_done.load(Ordering::Relaxed);
-    let insts = progress.insts.load(Ordering::Relaxed);
+fn print_progress(name: &str, progress: &ProgressCounters<StdSync>, jobs: usize, started: Instant) {
+    let (done, insts) = progress.snapshot();
     let secs = started.elapsed().as_secs_f64();
     let rate = if secs > 0.0 {
         insts as f64 / secs / 1.0e6

@@ -1,0 +1,213 @@
+//! The executor's lock-free core, generic over the `sync` facade.
+//!
+//! This module is the distilled concurrent protocol of the campaign
+//! executor — an atomic job cursor, per-worker result buffers handed
+//! off at join, and monotonic progress counters — written against
+//! [`SyncFacade`] so the *same* code runs two ways:
+//!
+//! * instantiated at [`StdSync`](nosq_check::sync::StdSync) it is the
+//!   production engine behind `parallel_map` (real atomics, scoped
+//!   threads, zero abstraction overhead);
+//! * instantiated at [`ModelSync`](nosq_check::ModelSync) it is the
+//!   `executor-core` model that `nosq check` explores exhaustively,
+//!   proving every claim is unique and every result hand-off is
+//!   ordered by a happens-before edge.
+//!
+//! Every atomic access here states, next to its `Ordering`, the
+//! invariant that makes that ordering sufficient — the audit the
+//! checker then actually verifies.
+
+use std::ops::Range;
+
+use nosq_check::sync::{AtomicCell, Ordering, SyncFacade};
+
+/// The lock-free work-pickup cursor: workers claim `chunk` consecutive
+/// job indices per bump until the grid is drained.
+pub struct JobCursor<S: SyncFacade> {
+    next: S::AtomicUsize,
+    len: usize,
+    chunk: usize,
+}
+
+impl<S: SyncFacade> JobCursor<S> {
+    /// A cursor over `0..len` claiming `chunk` (at least 1) indices at
+    /// a time.
+    pub fn new(len: usize, chunk: usize) -> JobCursor<S> {
+        JobCursor {
+            next: S::AtomicUsize::new(0),
+            len,
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// Claims the next block of job indices; `None` once the grid is
+    /// drained (each worker overshoots the cursor at most once, so the
+    /// counter stays far from overflow).
+    pub fn claim(&self) -> Option<Range<usize>> {
+        // Relaxed: claim uniqueness needs only the fetch_add's RMW
+        // atomicity. No data is published through the cursor — results
+        // travel through buffers ordered by the thread-join edge.
+        let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+        if start >= self.len {
+            return None;
+        }
+        Some(start..(start + self.chunk).min(self.len))
+    }
+}
+
+/// Live progress counters shared between workers and the coordinator.
+pub struct ProgressCounters<S: SyncFacade> {
+    jobs_done: S::AtomicUsize,
+    insts: S::AtomicU64,
+}
+
+impl<S: SyncFacade> ProgressCounters<S> {
+    /// Zeroed counters.
+    pub fn new() -> ProgressCounters<S> {
+        ProgressCounters {
+            jobs_done: S::AtomicUsize::new(0),
+            insts: S::AtomicU64::new(0),
+        }
+    }
+
+    /// Records one finished job.
+    pub fn job_done(&self) {
+        // Relaxed: a monotonic gauge read only for display; nothing is
+        // synchronized through it, and the final value is observed
+        // after the join edge anyway.
+        self.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds committed instructions to the running total.
+    pub fn add_insts(&self, n: u64) {
+        // Relaxed: same monotonic-gauge argument as `job_done`.
+        self.insts.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot of `(jobs done, instructions committed)`.
+    pub fn snapshot(&self) -> (usize, u64) {
+        // Relaxed: the snapshot is allowed to lag — the progress line
+        // is advisory, and exact totals come from the job reports.
+        (
+            self.jobs_done.load(Ordering::Relaxed),
+            self.insts.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl<S: SyncFacade> Default for ProgressCounters<S> {
+    fn default() -> Self {
+        ProgressCounters::new()
+    }
+}
+
+/// Merges per-worker `(index, value)` buffers into index order.
+///
+/// # Panics
+///
+/// Panics if any index in `0..len` was produced zero or several times
+/// (the cursor's claim-uniqueness invariant guarantees exactly once).
+pub fn merge_indexed<T>(len: usize, buffers: Vec<Vec<(usize, T)>>) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+    for buffer in buffers {
+        for (i, value) in buffer {
+            assert!(slots[i].is_none(), "job {i} produced twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("job {i} never produced")))
+        .collect()
+}
+
+/// Maps `f` over `0..len` with `threads` workers, a [`JobCursor`]
+/// pickup, and per-worker private contexts built by `init`; results
+/// come back in index order regardless of which worker computed what.
+///
+/// This is the whole concurrent protocol of the executor in one
+/// function — and being generic over `S`, it is *the* code `nosq
+/// check` model-checks (see `nosq_lab::checks`), not a transliteration
+/// of it.
+pub fn run_grid<S, C, T, I, F>(
+    len: usize,
+    threads: usize,
+    chunk: usize,
+    init: I,
+    f: F,
+    poll: Option<&mut dyn FnMut()>,
+) -> Vec<T>
+where
+    S: SyncFacade,
+    T: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, usize) -> T + Sync,
+{
+    let cursor = JobCursor::<S>::new(len, chunk);
+    let buffers = S::run_threads(
+        threads,
+        |_worker| {
+            let mut ctx = init();
+            let mut local = Vec::new();
+            while let Some(range) = cursor.claim() {
+                for i in range {
+                    local.push((i, f(&mut ctx, i)));
+                }
+            }
+            // The buffer is returned through the join edge: the
+            // spawn/join pair is the only synchronization the results
+            // need (and the model checker proves it suffices).
+            local
+        },
+        poll,
+    );
+    merge_indexed(len, buffers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nosq_check::sync::StdSync;
+
+    #[test]
+    fn cursor_claims_cover_exactly_once() {
+        let cursor = JobCursor::<StdSync>::new(10, 3);
+        let mut seen = [0u32; 10];
+        while let Some(range) = cursor.claim() {
+            for i in range {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1));
+        let empty = JobCursor::<StdSync>::new(0, 4);
+        assert!(empty.claim().is_none());
+    }
+
+    #[test]
+    fn grid_is_ordered_at_any_thread_count() {
+        for threads in [1, 2, 3, 8] {
+            let counters = ProgressCounters::<StdSync>::new();
+            let out = run_grid::<StdSync, _, _, _, _>(
+                17,
+                threads,
+                2,
+                || (),
+                |(), i| {
+                    counters.job_done();
+                    counters.add_insts(10);
+                    i * i
+                },
+                None,
+            );
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(counters.snapshot(), (17, 170));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "never produced")]
+    fn merge_rejects_missing_results() {
+        merge_indexed(2, vec![vec![(0, 1)]]);
+    }
+}

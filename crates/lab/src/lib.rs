@@ -16,6 +16,13 @@
 //!   atomic-cursor job pickup, per-worker result buffers, incremental
 //!   sessions with a progress [`SimObserver`](nosq_core::SimObserver),
 //!   and byte-deterministic output at any thread count;
+//! * [`grid`] — the executor's concurrent protocol itself (cursor,
+//!   buffers, counters), generic over the `nosq_check` sync facade so
+//!   the identical code is model-checked by `nosq check`;
+//! * [`mpmc`] — the bounded lock-free injection queue (sequence-number
+//!   array queue) for the planned campaign service, same facade;
+//! * [`checks`] — the `nosq check` model suite: bounded models of
+//!   [`grid`] and [`mpmc`] plus the seeded-bug self-test;
 //! * [`aggregate`] — per-profile matrices, suite geomeans, and
 //!   speedup-vs-baseline tables as JSON/CSV [`Artifact`]s;
 //! * [`reports`] — engine-backed regeneration of paper tables shared by
@@ -28,7 +35,7 @@
 //!
 //! The `nosq` binary in this crate drives all of it from the command
 //! line: `nosq run <spec>`, `nosq table5`, `nosq smoke`, `nosq audit`,
-//! `nosq lint`, `nosq list`.
+//! `nosq check`, `nosq lint`, `nosq list`.
 //!
 //! ## Quick start
 //!
@@ -64,9 +71,12 @@
 pub mod aggregate;
 pub mod audit;
 pub mod campaign;
+pub mod checks;
 pub mod executor;
+pub mod grid;
 pub mod json;
 pub mod lint;
+pub mod mpmc;
 pub mod reports;
 pub mod spec;
 
@@ -76,8 +86,11 @@ pub use campaign::{
     suite_from_name, Campaign, CampaignBuilder, NamedConfig, Preset, SpecError, Workload,
     DEFAULT_MAX_INSTS, DEFAULT_SEED,
 };
+pub use checks::{check_json, model_names, run_checks, BoundPreset, CheckOptions};
 pub use executor::{
     effective_threads, parallel_map_indexed, run_campaign, run_campaign_on, synthesize_programs,
     CampaignResult, JobTiming, RunOptions,
 };
+pub use grid::{run_grid, JobCursor, ProgressCounters};
 pub use lint::{lint_tree, Allowlist, LintFinding, LintResult};
+pub use mpmc::InjectionQueue;

@@ -13,13 +13,20 @@
 //!   explicitly nondeterministic timing artifacts;
 //! * `std::env` — environment reads are hidden inputs; only the
 //!   documented knobs (`NOSQ_ARTIFACT_DIR`, `NOSQ_DYN_INSTS`,
-//!   `NOSQ_DEBUG_MISPREDICTS`) and CLI argument parsing are exempt.
+//!   `NOSQ_DEBUG_MISPREDICTS`) and CLI argument parsing are exempt;
+//! * `std::sync::atomic` / `std::thread` — concurrency primitives used
+//!   directly bypass the `nosq_check::sync` facade, so `nosq check`
+//!   cannot model-check them; only the facade module and the checker's
+//!   own scheduler may touch the real things.
 //!
 //! The allowlist lives at the repository root (`lint.allow`): one
 //! `path pattern` pair per line, `#` comments. An entry permits a
 //! pattern in exactly one file; stale entries (nothing left to permit)
-//! are reported so the list cannot rot. The scan strips `//` comments
-//! before matching, so prose mentioning a pattern does not trip it.
+//! are reported so the list cannot rot, and the report distinguishes a
+//! pattern that disappeared from an entry whose *file* disappeared —
+//! after a refactor splits or moves a file, its allowances must follow
+//! the code to the new path. The scan strips `//` comments before
+//! matching, so prose mentioning a pattern does not trip it.
 
 use std::fmt;
 use std::fs;
@@ -34,6 +41,8 @@ pub fn patterns() -> &'static [&'static str] {
         concat!("System", "Time"),
         concat!("Inst", "ant"),
         concat!("std::", "env"),
+        concat!("std::sync", "::atomic"),
+        concat!("std::", "thread"),
     ]
 }
 
@@ -107,13 +116,49 @@ impl Allowlist {
     }
 
     /// Entries that permitted nothing in a finished scan — stale lines
-    /// that should be deleted from `lint.allow`.
-    pub fn stale(&self, used: &[(String, String)]) -> Vec<String> {
+    /// that need editing. `scanned` is the set of repo-relative files
+    /// the scan actually visited, so each stale entry can say whether
+    /// its file is merely clean now or gone entirely (moved, split, or
+    /// deleted in a refactor).
+    pub fn stale(&self, used: &[(String, String)], scanned: &[String]) -> Vec<StaleAllow> {
         self.entries
             .iter()
             .filter(|(f, p)| !used.iter().any(|(uf, up)| uf == f && up == p))
-            .map(|(f, p)| format!("{f} {p}"))
+            .map(|(f, p)| StaleAllow {
+                entry: format!("{f} {p}"),
+                file_scanned: scanned.iter().any(|s| s == f),
+            })
             .collect()
+    }
+}
+
+/// A stale `lint.allow` entry plus why it is stale. The two causes call
+/// for different fixes, so the report tells them apart.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaleAllow {
+    /// The `path pattern` entry text.
+    pub entry: String,
+    /// Whether the scan visited the entry's file at all. `false` means
+    /// the file was moved, split, or deleted — the allowance must
+    /// follow the code to its new path, not just be dropped.
+    pub file_scanned: bool,
+}
+
+impl fmt::Display for StaleAllow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.file_scanned {
+            write!(
+                f,
+                "`{}`: pattern no longer occurs; delete the line",
+                self.entry
+            )
+        } else {
+            write!(
+                f,
+                "`{}`: file no longer exists; move the allowance to wherever the code went",
+                self.entry
+            )
+        }
     }
 }
 
@@ -123,7 +168,7 @@ pub struct LintResult {
     /// Violations (pattern hits outside the allowlist).
     pub findings: Vec<LintFinding>,
     /// Allowlist entries that permitted nothing (stale).
-    pub stale_allows: Vec<String>,
+    pub stale_allows: Vec<StaleAllow>,
     /// Rust files scanned.
     pub files_scanned: usize,
 }
@@ -146,12 +191,14 @@ pub fn lint_tree(root: &Path, allow: &Allowlist) -> Result<LintResult, String> {
 
     let mut result = LintResult::default();
     let mut used: Vec<(String, String)> = Vec::new();
+    let mut scanned: Vec<String> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
+        scanned.push(rel.clone());
         let text =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         result.files_scanned += 1;
@@ -180,7 +227,7 @@ pub fn lint_tree(root: &Path, allow: &Allowlist) -> Result<LintResult, String> {
             }
         }
     }
-    result.stale_allows = allow.stale(&used);
+    result.stale_allows = allow.stale(&used, &scanned);
     Ok(result)
 }
 
@@ -247,11 +294,38 @@ mod tests {
     fn stale_allowlist_entries_are_reported() {
         let root = scratch("stale");
         write(&root, "crates/x/src/lib.rs", "pub fn f() {}\n");
-        let allow =
-            Allowlist::parse(&format!("crates/x/src/lib.rs {}\n", concat!("Inst", "ant"))).unwrap();
+        let pat = concat!("Inst", "ant");
+        // One entry whose file exists but is clean, one whose file was
+        // refactored away — the report must tell them apart.
+        let allow = Allowlist::parse(&format!(
+            "crates/x/src/lib.rs {pat}\ncrates/x/src/old_split.rs {pat}\n"
+        ))
+        .unwrap();
         let result = lint_tree(&root, &allow).unwrap();
         assert!(result.is_clean());
-        assert_eq!(result.stale_allows.len(), 1);
+        assert_eq!(result.stale_allows.len(), 2);
+        let clean_file = &result.stale_allows[0];
+        assert!(clean_file.file_scanned);
+        assert!(clean_file.to_string().contains("delete the line"));
+        let gone_file = &result.stale_allows[1];
+        assert!(!gone_file.file_scanned);
+        assert!(gone_file.to_string().contains("no longer exists"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn direct_concurrency_primitives_are_flagged() {
+        let root = scratch("conc");
+        let atomics = concat!("std::sync", "::atomic");
+        let threads = concat!("std::", "thread");
+        write(
+            &root,
+            "crates/x/src/lib.rs",
+            &format!("use {atomics}::AtomicUsize;\nfn go() {{ {threads}::yield_now(); }}\n"),
+        );
+        let result = lint_tree(&root, &Allowlist::default()).unwrap();
+        let hit: Vec<&str> = result.findings.iter().map(|f| f.pattern).collect();
+        assert_eq!(hit, vec![atomics, threads]);
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -1,0 +1,235 @@
+//! A bounded lock-free MPMC injection queue, generic over the `sync`
+//! facade.
+//!
+//! This is the work-injection structure for the planned `nosq serve`
+//! campaign service (ROADMAP): external submitters push job batches
+//! while executor workers drain them, so the fixed-list [`JobCursor`]
+//! (which requires the whole grid up front) no longer fits. The design
+//! is the classic bounded array queue with per-cell sequence numbers
+//! in the spirit of the Virtual-Link / FastForward lineage the
+//! executor docs reference (best known from D. Vyukov's formulation):
+//! cursors only *reserve* cells; each cell's own sequence number is
+//! what publishes its payload, so producers never contend with
+//! consumers on a shared index and every payload moves through storage
+//! with exactly one writer at a time.
+//!
+//! Like [`grid`](crate::grid), the module is written against
+//! [`SyncFacade`] — the `mpmc` model in [`checks`](crate::checks) runs
+//! this exact code under `nosq check`, which proves the orderings
+//! stated inline are sufficient (and that nothing here needs anything
+//! stronger).
+//!
+//! [`JobCursor`]: crate::grid::JobCursor
+
+use nosq_check::sync::{AtomicCell, Ordering, SlotCell, SyncFacade};
+
+/// One queue cell: the payload slot plus the sequence number that
+/// publishes it.
+struct Cell<T: Send, S: SyncFacade> {
+    /// Cell states cycle `index` (empty, lap `l`) → `index + 1` (full)
+    /// → `index + capacity` (empty, lap `l + 1`).
+    seq: S::AtomicUsize,
+    value: S::Slot<T>,
+}
+
+/// A bounded MPMC queue: any thread may push, any thread may pop, no
+/// locks anywhere (the [`SlotCell`] accesses are plain writes whose
+/// exclusivity the sequence protocol guarantees — and `nosq check`
+/// verifies).
+pub struct InjectionQueue<T: Send, S: SyncFacade> {
+    mask: usize,
+    cells: Vec<Cell<T, S>>,
+    enqueue_pos: S::AtomicUsize,
+    dequeue_pos: S::AtomicUsize,
+}
+
+impl<T: Send, S: SyncFacade> InjectionQueue<T, S> {
+    /// A queue holding at most `capacity` items (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> InjectionQueue<T, S> {
+        let capacity = capacity.max(2).next_power_of_two();
+        let cells = (0..capacity)
+            .map(|i| Cell {
+                seq: S::AtomicUsize::new(i),
+                value: S::Slot::new(),
+            })
+            .collect();
+        InjectionQueue {
+            mask: capacity - 1,
+            cells,
+            enqueue_pos: S::AtomicUsize::new(0),
+            dequeue_pos: S::AtomicUsize::new(0),
+        }
+    }
+
+    /// The queue's capacity.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Pushes `value`, or hands it back if the queue is full.
+    pub fn try_push(&self, value: T) -> Result<(), T> {
+        // Relaxed: the cursor only stakes a tentative claim; whether
+        // the claimed cell is actually usable is decided by its seq.
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[pos & self.mask];
+            // Acquire: pairs with the Release seq store in `try_pop`
+            // (or the constructor) so the slot is observed empty — the
+            // seq, not the cursor, is what publishes cell state.
+            let seq = cell.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                // Relaxed on both edges: winning the CAS grants
+                // exclusive ownership of the cell purely through RMW
+                // atomicity; the payload is published by the seq
+                // store below, never by the cursor.
+                match self.enqueue_pos.compare_exchange(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let displaced = cell.value.put(value);
+                        debug_assert!(displaced.is_none(), "cell occupied on push");
+                        // Release: publishes the payload write above
+                        // to the Acquire seq load in `try_pop`.
+                        cell.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(_) => {
+                        // Lost the cell to another producer; rescan.
+                        S::spin_hint();
+                        pos = self.enqueue_pos.load(Ordering::Relaxed);
+                    }
+                }
+            } else if dif < 0 {
+                // The cell is a full lap behind: queue full.
+                return Err(value);
+            } else {
+                // A racing producer advanced the cursor under us.
+                S::spin_hint();
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pops the oldest item, or `None` if the queue is empty.
+    pub fn try_pop(&self) -> Option<T> {
+        // Relaxed: same tentative-claim argument as in `try_push`.
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let cell = &self.cells[pos & self.mask];
+            // Acquire: pairs with the Release store in `try_push` so
+            // the payload written before seq became `pos + 1` is
+            // visible before we take it.
+            let seq = cell.seq.load(Ordering::Acquire);
+            let dif = seq as isize - pos.wrapping_add(1) as isize;
+            if dif == 0 {
+                // Relaxed: see `try_push` — ownership comes from RMW
+                // atomicity, publication from the seq stores.
+                match self.dequeue_pos.compare_exchange(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = cell.value.take();
+                        debug_assert!(value.is_some(), "cell empty on pop");
+                        // Release: publishes the slot's emptiness to
+                        // the producer that will reuse this cell a
+                        // lap later.
+                        cell.seq
+                            .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                        return value;
+                    }
+                    Err(_) => {
+                        S::spin_hint();
+                        pos = self.dequeue_pos.load(Ordering::Relaxed);
+                    }
+                }
+            } else if dif < 0 {
+                // The cell has not been filled this lap: queue empty.
+                return None;
+            } else {
+                S::spin_hint();
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nosq_check::sync::StdSync;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = InjectionQueue::<u32, StdSync>::new(3);
+        assert_eq!(q.capacity(), 4);
+        assert_eq!(q.try_pop(), None);
+        for i in 0..4 {
+            assert!(q.try_push(i).is_ok());
+        }
+        assert_eq!(q.try_push(99), Err(99));
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+        // Reuse across laps.
+        assert!(q.try_push(7).is_ok());
+        assert_eq!(q.try_pop(), Some(7));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = InjectionQueue::<u64, StdSync>::new(8);
+        let producers = 3u64;
+        let per_producer = 200u64;
+        let total: u64 = (0..producers * per_producer).sum();
+        // Fully-qualified calls: for StdSync the facade atomic *is* the
+        // std atomic, whose inherent methods (std Ordering) would
+        // otherwise shadow the facade trait's.
+        let sum = <<StdSync as SyncFacade>::AtomicU64 as AtomicCell<u64>>::new(0);
+        let popped = <<StdSync as SyncFacade>::AtomicU64 as AtomicCell<u64>>::new(0);
+        StdSync::run_threads(
+            6,
+            |k| {
+                if k < 3 {
+                    // Producer: push its arithmetic slice, retrying on full.
+                    for j in 0..per_producer {
+                        let mut item = k as u64 * per_producer + j;
+                        loop {
+                            match q.try_push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    StdSync::spin_hint();
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    // Consumer: drain until the global count is met.
+                    loop {
+                        if let Some(v) = q.try_pop() {
+                            AtomicCell::fetch_add(&sum, v, Ordering::Relaxed);
+                            AtomicCell::fetch_add(&popped, 1, Ordering::Relaxed);
+                        } else if AtomicCell::load(&popped, Ordering::Relaxed)
+                            >= producers * per_producer
+                        {
+                            break;
+                        } else {
+                            StdSync::spin_hint();
+                        }
+                    }
+                }
+            },
+            None,
+        );
+        assert_eq!(AtomicCell::load(&sum, Ordering::Relaxed), total);
+    }
+}
