@@ -99,6 +99,13 @@ impl JsonObject {
         self
     }
 
+    /// Appends a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
     /// Appends a pre-serialized JSON value verbatim (a nested object,
     /// array, or literal).
     pub fn field_raw(&mut self, name: &str, raw: &str) -> &mut Self {

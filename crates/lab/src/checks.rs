@@ -81,7 +81,7 @@ pub fn model_names(seed_bug: bool) -> Vec<&'static str> {
     if seed_bug {
         vec!["spsc-relaxed"]
     } else {
-        vec!["spsc", "executor-core", "mpmc"]
+        vec!["spsc", "executor-core", "mpmc", "mpmc-close"]
     }
 }
 
@@ -153,7 +153,7 @@ fn mpmc_model() {
                     match queue.try_push(item) {
                         Ok(()) => break,
                         Err(back) => {
-                            item = back;
+                            item = back.into_inner();
                             ModelSync::spin_hint();
                         }
                     }
@@ -176,12 +176,71 @@ fn mpmc_model() {
     assert_eq!(sum.load(Ordering::Relaxed), 3);
 }
 
+/// The daemon's drain protocol at model scale: 2 producers each push
+/// one item into a capacity-2 [`InjectionQueue`]; whichever finishes
+/// last closes the queue (the countdown's `AcqRel` RMW orders every
+/// push before the close). The consumer drains until
+/// [`is_drained`](InjectionQueue::is_drained) — so the model proves the
+/// new close/drain transitions: no item pushed before the close is
+/// stranded, closure is observed exactly once, and a post-join push
+/// fails `Closed` with the queue still empty.
+fn mpmc_close_model() {
+    const PRODUCERS: usize = 2;
+    let queue = InjectionQueue::<u64, ModelSync>::new(2);
+    let done = <ModelSync as SyncFacade>::AtomicUsize::new(0);
+    let sum = <ModelSync as SyncFacade>::AtomicU64::new(0);
+    ModelSync::run_threads(
+        PRODUCERS + 1,
+        |k| {
+            if k < PRODUCERS {
+                let mut item = k as u64 + 1;
+                loop {
+                    match queue.try_push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            // The queue can be full mid-drain, never
+                            // closed: close happens only after every
+                            // producer's push, including this one's.
+                            assert!(!back.is_closed());
+                            item = back.into_inner();
+                            ModelSync::spin_hint();
+                        }
+                    }
+                }
+                // AcqRel: the last producer's close must happen-after
+                // *every* push — the release half publishes this push,
+                // the acquire half orders the close after the pushes
+                // the other producers counted in.
+                if done.fetch_add(1, Ordering::AcqRel) == PRODUCERS - 1 {
+                    queue.close();
+                }
+            } else {
+                loop {
+                    match queue.try_pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                        None if queue.is_drained() => break,
+                        None => ModelSync::spin_hint(),
+                    }
+                }
+            }
+        },
+        None,
+    );
+    assert_eq!(sum.load(Ordering::Relaxed), 3, "an item was stranded");
+    assert!(queue.is_drained());
+    assert!(queue.try_push(9).unwrap_err().is_closed());
+    assert_eq!(queue.len(), 0);
+}
+
 fn run_one(name: &str, bounds: &Bounds) -> CheckReport {
     match name {
         "spsc" => check_model(name, bounds, || spsc_model(Ordering::Release)),
         "spsc-relaxed" => check_model(name, bounds, || spsc_model(Ordering::Relaxed)),
         "executor-core" => check_model(name, bounds, executor_core_model),
         "mpmc" => check_model(name, bounds, mpmc_model),
+        "mpmc-close" => check_model(name, bounds, mpmc_close_model),
         _ => unreachable!("unknown model {name}"),
     }
 }

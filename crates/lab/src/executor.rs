@@ -153,20 +153,33 @@ impl SimObserver for InstProgress<'_> {
     }
 }
 
-/// Per-worker persistent state: the recyclable simulation arena and the
+/// Per-worker persistent simulation state: the recyclable arena and the
 /// last recorded trace. The job grid is profile-major, so consecutive
 /// jobs usually share a profile and the worker replays one recorded
 /// trace across every configuration instead of re-running the
 /// functional front end per job.
-struct WorkerState {
+///
+/// The struct is public so long-lived callers — the `nosq serve`
+/// daemon's worker pool above all — can keep one context per worker
+/// *across* campaigns: the trace cache is keyed by
+/// `(profile name, seed, budget)`, which is stable across jobs, so a
+/// repeated campaign spec reuses both the arena's buffers and the
+/// recorded trace instead of paying the functional front end again.
+#[derive(Default)]
+pub struct WorkerContext {
     arena: SimArena,
-    /// The cached trace, keyed by `(profile index, budget)`.
-    trace: Option<((usize, u64), TraceBuffer)>,
+    /// The cached trace, keyed by `(profile name, seed, budget)`.
+    trace: Option<(TraceKey, TraceBuffer)>,
 }
 
-impl WorkerState {
-    fn new() -> WorkerState {
-        WorkerState {
+/// What makes a recorded trace reusable: same workload (profile name +
+/// synthesis seed) and same dynamic-instruction budget.
+type TraceKey = (&'static str, u64, u64);
+
+impl WorkerContext {
+    /// A fresh context (empty arena, no cached trace).
+    pub fn new() -> WorkerContext {
+        WorkerContext {
             arena: SimArena::new(),
             trace: None,
         }
@@ -219,8 +232,9 @@ const REPLAY_BUDGET_CAP: u64 = 4_000_000;
 
 #[allow(clippy::too_many_arguments)]
 fn run_job(
-    worker: &mut WorkerState,
+    worker: &mut WorkerContext,
     program: &Program,
+    trace_key: (&'static str, u64),
     profile_idx: usize,
     config_idx: usize,
     n_configs: usize,
@@ -229,12 +243,14 @@ fn run_job(
     progress: &ProgressCounters<StdSync>,
 ) -> (SimReport, JobTiming) {
     // Buffer the trace only when it can actually be replayed (several
-    // configurations per profile) and stays reasonably sized; otherwise
-    // trace live and streaming, with no per-job allocation spike.
+    // configurations per profile, or a long-lived worker context that
+    // may see the same workload again) and it stays reasonably sized;
+    // otherwise trace live and streaming, with no per-job allocation
+    // spike.
     let replayable = n_configs > 1 && cfg.max_insts <= REPLAY_BUDGET_CAP;
     let mut trace_secs = 0.0;
     if replayable {
-        let key = (profile_idx, cfg.max_insts);
+        let key = (trace_key.0, trace_key.1, cfg.max_insts);
         if worker.trace.as_ref().map(|(k, _)| *k) != Some(key) {
             let started = Instant::now();
             let trace =
@@ -356,11 +372,12 @@ pub fn run_campaign_on(
     let progress = ProgressCounters::<StdSync>::new();
     let started = Instant::now();
 
-    let job = |worker: &mut WorkerState, i: usize| {
+    let job = |worker: &mut WorkerContext, i: usize| {
         let (p, c) = (i / n_configs, i % n_configs);
         run_job(
             worker,
             &programs[p],
+            (campaign.profiles[p].name, campaign.seed),
             p,
             c,
             n_configs,
@@ -385,7 +402,7 @@ pub fn run_campaign_on(
         (jobs / threads).max(1)
     };
     let outcomes: Vec<(SimReport, JobTiming)> =
-        parallel_map_ctx(jobs, opts.threads, chunk, WorkerState::new, job, poll);
+        parallel_map_ctx(jobs, opts.threads, chunk, WorkerContext::new, job, poll);
     if opts.progress {
         print_progress(&campaign.name, &progress, jobs, started);
         eprintln!();
@@ -406,6 +423,63 @@ pub fn run_campaign_on(
 pub fn run_campaign(campaign: &Campaign, opts: &RunOptions) -> CampaignResult {
     let programs = synthesize_programs(campaign, opts.threads);
     run_campaign_on(campaign, &programs, opts)
+}
+
+/// Runs a campaign grid serially on the calling thread, inside a
+/// caller-owned [`WorkerContext`] and publishing into caller-owned
+/// [`ProgressCounters`].
+///
+/// This is the `nosq serve` execution path: each daemon worker owns one
+/// long-lived context, so arenas and recorded traces persist *across*
+/// jobs (a re-submitted campaign spec skips the functional front end
+/// entirely), and the shared counters are what the daemon streams to
+/// `wait`ing clients while the job runs. The reports are bit-identical
+/// to [`run_campaign`] — sessions, replay, and arenas never change
+/// results, only wall-clock (`tests/it_serve.rs` pins the byte-identity
+/// end to end).
+///
+/// # Panics
+///
+/// Panics if `programs.len() != campaign.profiles.len()`.
+pub fn run_campaign_serial(
+    campaign: &Campaign,
+    programs: &[Program],
+    opts: &RunOptions,
+    ctx: &mut WorkerContext,
+    progress: &ProgressCounters<StdSync>,
+) -> CampaignResult {
+    assert_eq!(
+        programs.len(),
+        campaign.profiles.len(),
+        "one program per profile"
+    );
+    let n_configs = campaign.configs.len();
+    let started = Instant::now();
+    let mut reports = Vec::with_capacity(campaign.jobs());
+    let mut timings = Vec::with_capacity(campaign.jobs());
+    for i in 0..campaign.jobs() {
+        let (p, c) = (i / n_configs, i % n_configs);
+        let (report, timing) = run_job(
+            ctx,
+            &programs[p],
+            (campaign.profiles[p].name, campaign.seed),
+            p,
+            c,
+            n_configs,
+            campaign.configs[c].config.clone(),
+            opts,
+            progress,
+        );
+        reports.push(report);
+        timings.push(timing);
+    }
+    CampaignResult {
+        campaign: campaign.clone(),
+        reports,
+        threads: 1,
+        elapsed: started.elapsed(),
+        timings,
+    }
 }
 
 fn print_progress(name: &str, progress: &ProgressCounters<StdSync>, jobs: usize, started: Instant) {

@@ -20,7 +20,7 @@
 //!   buffers, counters), generic over the `nosq_check` sync facade so
 //!   the identical code is model-checked by `nosq check`;
 //! * [`mpmc`] — the bounded lock-free injection queue (sequence-number
-//!   array queue) for the planned campaign service, same facade;
+//!   array queue) feeding the `nosq-serve` worker pool, same facade;
 //! * [`checks`] — the `nosq check` model suite: bounded models of
 //!   [`grid`] and [`mpmc`] plus the seeded-bug self-test;
 //! * [`aggregate`] — per-profile matrices, suite geomeans, and
@@ -33,9 +33,10 @@
 //! * [`lint`] — the determinism source lint (`nosq lint`) with its
 //!   `lint.allow` allowlist.
 //!
-//! The `nosq` binary in this crate drives all of it from the command
-//! line: `nosq run <spec>`, `nosq table5`, `nosq smoke`, `nosq audit`,
-//! `nosq check`, `nosq lint`, `nosq list`.
+//! The `nosq` binary (in the `nosq-serve` crate, one layer up) drives
+//! all of it from the command line: `nosq run <spec>`, `nosq table5`,
+//! `nosq smoke`, `nosq audit`, `nosq check`, `nosq lint`, `nosq list`,
+//! plus the service-layer commands (`nosq serve` and friends).
 //!
 //! ## Quick start
 //!
@@ -88,9 +89,9 @@ pub use campaign::{
 };
 pub use checks::{check_json, model_names, run_checks, BoundPreset, CheckOptions};
 pub use executor::{
-    effective_threads, parallel_map_indexed, run_campaign, run_campaign_on, synthesize_programs,
-    CampaignResult, JobTiming, RunOptions,
+    effective_threads, parallel_map_indexed, run_campaign, run_campaign_on, run_campaign_serial,
+    synthesize_programs, CampaignResult, JobTiming, RunOptions, WorkerContext,
 };
 pub use grid::{run_grid, JobCursor, ProgressCounters};
 pub use lint::{lint_tree, Allowlist, LintFinding, LintResult};
-pub use mpmc::InjectionQueue;
+pub use mpmc::{InjectionQueue, PushError};

@@ -43,6 +43,7 @@ pub fn patterns() -> &'static [&'static str] {
         concat!("std::", "env"),
         concat!("std::sync", "::atomic"),
         concat!("std::", "thread"),
+        concat!("std::", "net"),
     ]
 }
 
@@ -111,7 +112,8 @@ impl Allowlist {
         }
     }
 
-    fn permits(&self, file: &str, pattern: &str) -> bool {
+    /// Whether this list carries an entry for `pattern` in `file`.
+    pub fn permits(&self, file: &str, pattern: &str) -> bool {
         self.entries.iter().any(|(f, p)| f == file && p == pattern)
     }
 
@@ -327,6 +329,61 @@ mod tests {
         let hit: Vec<&str> = result.findings.iter().map(|f| f.pattern).collect();
         assert_eq!(hit, vec![atomics, threads]);
         let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sockets_are_flagged_outside_the_service_layer() {
+        let root = scratch("net");
+        let net = concat!("std::", "net");
+        write(
+            &root,
+            "crates/x/src/lib.rs",
+            &format!("use {net}::TcpStream;\n"),
+        );
+        let result = lint_tree(&root, &Allowlist::default()).unwrap();
+        assert_eq!(result.findings.len(), 1);
+        assert_eq!(result.findings[0].pattern, net);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn serve_allowances_are_live() {
+        // The service layer's socket/thread/clock allowances must stay
+        // attached to code that actually uses them — if a refactor
+        // moves the daemon's I/O, the entries must follow it (the
+        // workspace-clean test would then fail on staleness, and this
+        // test documents which entries are load-bearing).
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap();
+        let allow = Allowlist::load(&root.join("lint.allow")).unwrap();
+        let net = concat!("std::", "net");
+        for (file, pattern) in [
+            ("crates/serve/src/server.rs", net),
+            ("crates/serve/src/client.rs", net),
+            ("crates/serve/src/server.rs", concat!("std::", "thread")),
+            (
+                "crates/serve/src/signal.rs",
+                concat!("std::sync", "::atomic"),
+            ),
+        ] {
+            assert!(
+                allow.permits(file, pattern),
+                "lint.allow lost the `{file} {pattern}` entry"
+            );
+        }
+        let result = lint_tree(root, &allow).unwrap();
+        let stale_serve: Vec<_> = result
+            .stale_allows
+            .iter()
+            .filter(|s| s.to_string().contains("crates/serve"))
+            .collect();
+        assert!(
+            stale_serve.is_empty(),
+            "serve allowlist entries no longer match any code: {stale_serve:?}"
+        );
     }
 
     #[test]

@@ -23,6 +23,30 @@
 
 use nosq_check::sync::{AtomicCell, Ordering, SlotCell, SyncFacade};
 
+/// Why a [`InjectionQueue::try_push`] handed its value back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Every cell is occupied; retry after a consumer drains.
+    Full(T),
+    /// The queue was [closed](InjectionQueue::close); no retry will
+    /// ever succeed.
+    Closed(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the rejected value.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(value) | PushError::Closed(value) => value,
+        }
+    }
+
+    /// Whether this rejection is permanent (the queue is closed).
+    pub fn is_closed(&self) -> bool {
+        matches!(self, PushError::Closed(_))
+    }
+}
+
 /// One queue cell: the payload slot plus the sequence number that
 /// publishes it.
 struct Cell<T: Send, S: SyncFacade> {
@@ -36,11 +60,29 @@ struct Cell<T: Send, S: SyncFacade> {
 /// locks anywhere (the [`SlotCell`] accesses are plain writes whose
 /// exclusivity the sequence protocol guarantees — and `nosq check`
 /// verifies).
+///
+/// # Close / drain protocol
+///
+/// [`close`](Self::close) is the producer-side cutoff the `nosq serve`
+/// daemon uses to drain its worker pool: after it, every `try_push`
+/// fails with [`PushError::Closed`], while `try_pop` keeps returning
+/// items already in flight. Consumers terminate on
+/// [`is_drained`](Self::is_drained) — closed *and* empty. The cutoff
+/// is advisory for pushes that race with `close` (a producer that
+/// already passed the closed check may still land its item), so a
+/// caller that needs a hard cutoff must order its last push before
+/// `close` itself — exactly what the daemon does by deciding
+/// submission-vs-drain under one lock, and what the `mpmc-close`
+/// model in [`checks`](crate::checks) verifies: every item pushed
+/// before the close (in happens-before order) is drained, never
+/// stranded.
 pub struct InjectionQueue<T: Send, S: SyncFacade> {
     mask: usize,
     cells: Vec<Cell<T, S>>,
     enqueue_pos: S::AtomicUsize,
     dequeue_pos: S::AtomicUsize,
+    /// 0 open, 1 closed; never reset.
+    closed: S::AtomicUsize,
 }
 
 impl<T: Send, S: SyncFacade> InjectionQueue<T, S> {
@@ -59,6 +101,7 @@ impl<T: Send, S: SyncFacade> InjectionQueue<T, S> {
             cells,
             enqueue_pos: S::AtomicUsize::new(0),
             dequeue_pos: S::AtomicUsize::new(0),
+            closed: S::AtomicUsize::new(0),
         }
     }
 
@@ -67,8 +110,56 @@ impl<T: Send, S: SyncFacade> InjectionQueue<T, S> {
         self.mask + 1
     }
 
-    /// Pushes `value`, or hands it back if the queue is full.
-    pub fn try_push(&self, value: T) -> Result<(), T> {
+    /// Closes the queue: subsequent pushes fail with
+    /// [`PushError::Closed`]; items already enqueued remain poppable
+    /// (see the type-level close/drain protocol docs). Idempotent.
+    pub fn close(&self) {
+        // Release: a consumer that observes `closed` (Acquire in
+        // `is_closed`) also observes everything the closer did first —
+        // in the daemon's drain protocol, every accepted submission.
+        self.closed.store(1, Ordering::Release);
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        // Acquire: pairs with the Release store in `close` (see there).
+        self.closed.load(Ordering::Acquire) == 1
+    }
+
+    /// Occupancy estimate: items enqueued and not yet dequeued. Exact
+    /// when the queue is quiescent; during concurrent pushes/pops it
+    /// may transiently count a claimed-but-unpublished cell, which only
+    /// ever *over*-reports — it never reads 0 while an item is still
+    /// retrievable.
+    pub fn len(&self) -> usize {
+        // Relaxed on both: a monotonic-cursor difference used as a
+        // gauge; nothing is synchronized through it. Reading enqueue
+        // *after* dequeue keeps the difference non-negative modulo
+        // wrap for any interleaving of the two loads.
+        let deq = self.dequeue_pos.load(Ordering::Relaxed);
+        let enq = self.enqueue_pos.load(Ordering::Relaxed);
+        enq.wrapping_sub(deq).min(self.capacity())
+    }
+
+    /// Whether the occupancy estimate reads empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The consumer termination condition: closed *and* empty. Because
+    /// `len` never under-reports (see [`len`](Self::len)) and `close`
+    /// happens-after the final push in any sound drain protocol, a
+    /// consumer that observes `is_drained` can stop — no item pushed
+    /// before the close can still be in flight.
+    pub fn is_drained(&self) -> bool {
+        self.is_closed() && self.is_empty()
+    }
+
+    /// Pushes `value`, or hands it back if the queue is full or closed.
+    pub fn try_push(&self, value: T) -> Result<(), PushError<T>> {
+        if self.is_closed() {
+            return Err(PushError::Closed(value));
+        }
         // Relaxed: the cursor only stakes a tentative claim; whether
         // the claimed cell is actually usable is decided by its seq.
         let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
@@ -106,7 +197,7 @@ impl<T: Send, S: SyncFacade> InjectionQueue<T, S> {
                 }
             } else if dif < 0 {
                 // The cell is a full lap behind: queue full.
-                return Err(value);
+                return Err(PushError::Full(value));
             } else {
                 // A racing producer advanced the cursor under us.
                 S::spin_hint();
@@ -171,17 +262,54 @@ mod tests {
         let q = InjectionQueue::<u32, StdSync>::new(3);
         assert_eq!(q.capacity(), 4);
         assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
         for i in 0..4 {
             assert!(q.try_push(i).is_ok());
+            assert_eq!(q.len(), i as usize + 1);
         }
-        assert_eq!(q.try_push(99), Err(99));
+        assert_eq!(q.try_push(99), Err(PushError::Full(99)));
         for i in 0..4 {
             assert_eq!(q.try_pop(), Some(i));
         }
         assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
         // Reuse across laps.
         assert!(q.try_push(7).is_ok());
         assert_eq!(q.try_pop(), Some(7));
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains_items() {
+        let q = InjectionQueue::<u32, StdSync>::new(4);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(!q.is_closed());
+        assert!(!q.is_drained());
+        q.close();
+        q.close(); // idempotent
+        assert!(q.is_closed());
+        let err = q.try_push(3).unwrap_err();
+        assert!(err.is_closed());
+        assert_eq!(err.into_inner(), 3);
+        // Items in flight at close are still drained, FIFO.
+        assert!(!q.is_drained());
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+        assert!(q.is_drained());
+        assert_eq!(q.try_push(4), Err(PushError::Closed(4)));
+    }
+
+    #[test]
+    fn full_rejection_is_retryable_not_closed() {
+        let q = InjectionQueue::<u8, StdSync>::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let err = q.try_push(3).unwrap_err();
+        assert!(!err.is_closed());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(err.into_inner()).is_ok());
     }
 
     #[test]
@@ -206,7 +334,8 @@ mod tests {
                             match q.try_push(item) {
                                 Ok(()) => break,
                                 Err(back) => {
-                                    item = back;
+                                    assert!(!back.is_closed());
+                                    item = back.into_inner();
                                     StdSync::spin_hint();
                                 }
                             }

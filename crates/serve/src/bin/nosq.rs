@@ -1,4 +1,5 @@
-//! `nosq` — run NoSQ experiment campaigns from the command line.
+//! `nosq` — run and serve NoSQ experiment campaigns from the command
+//! line.
 //!
 //! ```text
 //! nosq run <spec-file> [--threads N] [--out DIR] [--max-insts N] [--progress]
@@ -7,12 +8,18 @@
 //! nosq audit           [--small] [--break-predictor N] [--threads N] [--out DIR] [--max-insts N]
 //! nosq check           [--bound small|full] [--model NAME] [--seed-bug] [--out DIR]
 //! nosq lint            [--allow FILE] [--root DIR]
+//! nosq serve           [--addr HOST:PORT] [--workers N] [--journal FILE] [--out DIR]
+//! nosq loadgen         [--addr HOST:PORT] [--clients N] [--requests N] [--hot PCT] [--out DIR]
+//! nosq submit <spec-file> [--addr HOST:PORT] [--out DIR]
+//! nosq shutdown        [--addr HOST:PORT]
 //! nosq list [profiles|presets]
 //! ```
 //!
 //! Artifacts land in `--out`, else `$NOSQ_ARTIFACT_DIR`, else
 //! `./nosq-artifacts`. See `crates/lab/src/spec.rs` (or the README's
-//! "Running campaigns" section) for the spec-file format.
+//! "Running campaigns" section) for the spec-file format, and
+//! `crates/serve/src/protocol.rs` (README "Serving campaigns") for the
+//! daemon's wire protocol.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +32,9 @@ use nosq_lab::{
     artifacts, audit_json, check_json, json, run_audit, run_campaign, run_checks, timing_artifact,
     write_artifacts, Artifact, AuditOptions, BoundPreset, Campaign, CheckOptions, Preset,
     RunOptions,
+};
+use nosq_serve::{
+    loadgen_json, run_loadgen, signal, LoadgenOptions, ServeClient, ServeOptions, Server,
 };
 use nosq_trace::{Profile, Suite};
 
@@ -40,6 +50,12 @@ USAGE:
     nosq check [OPTIONS]             model-check the lock-free executor core and
                                      injection queue over every thread interleaving
     nosq lint [OPTIONS]              determinism source lint over crates/
+    nosq serve [OPTIONS]             campaign service daemon: job queue over TCP,
+                                     LRU result cache, crash-safe journal
+    nosq loadgen [OPTIONS]           hammer a live daemon with mixed hot/cold
+                                     traffic; write BENCH_serve.json
+    nosq submit <spec-file> [OPTIONS] run one campaign through a live daemon
+    nosq shutdown [OPTIONS]          ask a live daemon to drain and exit
     nosq list [profiles|presets]     show available benchmarks / presets
     nosq help                        this text
 
@@ -58,6 +74,17 @@ OPTIONS:
     --model NAME         (check) run a single model instead of the whole suite
     --seed-bug           (check) run the deliberately broken models; exits 0
                          only if the checker flags them
+    --addr HOST:PORT     (serve/loadgen/submit/shutdown) daemon address
+                         (default 127.0.0.1:7433; serve accepts :0 for an
+                         ephemeral port, printed on startup)
+    --workers N          (serve) worker pool size (default: one per CPU, max 8)
+    --journal FILE       (serve) crash-safe result journal path
+                         (default: <out>/serve.journal)
+    --cache-cap N        (serve) LRU result-cache capacity (default 64)
+    --clients N          (loadgen) concurrent clients (default 8)
+    --requests N         (loadgen) requests per client (default 4)
+    --hot PCT            (loadgen) percentage of cache-hot traffic (default 50)
+    --interval-ms N      (loadgen) open-loop arrival interval (default 40)
 ";
 
 /// The built-in smoke campaign: 2 presets × 3 profiles, small budget.
@@ -82,6 +109,14 @@ struct Options {
     bound: BoundPreset,
     model: Option<String>,
     seed_bug: bool,
+    addr: String,
+    workers: usize,
+    journal: Option<PathBuf>,
+    cache_cap: usize,
+    clients: usize,
+    requests: usize,
+    hot: u32,
+    interval_ms: u64,
 }
 
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
@@ -97,7 +132,9 @@ fn usage_error(msg: impl std::fmt::Display) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        println!("{USAGE}");
+        // No subcommand is a usage error: usage text on stderr, exit 2
+        // (same convention as every other malformed invocation).
+        eprintln!("nosq: a subcommand is required\n\n{USAGE}");
         return ExitCode::from(2);
     };
     let (positional, options) = match parse_options(&args[1..]) {
@@ -131,6 +168,16 @@ fn main() -> ExitCode {
             usage_error("`nosq lint` takes no positional arguments")
         }
         "lint" => cmd_lint(&options),
+        cmd @ ("serve" | "loadgen" | "shutdown") if !positional.is_empty() => {
+            usage_error(format!("`nosq {cmd}` takes no positional arguments"))
+        }
+        "serve" => cmd_serve(&options),
+        "loadgen" => cmd_loadgen(&options),
+        "submit" => match positional.as_slice() {
+            [spec] => cmd_submit(spec, &options),
+            _ => usage_error("`nosq submit` takes exactly one spec file"),
+        },
+        "shutdown" => cmd_shutdown(&options),
         other => usage_error(format!("unknown command `{other}`")),
     }
 }
@@ -150,6 +197,14 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
         bound: BoundPreset::Small,
         model: None,
         seed_bug: false,
+        addr: "127.0.0.1:7433".to_owned(),
+        workers: 0,
+        journal: None,
+        cache_cap: 64,
+        clients: 8,
+        requests: 4,
+        hot: 50,
+        interval_ms: 40,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -193,6 +248,42 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
             }
             "--model" => options.model = Some(value_of("--model")?),
             "--seed-bug" => options.seed_bug = true,
+            "--addr" => options.addr = value_of("--addr")?,
+            "--workers" => {
+                options.workers = value_of("--workers")?
+                    .parse()
+                    .map_err(|_| "`--workers` expects an integer".to_owned())?;
+            }
+            "--journal" => options.journal = Some(PathBuf::from(value_of("--journal")?)),
+            "--cache-cap" => {
+                options.cache_cap = value_of("--cache-cap")?
+                    .parse()
+                    .map_err(|_| "`--cache-cap` expects an integer".to_owned())?;
+            }
+            "--clients" => {
+                options.clients = value_of("--clients")?
+                    .parse()
+                    .map_err(|_| "`--clients` expects an integer".to_owned())?;
+            }
+            "--requests" => {
+                options.requests = value_of("--requests")?
+                    .parse()
+                    .map_err(|_| "`--requests` expects an integer".to_owned())?;
+            }
+            "--hot" => {
+                let v: u32 = value_of("--hot")?
+                    .parse()
+                    .map_err(|_| "`--hot` expects an integer percentage".to_owned())?;
+                if v > 100 {
+                    return Err("`--hot` expects a percentage in 0..=100".to_owned());
+                }
+                options.hot = v;
+            }
+            "--interval-ms" => {
+                options.interval_ms = value_of("--interval-ms")?
+                    .parse()
+                    .map_err(|_| "`--interval-ms` expects an integer".to_owned())?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown option `{flag}`")),
             _ => positional.push(arg.clone()),
         }
@@ -682,4 +773,162 @@ fn cmd_lint(options: &Options) -> ExitCode {
         result.stale_allows.len()
     );
     ExitCode::SUCCESS
+}
+
+/// `nosq serve`: bind, announce the port, and run until drained. The
+/// journal defaults to `<out>/serve.journal` so a bare `nosq serve`
+/// is crash-safe out of the box.
+fn cmd_serve(options: &Options) -> ExitCode {
+    signal::install();
+    let journal = options
+        .journal
+        .clone()
+        .unwrap_or_else(|| options.out.join("serve.journal"));
+    if let Some(parent) = journal.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                return fail(format!("creating {}: {e}", parent.display()));
+            }
+        }
+    }
+    let server = match Server::bind(ServeOptions {
+        addr: options.addr.clone(),
+        workers: options.workers,
+        journal: Some(journal.clone()),
+        cache_capacity: options.cache_cap,
+        watch_signals: true,
+        ..ServeOptions::default()
+    }) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("binding {}: {e}", options.addr)),
+    };
+    println!(
+        "nosq serve: listening on {} (journal {}, {} recovered)",
+        server.local_addr(),
+        journal.display(),
+        server.recovered()
+    );
+    // CI scrapes the port from a redirected stdout; don't let the
+    // announcement sit in a block buffer while the daemon runs.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    match server.run() {
+        Ok(stats) => {
+            println!(
+                "nosq serve: drained after {} jobs ({} cache hits, {} misses, {} connections)",
+                stats.jobs_run, stats.cache_hits, stats.cache_misses, stats.connections
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("serving: {e}")),
+    }
+}
+
+/// `nosq loadgen`: drive a live daemon, verify every byte, and write
+/// `BENCH_serve.json`. Any artifact divergence is a hard failure.
+fn cmd_loadgen(options: &Options) -> ExitCode {
+    let opts = LoadgenOptions {
+        addr: options.addr.clone(),
+        clients: options.clients,
+        requests_per_client: options.requests,
+        hot_pct: options.hot,
+        interval_ms: options.interval_ms,
+        max_insts: options.max_insts.unwrap_or(2_000),
+    };
+    let report = match run_loadgen(&opts) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    println!(
+        "loadgen: {} clients x {} requests, p50 {:.1} ms, p99 {:.1} ms, {:.1} jobs/s, \
+         {} cached responses, {} divergences",
+        report.clients,
+        report.requests / report.clients.max(1),
+        report.p50_ms,
+        report.p99_ms,
+        report.jobs_per_sec,
+        report.cached_responses,
+        report.divergence
+    );
+    let contents = loadgen_json(&report);
+    // Validate before writing: a malformed artifact must never land.
+    if let Err(e) = json::parse(&contents) {
+        return fail(format!("generated BENCH_serve.json is invalid: {e}"));
+    }
+    let artifact = Artifact {
+        file_name: "BENCH_serve.json".to_owned(),
+        contents,
+    };
+    match write_artifacts(&options.out, std::slice::from_ref(&artifact)) {
+        Ok(paths) => {
+            for path in &paths {
+                println!("wrote {}", path.display());
+            }
+        }
+        Err(e) => return fail(format!("writing BENCH_serve.json: {e}")),
+    }
+    if report.divergence > 0 {
+        return fail(format!(
+            "{} artifact divergences between daemon and local runs",
+            report.divergence
+        ));
+    }
+    ExitCode::SUCCESS
+}
+
+/// `nosq submit`: run one campaign through a live daemon and write the
+/// returned artifacts exactly where `nosq run` would.
+fn cmd_submit(spec_path: &str, options: &Options) -> ExitCode {
+    let spec = match std::fs::read_to_string(spec_path) {
+        Ok(text) => text,
+        Err(e) => return fail(format!("reading {spec_path}: {e}")),
+    };
+    // Parse locally first: a bad spec should fail with the same
+    // message whether or not a daemon is up.
+    if let Err(e) = Campaign::from_spec(&spec) {
+        return fail(format!("{spec_path}: {e}"));
+    }
+    let mut client = match ServeClient::connect(&options.addr) {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let reply = match client.submit(&spec) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    println!("submitted job {} ({})", reply.job, reply.state);
+    let progress = options.progress;
+    let outcome = match client.wait_with(&reply.job, |done, total, insts| {
+        if progress {
+            eprint!("\r{done}/{total} jobs, {insts} insts");
+        }
+    }) {
+        Ok(o) => o,
+        Err(e) => return fail(e),
+    };
+    if progress && outcome.progress_events > 0 {
+        eprintln!();
+    }
+    if outcome.cached {
+        println!("served from cache/journal (no re-simulation)");
+    }
+    match write_artifacts(&options.out, &outcome.artifacts) {
+        Ok(paths) => {
+            for path in &paths {
+                println!("wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(format!("writing artifacts: {e}")),
+    }
+}
+
+/// `nosq shutdown`: ask a live daemon to drain and exit.
+fn cmd_shutdown(options: &Options) -> ExitCode {
+    match ServeClient::connect(&options.addr).and_then(|mut c| c.shutdown()) {
+        Ok(()) => {
+            println!("daemon at {} is draining", options.addr);
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
 }

@@ -1,0 +1,151 @@
+//! The daemon's LRU result cache, keyed by campaign fingerprint.
+//!
+//! A campaign's artifacts are a pure function of its fingerprint (see
+//! [`fingerprint`](crate::fingerprint)), so the cache never needs
+//! invalidation — only bounded capacity. Entries are shared as
+//! `Arc<Vec<Artifact>>` because a hit is typically handed to several
+//! concurrent `wait` streams at once.
+//!
+//! The implementation is a `BTreeMap` plus a monotonic access tick —
+//! not a `HashMap` (forbidden by the determinism lint: randomized
+//! iteration order) and not an intrusive list (the cache is consulted
+//! once per *campaign*, not per simulated instruction; O(log n) per
+//! touch is invisible next to a single job's millions of cycles).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use nosq_lab::Artifact;
+
+struct Entry {
+    artifacts: Arc<Vec<Artifact>>,
+    /// Last-access tick; the smallest tick is the eviction victim.
+    used: u64,
+}
+
+/// A bounded least-recently-used map from campaign fingerprint to its
+/// deterministic artifacts. Not thread-safe by itself — the daemon
+/// guards it with one mutex, which also serializes the tick counter.
+pub struct ResultCache {
+    entries: BTreeMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` campaigns (minimum 1).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            entries: BTreeMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a fingerprint, refreshing its recency and counting a
+    /// hit or miss.
+    pub fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Vec<Artifact>>> {
+        self.tick += 1;
+        match self.entries.get_mut(&fingerprint) {
+            Some(entry) => {
+                entry.used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.artifacts))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least recently
+    /// used entry when over capacity. Does not count as a hit or miss.
+    pub fn insert(&mut self, fingerprint: u64, artifacts: Arc<Vec<Artifact>>) {
+        self.tick += 1;
+        self.entries.insert(
+            fingerprint,
+            Entry {
+                artifacts,
+                used: self.tick,
+            },
+        );
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(&fp, _)| fp)
+                .expect("non-empty over capacity");
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions)` since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifacts(tag: &str) -> Arc<Vec<Artifact>> {
+        Arc::new(vec![Artifact {
+            file_name: format!("{tag}.summary.json"),
+            contents: format!("{{\"tag\":\"{tag}\"}}"),
+        }])
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut cache = ResultCache::new(4);
+        assert!(cache.lookup(1).is_none());
+        cache.insert(1, artifacts("a"));
+        let got = cache.lookup(1).unwrap();
+        assert_eq!(got[0].file_name, "a.summary.json");
+        assert_eq!(cache.stats(), (1, 1, 0));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(1, artifacts("a"));
+        cache.insert(2, artifacts("b"));
+        assert!(cache.lookup(1).is_some()); // 2 is now the LRU
+        cache.insert(3, artifacts("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(2).is_none(), "LRU entry must be the victim");
+        assert!(cache.lookup(1).is_some());
+        assert!(cache.lookup(3).is_some());
+        assert_eq!(cache.stats(), (3, 1, 1));
+    }
+
+    #[test]
+    fn capacity_one_still_serves() {
+        let mut cache = ResultCache::new(0); // clamped to 1
+        cache.insert(1, artifacts("a"));
+        cache.insert(2, artifacts("b"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(2).is_some());
+        assert!(!cache.is_empty());
+    }
+}

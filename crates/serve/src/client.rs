@@ -1,0 +1,188 @@
+//! A blocking TCP client for the `nosq serve` protocol.
+//!
+//! One [`ServeClient`] owns one connection and issues any number of
+//! sequential requests over it. The load generator, the `nosq submit`
+//! / `nosq shutdown` subcommands, and the integration suites all talk
+//! to the daemon through this type, so the wire protocol has exactly
+//! one client-side implementation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use nosq_lab::json::{self, Json};
+use nosq_lab::Artifact;
+
+use crate::protocol::{artifacts_from_json, request_line, Request};
+
+/// A client-side failure: transport, protocol, or a daemon-reported
+/// error message.
+#[derive(Debug)]
+pub struct ClientError(pub String);
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError(format!("connection error: {e}"))
+    }
+}
+
+/// The `submit` acknowledgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubmitReply {
+    /// The job id (the campaign fingerprint in hex).
+    pub job: String,
+    /// `queued`, `running`, `done`, or `cached`.
+    pub state: String,
+}
+
+/// The final outcome of waiting on a job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The campaign name, echoed back from the daemon's registry.
+    pub name: String,
+    /// The deterministic artifacts, byte-identical to `nosq run`.
+    pub artifacts: Vec<Artifact>,
+    /// Whether the daemon served the result from cache or journal.
+    pub cached: bool,
+    /// How many progress events streamed before `done`.
+    pub progress_events: usize,
+}
+
+/// One connection to a `nosq serve` daemon.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7433`).
+    pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ClientError(format!("connecting to {addr}: {e}")))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), ClientError> {
+        writeln!(self.writer, "{}", request_line(req))?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_event(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError("daemon closed the connection".into()));
+        }
+        let doc = json::parse(line.trim_end())
+            .map_err(|e| ClientError(format!("malformed response: {e}")))?;
+        if doc.get("ok") == Some(&Json::Bool(false)) {
+            let msg = doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified daemon error");
+            return Err(ClientError(format!("daemon error: {msg}")));
+        }
+        Ok(doc)
+    }
+
+    /// Submits a campaign spec (text or JSON form).
+    pub fn submit(&mut self, spec: &str) -> Result<SubmitReply, ClientError> {
+        self.send(&Request::Submit {
+            spec: spec.to_owned(),
+        })?;
+        let doc = self.read_event()?;
+        let field = |name: &str| -> Result<String, ClientError> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| ClientError(format!("submit reply missing `{name}`")))
+        };
+        Ok(SubmitReply {
+            job: field("job")?,
+            state: field("state")?,
+        })
+    }
+
+    /// Blocks until `job` completes, consuming the progress stream.
+    /// `on_progress` sees each `(jobs done, total jobs, insts)` event.
+    pub fn wait_with(
+        &mut self,
+        job: &str,
+        mut on_progress: impl FnMut(u64, u64, u64),
+    ) -> Result<JobOutcome, ClientError> {
+        self.send(&Request::Wait {
+            job: job.to_owned(),
+        })?;
+        let mut progress_events = 0;
+        loop {
+            let doc = self.read_event()?;
+            match doc.get("event").and_then(Json::as_str) {
+                Some("progress") => {
+                    progress_events += 1;
+                    let num = |name: &str| doc.get(name).and_then(Json::as_u64).unwrap_or(0);
+                    on_progress(num("done"), num("total"), num("insts"));
+                }
+                Some("done") => {
+                    let cached = doc.get("cached") == Some(&Json::Bool(true));
+                    let name = doc
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_owned();
+                    let artifacts = artifacts_from_json(&doc).map_err(ClientError)?;
+                    return Ok(JobOutcome {
+                        name,
+                        artifacts,
+                        cached,
+                        progress_events,
+                    });
+                }
+                other => {
+                    return Err(ClientError(format!("unexpected wait event: {other:?}")));
+                }
+            }
+        }
+    }
+
+    /// [`wait_with`](Self::wait_with) without a progress callback.
+    pub fn wait(&mut self, job: &str) -> Result<JobOutcome, ClientError> {
+        self.wait_with(job, |_, _, _| {})
+    }
+
+    /// Submit-then-wait in one call.
+    pub fn run_spec(&mut self, spec: &str) -> Result<JobOutcome, ClientError> {
+        let reply = self.submit(spec)?;
+        self.wait(&reply.job)
+    }
+
+    /// Fetches the daemon status object.
+    pub fn status(&mut self) -> Result<Json, ClientError> {
+        self.send(&Request::Status)?;
+        self.read_event()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Ping)?;
+        self.read_event().map(|_| ())
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.send(&Request::Shutdown)?;
+        self.read_event().map(|_| ())
+    }
+}

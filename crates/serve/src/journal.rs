@@ -1,0 +1,328 @@
+//! The crash-safe append-only result journal.
+//!
+//! Every completed campaign is appended as one self-verifying record
+//! and fsync'd before the daemon reports the job done, so a daemon
+//! killed at *any* instant — mid-write included — restarts with every
+//! previously completed result intact and re-simulates nothing. The
+//! design follows the durable-queue literature the ROADMAP cites: the
+//! recovery invariant is that a record either passes its checksum and
+//! is replayed, or is discarded along with everything after it (a torn
+//! tail can only be the one in-flight append, never a completed
+//! record — completion is reported only after `sync_data` returns).
+//!
+//! # On-disk format
+//!
+//! ```text
+//! "NOSQJRNL" magic (8 bytes)  |  u32 LE version (1)
+//! repeated records:
+//!   u32 LE payload length  |  u64 LE FNV-1a of payload  |  payload
+//! ```
+//!
+//! The payload is one JSON object `{"job": "<16-hex>", "name": …,
+//! "artifacts": [{"file_name", "contents"}, …]}` — the same artifact
+//! encoding the wire protocol's `done` event uses, parsed by the same
+//! [`protocol::artifacts_from_json`](crate::protocol::artifacts_from_json).
+//! Recovery truncates the file back to the last valid record, so a
+//! torn tail is also *physically* removed and the next append starts
+//! from a clean boundary.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use nosq_core::ser::{JsonArray, JsonObject};
+use nosq_lab::{json, Artifact};
+
+use crate::fingerprint::{fnv1a, parse_fingerprint};
+use crate::protocol::artifacts_from_json;
+
+const MAGIC: &[u8; 8] = b"NOSQJRNL";
+const VERSION: u32 = 1;
+/// Sanity bound on one record's payload; a length prefix beyond this is
+/// treated as corruption, not an allocation request.
+const MAX_RECORD: u32 = 256 * 1024 * 1024;
+
+/// One recovered journal entry.
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    /// The campaign fingerprint (also the wire job id).
+    pub fingerprint: u64,
+    /// The campaign name (diagnostic only).
+    pub name: String,
+    /// The deterministic artifacts, ready to serve.
+    pub artifacts: Arc<Vec<Artifact>>,
+}
+
+/// The append-only journal: an open file plus what recovery salvaged.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    records: u64,
+    /// Bytes discarded by recovery (0 on a clean open).
+    truncated: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, validating every
+    /// record and truncating the file back to the last intact one.
+    /// Returns the journal and the recovered entries in append order.
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Vec<JournalEntry>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        let mut entries = Vec::new();
+        let mut valid_end = 0usize;
+        if bytes.len() >= MAGIC.len() + 4 {
+            if &bytes[..8] != MAGIC
+                || u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) != VERSION
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("{} is not a nosq journal", path.display()),
+                ));
+            }
+            valid_end = 12;
+            let mut pos = 12usize;
+            while let Some((entry, next)) = read_record(&bytes, pos) {
+                entries.push(entry);
+                valid_end = next;
+                pos = next;
+            }
+        } else if !bytes.is_empty() {
+            // A torn header write: shorter than magic+version. Treat as
+            // empty — nothing could have been reported complete yet.
+        }
+
+        if valid_end == 0 {
+            // Fresh or unusable header: rewrite from scratch.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            file.write_all(&VERSION.to_le_bytes())?;
+            file.sync_data()?;
+        } else if valid_end < bytes.len() {
+            // Torn tail: physically discard it so the next append
+            // starts at a record boundary.
+            file.set_len(valid_end as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+
+        let truncated = bytes.len().saturating_sub(valid_end.max(12)) as u64;
+        let records = entries.len() as u64;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                records,
+                truncated,
+            },
+            entries,
+        ))
+    }
+
+    /// Appends one completed campaign and fsyncs. Only after this
+    /// returns may the daemon report the job complete — that ordering
+    /// is the whole crash-safety argument.
+    pub fn append(
+        &mut self,
+        fingerprint: u64,
+        name: &str,
+        artifacts: &[Artifact],
+    ) -> std::io::Result<()> {
+        let payload = record_payload(fingerprint, name, artifacts);
+        let bytes = payload.as_bytes();
+        self.file
+            .write_all(&(u32::try_from(bytes.len()).expect("record < 4 GiB")).to_le_bytes())?;
+        self.file.write_all(&fnv1a(bytes).to_le_bytes())?;
+        self.file.write_all(bytes)?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended plus records recovered.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes the recovery pass discarded on open (0 for a clean file).
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn record_payload(fingerprint: u64, name: &str, artifacts: &[Artifact]) -> String {
+    let mut arr = JsonArray::new();
+    for a in artifacts {
+        let mut obj = JsonObject::new();
+        obj.field_str("file_name", &a.file_name)
+            .field_str("contents", &a.contents);
+        arr.push_raw(&obj.finish());
+    }
+    let mut obj = JsonObject::new();
+    obj.field_str("job", &crate::fingerprint::fingerprint_hex(fingerprint))
+        .field_str("name", name)
+        .field_raw("artifacts", &arr.finish());
+    obj.finish()
+}
+
+/// Validates and decodes the record starting at `pos`; `None` on a
+/// short, corrupt, or malformed record (recovery stops there).
+fn read_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
+    let header = bytes.get(pos..pos + 12)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    if len > MAX_RECORD {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let payload = bytes.get(pos + 12..pos + 12 + len as usize)?;
+    if fnv1a(payload) != checksum {
+        return None;
+    }
+    let text = std::str::from_utf8(payload).ok()?;
+    let doc = json::parse(text).ok()?;
+    let fingerprint = parse_fingerprint(doc.get("job")?.as_str()?)?;
+    let name = doc.get("name")?.as_str()?.to_owned();
+    let artifacts = artifacts_from_json(&doc).ok()?;
+    Some((
+        JournalEntry {
+            fingerprint,
+            name,
+            artifacts: Arc::new(artifacts),
+        },
+        pos + 12 + len as usize,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nosq-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn artifacts(tag: &str) -> Vec<Artifact> {
+        vec![
+            Artifact {
+                file_name: format!("{tag}.matrix.csv"),
+                contents: format!("a,b\n{tag},2\n"),
+            },
+            Artifact {
+                file_name: format!("{tag}.summary.json"),
+                contents: format!("{{\"tag\":\"{tag}\"}}"),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrips_across_reopen() {
+        let path = scratch("roundtrip.journal");
+        {
+            let (mut j, recovered) = Journal::open(&path).unwrap();
+            assert!(recovered.is_empty());
+            j.append(7, "one", &artifacts("one")).unwrap();
+            j.append(9, "two", &artifacts("two")).unwrap();
+            assert_eq!(j.records(), 2);
+        }
+        let (j, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), 2);
+        assert_eq!(j.truncated_bytes(), 0);
+        assert_eq!(recovered.len(), 2);
+        assert_eq!(recovered[0].fingerprint, 7);
+        assert_eq!(recovered[1].name, "two");
+        assert_eq!(*recovered[1].artifacts, artifacts("two"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let path = scratch("torn.journal");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(1, "keep", &artifacts("keep")).unwrap();
+            j.append(2, "torn", &artifacts("torn")).unwrap();
+        }
+        // Chop the last record mid-payload, as a crash mid-append would.
+        let full = std::fs::metadata(&path).unwrap().len();
+        let torn_len = full - 10;
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(torn_len).unwrap();
+        drop(file);
+
+        let (mut j, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 1, "only the intact record survives");
+        assert_eq!(recovered[0].name, "keep");
+        assert!(j.truncated_bytes() > 0);
+        // The file was physically truncated back to a record boundary,
+        // so appends keep working and survive another reopen.
+        j.append(3, "after", &artifacts("after")).unwrap();
+        drop(j);
+        let (_, again) = Journal::open(&path).unwrap();
+        assert_eq!(
+            again.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            vec!["keep", "after"]
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_recovery() {
+        let path = scratch("corrupt.journal");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(1, "good", &artifacts("good")).unwrap();
+            j.append(2, "bad", &artifacts("bad")).unwrap();
+        }
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].name, "good");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected() {
+        let path = scratch("foreign.journal");
+        std::fs::write(&path, b"this is not a journal file at all").unwrap();
+        let err = Journal::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_header_is_reset() {
+        let path = scratch("torn-header.journal");
+        std::fs::write(&path, b"NOSQ").unwrap(); // crash before version
+        let (mut j, recovered) = Journal::open(&path).unwrap();
+        assert!(recovered.is_empty());
+        j.append(5, "fresh", &artifacts("fresh")).unwrap();
+        drop(j);
+        let (_, again) = Journal::open(&path).unwrap();
+        assert_eq!(again.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,327 @@
+//! `nosq loadgen`: hammer a live daemon with realistic mixed traffic
+//! and measure what users would feel.
+//!
+//! N concurrent clients each issue a fixed schedule of campaign
+//! submissions with **open-loop arrivals**: request *i* is due at
+//! `start + i·interval` regardless of how long earlier requests took,
+//! so latency includes any queueing delay the daemon built up — the
+//! honest way to load-test a service (closed-loop generators
+//! self-throttle and hide overload). The mix interleaves **cache-hot**
+//! requests (every client re-submitting one shared campaign, which the
+//! daemon must serve from its LRU) with **cache-cold** ones (a unique
+//! workload seed per request, forcing a full simulation), spread
+//! evenly by Bresenham accumulation rather than clumped.
+//!
+//! Every response's artifacts are then verified two ways: against the
+//! first response for the same campaign (daemon self-consistency under
+//! concurrency) and against a local one-shot [`run_campaign`] of the
+//! same spec (byte-identity with the `nosq run` CLI path). Any
+//! mismatch counts as a divergence, and the CLI fails the run.
+//!
+//! The outcome is `BENCH_serve.json`: p50/p99/mean/max latency,
+//! sustained jobs/sec, hit/miss counts, and the divergence count —
+//! parsed back through [`nosq_lab::json`] before it is written, so a
+//! malformed artifact can never land on disk.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use nosq_check::sync::StdSync;
+use nosq_check::sync::SyncFacade;
+use nosq_core::ser::JsonObject;
+use nosq_lab::json::Json;
+use nosq_lab::{artifacts, run_campaign, Artifact, Campaign, RunOptions};
+
+use crate::client::ServeClient;
+
+/// Load-generator knobs.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Daemon address.
+    pub addr: String,
+    /// Concurrent clients (the acceptance floor is 8).
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Percentage of requests that resubmit the shared hot campaign.
+    pub hot_pct: u32,
+    /// Open-loop arrival interval per client, in milliseconds.
+    pub interval_ms: u64,
+    /// Per-job instruction budget of the generated campaigns.
+    pub max_insts: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> LoadgenOptions {
+        LoadgenOptions {
+            addr: "127.0.0.1:7433".to_owned(),
+            clients: 8,
+            requests_per_client: 4,
+            hot_pct: 50,
+            interval_ms: 40,
+            max_insts: 2_000,
+        }
+    }
+}
+
+/// What a loadgen run measured; serialized by [`loadgen_json`].
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total requests completed.
+    pub requests: usize,
+    /// Hot-traffic percentage requested.
+    pub hot_pct: u32,
+    /// Median end-to-end latency (submit → artifacts), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Worst latency, milliseconds.
+    pub max_ms: f64,
+    /// Completed campaigns per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub elapsed_ms: f64,
+    /// Responses the daemon flagged as cache-served.
+    pub cached_responses: usize,
+    /// Daemon-side submit cache hits (from `status`).
+    pub cache_hits: u64,
+    /// Daemon-side submit cache misses (from `status`).
+    pub cache_misses: u64,
+    /// Artifact mismatches: daemon-vs-daemon or daemon-vs-local. Must
+    /// be zero for a healthy daemon.
+    pub divergence: usize,
+}
+
+struct Sample {
+    spec: String,
+    latency_ms: f64,
+    cached: bool,
+    artifacts: Vec<Artifact>,
+}
+
+/// The shared cache-hot campaign every client resubmits.
+fn hot_spec(max_insts: u64) -> String {
+    format!(
+        "name = lg-hot\nconfigs = nosq, baseline-storesets\n\
+         profiles = gzip, gsm.e\nmax_insts = {max_insts}\n\
+         baseline = baseline-storesets\n"
+    )
+}
+
+/// A cache-cold campaign: unique name and workload seed per request.
+fn cold_spec(max_insts: u64, client: usize, request: usize) -> String {
+    let seed = 10_000 + (client as u64) * 1_000 + request as u64;
+    format!(
+        "name = lg-cold-{client}-{request}\nconfigs = nosq, baseline-storesets\n\
+         profiles = gzip, gsm.e\nmax_insts = {max_insts}\nseed = {seed}\n\
+         baseline = baseline-storesets\n"
+    )
+}
+
+/// Bresenham spread: request `i` of `n` is hot iff the running
+/// `hot_pct` accumulator crosses an integer at `i` — even interleaving
+/// at any ratio, no RNG needed (or wanted: the schedule must be
+/// deterministic so reruns are comparable).
+fn is_hot(i: usize, hot_pct: u32) -> bool {
+    let p = u64::from(hot_pct.min(100));
+    (i as u64 + 1) * p / 100 > (i as u64) * p / 100
+}
+
+/// Drives the load, verifies every artifact, and measures latency.
+/// `Err` is a human-readable failure (connection refused, daemon
+/// error, …); divergences are *not* an `Err` — they come back in the
+/// report so the caller can print the numbers before failing.
+pub fn run_loadgen(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    let clients = opts.clients.max(1);
+    let per_client = opts.requests_per_client.max(1);
+
+    // Fail fast (and cheaply) if no daemon is listening.
+    ServeClient::connect(&opts.addr)
+        .and_then(|mut c| c.ping())
+        .map_err(|e| format!("daemon not reachable: {e}"))?;
+
+    let started = Instant::now();
+    let outcomes: Vec<Result<Vec<Sample>, String>> = StdSync::run_threads(
+        clients,
+        |k| client_schedule(opts, k, per_client, started),
+        None,
+    );
+    let elapsed = started.elapsed();
+
+    let mut samples = Vec::with_capacity(clients * per_client);
+    for outcome in outcomes {
+        samples.extend(outcome?);
+    }
+
+    // Verification pass 1: every response for the same spec must match
+    // the first one (daemon self-consistency under concurrency).
+    let mut divergence = 0usize;
+    let mut reference: BTreeMap<String, Vec<Artifact>> = BTreeMap::new();
+    for sample in &samples {
+        match reference.get(&sample.spec) {
+            Some(first) => {
+                if *first != sample.artifacts {
+                    divergence += 1;
+                }
+            }
+            None => {
+                reference.insert(sample.spec.clone(), sample.artifacts.clone());
+            }
+        }
+    }
+    // Verification pass 2: the daemon's bytes must equal a local
+    // one-shot `nosq run` of the same spec.
+    for (spec, served) in &reference {
+        let campaign =
+            Campaign::from_spec(spec).map_err(|e| format!("loadgen generated a bad spec: {e}"))?;
+        let local = artifacts(&run_campaign(&campaign, &RunOptions::default()));
+        if local != *served {
+            divergence += 1;
+        }
+    }
+
+    // Daemon-side counters, after the dust settles.
+    let status = ServeClient::connect(&opts.addr)
+        .and_then(|mut c| c.status())
+        .map_err(|e| format!("status after load: {e}"))?;
+    let counter = |name: &str| status.get(name).and_then(Json::as_u64).unwrap_or(0);
+
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p / 100.0).round() as usize;
+        latencies[idx]
+    };
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    let secs = elapsed.as_secs_f64();
+
+    Ok(LoadgenReport {
+        clients,
+        requests: samples.len(),
+        hot_pct: opts.hot_pct,
+        p50_ms: pct(50.0),
+        p99_ms: pct(99.0),
+        mean_ms: mean,
+        max_ms: latencies.last().copied().unwrap_or(0.0),
+        jobs_per_sec: if secs > 0.0 {
+            samples.len() as f64 / secs
+        } else {
+            0.0
+        },
+        elapsed_ms: secs * 1_000.0,
+        cached_responses: samples.iter().filter(|s| s.cached).count(),
+        cache_hits: counter("cache_hits"),
+        cache_misses: counter("cache_misses"),
+        divergence,
+    })
+}
+
+/// One client's open-loop schedule.
+fn client_schedule(
+    opts: &LoadgenOptions,
+    k: usize,
+    per_client: usize,
+    started: Instant,
+) -> Result<Vec<Sample>, String> {
+    let mut client = ServeClient::connect(&opts.addr).map_err(|e| format!("client {k}: {e}"))?;
+    let mut samples = Vec::with_capacity(per_client);
+    for i in 0..per_client {
+        // Open-loop: the due time never moves, however slow the daemon
+        // is; lateness becomes measured latency, not a slower schedule.
+        let due = Duration::from_millis(opts.interval_ms * i as u64);
+        let now = started.elapsed();
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        let spec = if is_hot(i, opts.hot_pct) {
+            hot_spec(opts.max_insts)
+        } else {
+            cold_spec(opts.max_insts, k, i)
+        };
+        let outcome = client
+            .run_spec(&spec)
+            .map_err(|e| format!("client {k} request {i}: {e}"))?;
+        let latency_ms = (started.elapsed().saturating_sub(due)).as_secs_f64() * 1_000.0;
+        samples.push(Sample {
+            spec,
+            latency_ms,
+            cached: outcome.cached,
+            artifacts: outcome.artifacts,
+        });
+    }
+    Ok(samples)
+}
+
+/// Serializes the report as the `BENCH_serve.json` artifact.
+pub fn loadgen_json(report: &LoadgenReport) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_str("bench", "serve")
+        .field_u64("clients", report.clients as u64)
+        .field_u64("requests", report.requests as u64)
+        .field_u64("hot_pct", u64::from(report.hot_pct))
+        .field_f64("p50_ms", report.p50_ms)
+        .field_f64("p99_ms", report.p99_ms)
+        .field_f64("mean_ms", report.mean_ms)
+        .field_f64("max_ms", report.max_ms)
+        .field_f64("jobs_per_sec", report.jobs_per_sec)
+        .field_f64("elapsed_ms", report.elapsed_ms)
+        .field_u64("cached_responses", report.cached_responses as u64)
+        .field_u64("cache_hits", report.cache_hits)
+        .field_u64("cache_misses", report.cache_misses)
+        .field_u64("divergence", report.divergence as u64);
+    obj.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_mix_is_spread_not_clumped() {
+        let hot: Vec<bool> = (0..10).map(|i| is_hot(i, 50)).collect();
+        assert_eq!(hot.iter().filter(|&&h| h).count(), 5);
+        // Alternating, not 5 hots followed by 5 colds.
+        assert!(hot.windows(2).any(|w| w[0] != w[1]));
+        assert_eq!((0..10).filter(|&i| is_hot(i, 0)).count(), 0);
+        assert_eq!((0..10).filter(|&i| is_hot(i, 100)).count(), 10);
+    }
+
+    #[test]
+    fn specs_parse_and_separate() {
+        let hot = Campaign::from_spec(&hot_spec(2_000)).unwrap();
+        assert_eq!(hot.jobs(), 4);
+        let a = Campaign::from_spec(&cold_spec(2_000, 0, 1)).unwrap();
+        let b = Campaign::from_spec(&cold_spec(2_000, 1, 0)).unwrap();
+        assert_ne!(a.seed, b.seed, "cold seeds must be unique per request");
+    }
+
+    #[test]
+    fn report_serializes_valid_json() {
+        let report = LoadgenReport {
+            clients: 8,
+            requests: 32,
+            hot_pct: 50,
+            p50_ms: 12.5,
+            p99_ms: 80.0,
+            mean_ms: 20.0,
+            max_ms: 81.0,
+            jobs_per_sec: 40.0,
+            elapsed_ms: 800.0,
+            cached_responses: 15,
+            cache_hits: 15,
+            cache_misses: 17,
+            divergence: 0,
+        };
+        let doc = nosq_lab::json::parse(&loadgen_json(&report)).unwrap();
+        assert_eq!(doc.get("bench").unwrap().as_str(), Some("serve"));
+        assert_eq!(doc.get("clients").unwrap().as_u64(), Some(8));
+        assert_eq!(doc.get("divergence").unwrap().as_u64(), Some(0));
+    }
+}

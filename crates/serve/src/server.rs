@@ -1,0 +1,606 @@
+//! The `nosq serve` daemon: TCP frontend, MPMC-fed worker pool, LRU
+//! result cache, crash-safe journal, graceful drain.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            ┌ handler thread per connection ┐
+//!  TCP ──────┤ parse line → dispatch         │
+//!            └───────────┬───────────────────┘
+//!                 submit │ (registry lock: dedup → cache → enqueue)
+//!                        ▼
+//!              InjectionQueue<QueuedJob>      ← the model-checked MPMC
+//!                        │                      queue from nosq-lab
+//!            ┌ worker threads, one WorkerContext each ┐
+//!            │ run_campaign_serial → artifacts        │
+//!            │ journal.append (fsync) → cache.insert  │
+//!            └───────────┬──────────────────────────┬─┘
+//!                        ▼ registry: job → Done     ▼ condvar notify
+//!                `wait` handlers stream progress / final artifacts
+//! ```
+//!
+//! # Concurrency discipline
+//!
+//! The lock-free part — work hand-off — is exactly the
+//! [`InjectionQueue`] that `nosq check` verifies exhaustively,
+//! including the close/drain transition the daemon's shutdown uses
+//! (`mpmc-close` model). Everything else is deliberately coarse: one
+//! mutex over the job registry, one over the cache, one over the
+//! journal. Those guard *per-campaign* operations (a handful per
+//! second) while each job burns millions of simulated cycles between
+//! lock touches, so there is nothing for finer locking to win.
+//!
+//! The drain protocol mirrors the `mpmc-close` model's happens-before
+//! shape: `draining = true` and `queue.close()` happen under the
+//! registry lock, and every submission checks `draining` under that
+//! same lock *before* pushing — so no push can race the close, every
+//! accepted job is drained, and workers may safely exit on
+//! [`InjectionQueue::is_drained`].
+//!
+//! # Determinism
+//!
+//! Artifacts served over the wire are produced by the same
+//! [`run_campaign_serial`] → [`artifacts`] pipeline `nosq run` uses,
+//! and both are byte-identical to a one-shot
+//! [`run_campaign`](nosq_lab::run_campaign) at any
+//! thread count (the executor's core guarantee; `tests/it_serve.rs`
+//! pins daemon-vs-CLI identity end to end). The cache and journal
+//! store those same bytes, so a cache hit, a journal replay after a
+//! crash, and a fresh simulation are indistinguishable to clients.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use nosq_check::sync::StdSync;
+use nosq_lab::{
+    artifacts, run_campaign_serial, synthesize_programs, Campaign, InjectionQueue,
+    ProgressCounters, PushError, RunOptions, WorkerContext,
+};
+
+use crate::cache::ResultCache;
+use crate::fingerprint::{campaign_fingerprint, fingerprint_hex, parse_fingerprint};
+use crate::journal::Journal;
+use crate::protocol::{done_line, error_line, parse_request, progress_line, submit_line, Request};
+use crate::signal;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address; port 0 binds an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads; 0 means one per available CPU.
+    pub workers: usize,
+    /// Journal path; `None` runs without crash safety (tests only).
+    pub journal: Option<PathBuf>,
+    /// LRU cache capacity in campaigns.
+    pub cache_capacity: usize,
+    /// Injection-queue capacity (rounded up to a power of two).
+    pub queue_capacity: usize,
+    /// Poll termination signals (the `nosq serve` binary installs
+    /// handlers; in-process test servers leave this off).
+    pub watch_signals: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 0,
+            journal: None,
+            cache_capacity: 64,
+            queue_capacity: 256,
+            watch_signals: false,
+        }
+    }
+}
+
+/// What one daemon lifetime did, reported by [`Server::run`].
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Campaigns simulated by the worker pool this lifetime.
+    pub jobs_run: u64,
+    /// Submissions answered from the LRU cache (journal replays
+    /// included).
+    pub cache_hits: u64,
+    /// Submissions that had to simulate.
+    pub cache_misses: u64,
+    /// Completed results recovered from the journal at startup.
+    pub recovered: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done,
+}
+
+struct JobState {
+    name: String,
+    total_jobs: usize,
+    status: JobStatus,
+    cached: bool,
+    progress: Arc<ProgressCounters<StdSync>>,
+    artifacts: Option<Arc<Vec<nosq_lab::Artifact>>>,
+}
+
+struct QueuedJob {
+    fingerprint: u64,
+    campaign: Campaign,
+}
+
+#[derive(Default)]
+struct Registry {
+    jobs: BTreeMap<u64, JobState>,
+    draining: bool,
+    cache_hits: u64,
+    cache_misses: u64,
+    jobs_run: u64,
+    connections: u64,
+}
+
+struct Shared {
+    registry: Mutex<Registry>,
+    cv: Condvar,
+    queue: InjectionQueue<QueuedJob, StdSync>,
+    cache: Mutex<ResultCache>,
+    journal: Mutex<Option<Journal>>,
+    watch_signals: bool,
+}
+
+impl Shared {
+    /// Whether handlers and the accept loop should wind down: a drain
+    /// was requested and every accepted job has completed.
+    fn finished(&self) -> bool {
+        let reg = self.registry.lock().expect("registry poisoned");
+        reg.draining && reg.jobs.values().all(|job| job.status == JobStatus::Done)
+    }
+
+    /// Flips into draining state (idempotent). Taking the registry
+    /// lock *before* closing the queue is the happens-before edge the
+    /// `mpmc-close` model verifies: no submission can observe
+    /// `draining == false` and push after the close.
+    fn begin_drain(&self) {
+        let mut reg = self.registry.lock().expect("registry poisoned");
+        if !reg.draining {
+            reg.draining = true;
+            self.queue.close();
+        }
+        drop(reg);
+        self.cv.notify_all();
+    }
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    opts: ServeOptions,
+    shared: Shared,
+    recovered: u64,
+}
+
+impl Server {
+    /// Binds the listener, opens the journal, and replays recovered
+    /// results into the cache. No thread is spawned yet.
+    pub fn bind(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let mut cache = ResultCache::new(opts.cache_capacity);
+        let mut recovered = 0u64;
+        let journal = match &opts.journal {
+            Some(path) => {
+                let (journal, entries) = Journal::open(path)?;
+                for entry in entries {
+                    cache.insert(entry.fingerprint, entry.artifacts);
+                    recovered += 1;
+                }
+                Some(journal)
+            }
+            None => None,
+        };
+
+        let shared = Shared {
+            registry: Mutex::new(Registry::default()),
+            cv: Condvar::new(),
+            queue: InjectionQueue::new(opts.queue_capacity),
+            cache: Mutex::new(cache),
+            journal: Mutex::new(journal),
+            watch_signals: opts.watch_signals,
+        };
+        Ok(Server {
+            listener,
+            local_addr,
+            opts,
+            shared,
+            recovered,
+        })
+    }
+
+    /// The bound address (the ephemeral port when `addr` ended in `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Completed results recovered from the journal at bind time.
+    pub fn recovered(&self) -> u64 {
+        self.recovered
+    }
+
+    /// Runs the daemon to completion: accept loop plus worker pool,
+    /// returning once a drain (SIGTERM or `shutdown` request) finishes.
+    pub fn run(self) -> std::io::Result<ServeStats> {
+        let workers = if self.opts.workers == 0 {
+            nosq_check::sync::available_parallelism().clamp(1, 8)
+        } else {
+            self.opts.workers
+        };
+        let shared = &self.shared;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(shared));
+            }
+            // The accept loop runs on the calling thread; handler
+            // threads are scoped too, so `run` returns only after every
+            // connection has wound down.
+            loop {
+                if shared.watch_signals && signal::drain_requested() {
+                    shared.begin_drain();
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        shared
+                            .registry
+                            .lock()
+                            .expect("registry poisoned")
+                            .connections += 1;
+                        scope.spawn(move || handle_connection(shared, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if shared.finished() {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok(())
+        })?;
+
+        let reg = self.shared.registry.lock().expect("registry poisoned");
+        Ok(ServeStats {
+            jobs_run: reg.jobs_run,
+            cache_hits: reg.cache_hits,
+            cache_misses: reg.cache_misses,
+            recovered: self.recovered,
+            connections: reg.connections,
+        })
+    }
+}
+
+/// One pool worker: drain the injection queue until it is closed and
+/// empty, keeping a persistent [`WorkerContext`] so arenas and recorded
+/// traces survive across campaigns.
+fn worker_loop(shared: &Shared) {
+    let mut ctx = WorkerContext::new();
+    loop {
+        match shared.queue.try_pop() {
+            Some(job) => run_one(shared, job, &mut ctx),
+            None if shared.queue.is_drained() => return,
+            None => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn run_one(shared: &Shared, job: QueuedJob, ctx: &mut WorkerContext) {
+    let progress = {
+        let mut reg = shared.registry.lock().expect("registry poisoned");
+        let state = reg
+            .jobs
+            .get_mut(&job.fingerprint)
+            .expect("queued job is registered");
+        state.status = JobStatus::Running;
+        Arc::clone(&state.progress)
+    };
+    shared.cv.notify_all();
+
+    let opts = RunOptions {
+        threads: 1,
+        ..RunOptions::default()
+    };
+    let programs = synthesize_programs(&job.campaign, 1);
+    let result = run_campaign_serial(&job.campaign, &programs, &opts, ctx, &progress);
+    let files = Arc::new(artifacts(&result));
+
+    // Journal first (fsync), then cache, then report done — a crash
+    // after the append can only lose the *report*, never the result.
+    if let Some(journal) = shared.journal.lock().expect("journal poisoned").as_mut() {
+        if let Err(e) = journal.append(job.fingerprint, &job.campaign.name, &files) {
+            // Keep serving from memory; the operator sees the warning.
+            eprintln!(
+                "nosq serve: warning: journal append failed for {}: {e}",
+                fingerprint_hex(job.fingerprint)
+            );
+        }
+    }
+    shared
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .insert(job.fingerprint, Arc::clone(&files));
+
+    let mut reg = shared.registry.lock().expect("registry poisoned");
+    reg.jobs_run += 1;
+    let state = reg
+        .jobs
+        .get_mut(&job.fingerprint)
+        .expect("running job is registered");
+    state.status = JobStatus::Done;
+    state.artifacts = Some(files);
+    drop(reg);
+    shared.cv.notify_all();
+}
+
+/// Reads one request line, tolerating read timeouts (which the handler
+/// uses to poll for drain). Returns `Ok(false)` on EOF or drain-exit.
+fn read_line_patient(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<bool> {
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return Ok(false),
+            Ok(_) => {
+                // A timeout can split a line; keep reading until the
+                // newline actually arrived.
+                if line.ends_with('\n') {
+                    return Ok(true);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Idle poll: once the daemon has fully drained, stop
+                // waiting on quiet clients so `run` can return.
+                if line.is_empty() && shared.finished() {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // Errors on one connection only ever end that connection.
+    let _ = serve_connection(shared, stream);
+}
+
+fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if !read_line_patient(shared, &mut reader, &mut line)? {
+            return Ok(());
+        }
+        let request = match parse_request(line.trim_end()) {
+            Ok(req) => req,
+            Err(msg) => {
+                writeln!(writer, "{}", error_line(&msg))?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => {
+                writeln!(writer, "{{\"ok\":true}}")?;
+            }
+            Request::Status => {
+                writeln!(writer, "{}", status_response(shared))?;
+            }
+            Request::Submit { spec } => {
+                writeln!(writer, "{}", submit_response(shared, &spec))?;
+            }
+            Request::Wait { job } => {
+                stream_wait(shared, &mut writer, &job)?;
+            }
+            Request::Shutdown => {
+                shared.begin_drain();
+                writeln!(writer, "{{\"ok\":true,\"draining\":true}}")?;
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// The submit path. Everything that decides queued-vs-cached-vs-dup —
+/// and the push itself — happens under the registry lock, which is
+/// what makes the drain cutoff sound (see the module docs).
+fn submit_response(shared: &Shared, spec: &str) -> String {
+    let campaign = match Campaign::from_spec(spec) {
+        Ok(c) => c,
+        Err(e) => return error_line(&format!("bad spec: {e}")),
+    };
+    let fingerprint = campaign_fingerprint(&campaign);
+    let id = fingerprint_hex(fingerprint);
+
+    let mut reg = shared.registry.lock().expect("registry poisoned");
+    if reg.draining {
+        return error_line("draining: not accepting new campaigns");
+    }
+    // Idempotent resubmission: same spec, same job id. A completed
+    // result re-served from the registry counts as a cache hit — the
+    // client gets its bytes with no new simulation — while an
+    // in-flight duplicate just shares the pending job.
+    match reg.jobs.get(&fingerprint).map(|j| j.status.clone()) {
+        Some(JobStatus::Done) => {
+            reg.cache_hits += 1;
+            reg.jobs.get_mut(&fingerprint).expect("job present").cached = true;
+            return submit_line(&id, "cached");
+        }
+        Some(JobStatus::Running) => return submit_line(&id, "running"),
+        Some(JobStatus::Queued) => return submit_line(&id, "queued"),
+        None => {}
+    }
+    let total_jobs = campaign.jobs();
+    let name = campaign.name.clone();
+    if let Some(files) = shared
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .lookup(fingerprint)
+    {
+        reg.cache_hits += 1;
+        reg.jobs.insert(
+            fingerprint,
+            JobState {
+                name,
+                total_jobs,
+                status: JobStatus::Done,
+                cached: true,
+                progress: Arc::new(ProgressCounters::new()),
+                artifacts: Some(files),
+            },
+        );
+        drop(reg);
+        shared.cv.notify_all();
+        return submit_line(&id, "cached");
+    }
+    reg.cache_misses += 1;
+    reg.jobs.insert(
+        fingerprint,
+        JobState {
+            name,
+            total_jobs,
+            status: JobStatus::Queued,
+            cached: false,
+            progress: Arc::new(ProgressCounters::new()),
+            artifacts: None,
+        },
+    );
+    match shared.queue.try_push(QueuedJob {
+        fingerprint,
+        campaign,
+    }) {
+        Ok(()) => submit_line(&id, "queued"),
+        Err(err) => {
+            reg.jobs.remove(&fingerprint);
+            reg.cache_misses -= 1;
+            if matches!(err, PushError::Full(_)) {
+                error_line("queue full: retry later")
+            } else {
+                // Unreachable while the drain check above holds; kept
+                // as a real branch rather than a panic so a protocol
+                // bug degrades to an error response.
+                error_line("draining: not accepting new campaigns")
+            }
+        }
+    }
+}
+
+/// Streams `progress` events until the job completes, then the `done`
+/// event with artifacts.
+fn stream_wait(shared: &Shared, writer: &mut TcpStream, id: &str) -> std::io::Result<()> {
+    let Some(fingerprint) = parse_fingerprint(id) else {
+        writeln!(
+            writer,
+            "{}",
+            error_line(&format!("malformed job id `{id}`"))
+        )?;
+        return Ok(());
+    };
+    let mut last = (usize::MAX, u64::MAX);
+    loop {
+        enum Step {
+            Done(String, Arc<Vec<nosq_lab::Artifact>>, bool),
+            Progress(usize, usize, u64),
+            Missing,
+        }
+        let step = {
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            loop {
+                let Some(job) = reg.jobs.get(&fingerprint) else {
+                    break Step::Missing;
+                };
+                if job.status == JobStatus::Done {
+                    let files = job.artifacts.clone().expect("done job has artifacts");
+                    break Step::Done(job.name.clone(), files, job.cached);
+                }
+                let (done, insts) = job.progress.snapshot();
+                let total = job.total_jobs;
+                if (done, insts) != last {
+                    last = (done, insts);
+                    break Step::Progress(done, total, insts);
+                }
+                let (guard, _timeout) = shared
+                    .cv
+                    .wait_timeout(reg, Duration::from_millis(50))
+                    .expect("registry poisoned");
+                reg = guard;
+            }
+        };
+        match step {
+            Step::Missing => {
+                writeln!(writer, "{}", error_line(&format!("unknown job `{id}`")))?;
+                return Ok(());
+            }
+            Step::Done(name, files, cached) => {
+                writeln!(writer, "{}", done_line(id, &name, cached, &files))?;
+                return Ok(());
+            }
+            Step::Progress(done, total, insts) => {
+                writeln!(writer, "{}", progress_line(id, done, total, insts))?;
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+fn status_response(shared: &Shared) -> String {
+    use nosq_core::ser::JsonObject;
+    let reg = shared.registry.lock().expect("registry poisoned");
+    let count = |s: JobStatus| reg.jobs.values().filter(|j| j.status == s).count() as u64;
+    let (hits, misses, evictions) = shared.cache.lock().expect("cache poisoned").stats();
+    let (journal_records, journal_truncated) = shared
+        .journal
+        .lock()
+        .expect("journal poisoned")
+        .as_ref()
+        .map_or((0, 0), |j| (j.records(), j.truncated_bytes()));
+    let mut obj = JsonObject::new();
+    obj.field_bool("ok", true)
+        .field_bool("draining", reg.draining)
+        .field_u64("queued", count(JobStatus::Queued))
+        .field_u64("running", count(JobStatus::Running))
+        .field_u64("completed", count(JobStatus::Done))
+        .field_u64("jobs_run", reg.jobs_run)
+        .field_u64("cache_hits", reg.cache_hits)
+        .field_u64("cache_misses", reg.cache_misses)
+        .field_u64("cache_lookup_hits", hits)
+        .field_u64("cache_lookup_misses", misses)
+        .field_u64("cache_evictions", evictions)
+        .field_u64("queue_len", shared.queue.len() as u64)
+        .field_u64("journal_records", journal_records)
+        .field_u64("journal_truncated_bytes", journal_truncated)
+        .field_u64("connections", reg.connections);
+    obj.finish()
+}

@@ -1,0 +1,56 @@
+//! SIGTERM / SIGINT → graceful drain, without a libc crate.
+//!
+//! The daemon promises "graceful shutdown on SIGTERM": the handler may
+//! only do async-signal-safe work, so it sets one static atomic flag
+//! and returns; the accept loop polls [`drain_requested`] and runs the
+//! same drain path a `shutdown` request takes. Registration goes
+//! through the C `signal(2)` entry point directly — the workspace has
+//! no crates.io access, and one two-argument FFI declaration is not
+//! worth a libc stub crate.
+//!
+//! This is the one module in the workspace allowed to touch
+//! `std::sync::atomic` outside the `nosq_check::sync` facade
+//! (allowlisted in `lint.allow`): a signal handler cannot take the
+//! facade's generic machinery, and a `static` needs a `const`
+//! constructor the facade trait cannot promise. Nothing is
+//! model-checked here because nothing concurrent happens here — one
+//! relaxed store in the handler, one relaxed load in the poll loop.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod unix {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single relaxed atomic store.
+        super::DRAIN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handlers (no-op off Unix). Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+/// Whether a termination signal has arrived since [`install`].
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::Relaxed)
+}

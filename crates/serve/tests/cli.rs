@@ -1,0 +1,104 @@
+//! Exit-code and usage contract of the `nosq` binary.
+//!
+//! The conventions under test: exit 0 on success, exit 1 on runtime
+//! failures (prefixed `nosq: error:` on stderr), exit 2 on usage
+//! errors (usage text on stderr, never stdout). In particular, running
+//! `nosq` with no subcommand is a usage *error* — it must not print
+//! the help to stdout and exit as if that were a successful run.
+
+use std::process::{Command, Output};
+
+fn nosq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nosq"))
+        .args(args)
+        .output()
+        .expect("spawn nosq")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("nosq must exit, not be killed")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_subcommand_is_a_usage_error_on_stderr() {
+    let out = nosq(&[]);
+    assert_eq!(code(&out), 2);
+    assert!(stdout(&out).is_empty(), "usage errors must not use stdout");
+    let err = stderr(&out);
+    assert!(err.contains("a subcommand is required"), "{err}");
+    assert!(err.contains("USAGE:"), "{err}");
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = nosq(&["frobnicate"]);
+    assert_eq!(code(&out), 2);
+    assert!(stdout(&out).is_empty());
+    assert!(stderr(&out).contains("unknown command `frobnicate`"));
+}
+
+#[test]
+fn unknown_option_exits_2() {
+    let out = nosq(&["smoke", "--frob"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("unknown option `--frob`"));
+}
+
+#[test]
+fn help_exits_0_on_stdout() {
+    for invocation in [&["help"][..], &["--help"], &["-h"]] {
+        let out = nosq(invocation);
+        assert_eq!(code(&out), 0);
+        let text = stdout(&out);
+        assert!(text.contains("USAGE:"), "{text}");
+        assert!(text.contains("nosq serve"), "help must list the daemon");
+        assert!(text.contains("nosq loadgen"), "help must list the loadgen");
+    }
+}
+
+#[test]
+fn list_is_consistent_with_help() {
+    let out = nosq(&["list", "presets"]);
+    assert_eq!(code(&out), 0);
+    assert!(stdout(&out).contains("nosq"));
+    let out = nosq(&["list", "profiles"]);
+    assert_eq!(code(&out), 0);
+    assert!(stdout(&out).contains("gzip"));
+}
+
+#[test]
+fn missing_positional_arguments_exit_2() {
+    for args in [&["run"][..], &["submit"], &["run", "a", "b"]] {
+        let out = nosq(args);
+        assert_eq!(code(&out), 2, "nosq {args:?}");
+        assert!(stderr(&out).contains("exactly one spec file"));
+    }
+    let out = nosq(&["serve", "stray"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("no positional arguments"));
+}
+
+#[test]
+fn runtime_failures_exit_1_not_2() {
+    // An unreadable spec is a runtime error, not a usage error.
+    let out = nosq(&["submit", "/nonexistent/campaign.spec"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("nosq: error:"));
+
+    // A well-formed request against no daemon likewise.
+    let out = nosq(&["shutdown", "--addr", "127.0.0.1:1"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("nosq: error:"));
+
+    let out = nosq(&["loadgen", "--addr", "127.0.0.1:1"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("daemon not reachable"));
+}

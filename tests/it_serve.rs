@@ -1,0 +1,256 @@
+//! Integration: the `nosq serve` daemon against the offline engine.
+//!
+//! Everything here runs the real [`Server`] in-process on an ephemeral
+//! port — the same code path `nosq serve` executes — and talks to it
+//! through the real [`ServeClient`]. The contracts under test:
+//!
+//! 1. **Byte-identity**: artifacts served over the wire are exactly the
+//!    bytes a one-shot `nosq run` of the same spec produces.
+//! 2. **Concurrency**: ≥ 8 simultaneous clients get identical bytes
+//!    for identical campaigns, with no divergence.
+//! 3. **Crash safety**: a daemon restarted on a journal with a torn
+//!    tail (the kill -9 mid-append case) recovers every completed
+//!    record, truncates the tear, and serves resubmissions from the
+//!    journal without re-simulating.
+//! 4. **Cache accounting**: hits, misses, and the `cached` response
+//!    flag add up.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use nosq_lab::json::Json;
+use nosq_lab::{artifacts, run_campaign, Artifact, Campaign, RunOptions};
+use nosq_serve::{ServeClient, ServeOptions, ServeStats, Server};
+
+/// A small two-config campaign: enough to produce real matrix /
+/// summary / speedup artifacts, small enough to run in milliseconds.
+const SPEC: &str = "name = it-serve\nconfigs = nosq, baseline-storesets\n\
+                    profiles = gzip\nmax_insts = 1500\nbaseline = baseline-storesets\n";
+
+/// A spec that fingerprints differently from [`SPEC`] (other seed).
+fn cold_spec(k: usize) -> String {
+    format!(
+        "name = it-serve-cold-{k}\nconfigs = nosq\nprofiles = gzip\n\
+         max_insts = 1500\nseed = {}\n",
+        4_000 + k as u64
+    )
+}
+
+fn start(journal: Option<PathBuf>) -> (SocketAddr, std::thread::JoinHandle<ServeStats>) {
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        journal,
+        cache_capacity: 8,
+        ..ServeOptions::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+fn connect(addr: SocketAddr) -> ServeClient {
+    ServeClient::connect(&addr.to_string()).expect("connect")
+}
+
+fn local_artifacts(spec: &str) -> Vec<Artifact> {
+    let campaign = Campaign::from_spec(spec).expect("spec parses");
+    artifacts(&run_campaign(&campaign, &RunOptions::default()))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nosq-it-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn daemon_serves_cli_identical_bytes() {
+    let (addr, handle) = start(None);
+    let mut client = connect(addr);
+
+    let outcome = client.run_spec(SPEC).expect("run spec");
+    assert_eq!(outcome.name, "it-serve");
+    assert!(!outcome.cached, "first submission must simulate");
+    assert!(!outcome.artifacts.is_empty());
+    assert_eq!(
+        outcome.artifacts,
+        local_artifacts(SPEC),
+        "served artifacts must be byte-identical to `nosq run`"
+    );
+
+    // Unknown job ids are a polite protocol error, not a hang.
+    let err = client.wait("0000000000000000").unwrap_err();
+    assert!(err.to_string().contains("unknown job"), "{err}");
+    let err = client.wait("not-a-fingerprint").unwrap_err();
+    assert!(err.to_string().contains("malformed job id"), "{err}");
+
+    client.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join server");
+    assert_eq!(stats.jobs_run, 1);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn eight_concurrent_clients_see_no_divergence() {
+    let (addr, handle) = start(None);
+    const CLIENTS: usize = 8;
+
+    let reference = local_artifacts(SPEC);
+    let outcomes: Vec<(Vec<Artifact>, Vec<Artifact>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|k| {
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut client = connect(addr);
+                    // Everyone hammers the shared hot campaign…
+                    let hot = client.run_spec(SPEC).expect("hot spec");
+                    assert_eq!(
+                        &hot.artifacts, reference,
+                        "client {k}: hot artifacts diverged"
+                    );
+                    // …and runs one private cold campaign of its own.
+                    let cold = client.run_spec(&cold_spec(k)).expect("cold spec");
+                    (hot.artifacts, cold.artifacts)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (k, (hot, cold)) in outcomes.iter().enumerate() {
+        assert_eq!(hot, &reference);
+        assert_eq!(
+            cold,
+            &local_artifacts(&cold_spec(k)),
+            "client {k}: cold artifacts diverged from the local run"
+        );
+    }
+
+    let mut client = connect(addr);
+    let status = client.status().expect("status");
+    let num = |n: &str| status.get(n).and_then(Json::as_u64).unwrap_or(u64::MAX);
+    // The hot campaign simulates exactly once; every other hot
+    // submission is a cache hit or an idempotent-duplicate reply.
+    assert_eq!(num("jobs_run"), 1 + CLIENTS as u64);
+    assert_eq!(num("completed"), 1 + CLIENTS as u64);
+    assert_eq!(num("queued"), 0);
+    assert_eq!(num("running"), 0);
+
+    client.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join server");
+    assert_eq!(stats.jobs_run, 1 + CLIENTS as u64);
+    assert_eq!(stats.connections as usize, CLIENTS + 1);
+}
+
+#[test]
+fn killed_daemon_resumes_from_a_torn_journal() {
+    let dir = scratch("journal");
+    let journal = dir.join("serve.journal");
+
+    // Lifetime 1: complete one campaign, drain cleanly.
+    let (addr, handle) = start(Some(journal.clone()));
+    let mut client = connect(addr);
+    let first = client.run_spec(SPEC).expect("first run");
+    assert!(!first.cached);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join server");
+
+    // Simulate kill -9 mid-append: a record header promising more
+    // payload than was ever written. Recovery must drop exactly this
+    // tail and keep the completed record before it.
+    let clean_len = std::fs::metadata(&journal).unwrap().len();
+    assert!(clean_len > 12, "journal must hold the completed record");
+    let mut bytes = std::fs::read(&journal).unwrap();
+    bytes.extend_from_slice(&200u32.to_le_bytes());
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(b"torn payload");
+    std::fs::write(&journal, &bytes).unwrap();
+
+    // Lifetime 2: recover, serve the resubmission without simulating.
+    let (addr, handle) = start(Some(journal.clone()));
+    let mut client = connect(addr);
+    let status = client.status().expect("status");
+    let num = |n: &str| status.get(n).and_then(Json::as_u64).unwrap_or(u64::MAX);
+    assert_eq!(num("journal_records"), 1);
+    assert!(
+        num("journal_truncated_bytes") > 0,
+        "recovery must report the discarded tail"
+    );
+    assert_eq!(
+        std::fs::metadata(&journal).unwrap().len(),
+        clean_len,
+        "the torn tail must be physically truncated"
+    );
+
+    let resumed = client.run_spec(SPEC).expect("resumed run");
+    assert!(
+        resumed.cached,
+        "journal replay must serve without simulating"
+    );
+    assert_eq!(resumed.artifacts, first.artifacts);
+    assert_eq!(resumed.artifacts, local_artifacts(SPEC));
+
+    client.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join server");
+    assert_eq!(stats.jobs_run, 0, "nothing may re-simulate after recovery");
+    assert_eq!(stats.recovered, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_journal_files_are_refused() {
+    let dir = scratch("foreign");
+    let journal = dir.join("not-a-journal");
+    std::fs::write(&journal, b"definitely not NOSQJRNL data").unwrap();
+    let err = match Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        journal: Some(journal),
+        ..ServeOptions::default()
+    }) {
+        Err(e) => e,
+        Ok(_) => panic!("a foreign file must not be clobbered"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_accounting_adds_up() {
+    let (addr, handle) = start(None);
+    let mut client = connect(addr);
+
+    let miss = client.run_spec(SPEC).expect("first");
+    let hit = client.run_spec(SPEC).expect("second");
+    let cold = client.run_spec(&cold_spec(99)).expect("third");
+    assert!(!miss.cached);
+    assert!(hit.cached, "resubmission must be served from cache");
+    assert!(!cold.cached);
+    assert_eq!(hit.artifacts, miss.artifacts);
+
+    let status = client.status().expect("status");
+    let num = |n: &str| status.get(n).and_then(Json::as_u64).unwrap_or(u64::MAX);
+    assert_eq!(num("cache_hits"), 1);
+    assert_eq!(num("cache_misses"), 2);
+    assert_eq!(num("jobs_run"), 2);
+
+    client.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join server");
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 2);
+}
+
+/// Keep the test specs honest: both forms must parse, and the cold
+/// specs must fingerprint apart from the shared hot one.
+#[test]
+fn test_specs_parse_and_fingerprint_apart() {
+    use nosq_serve::campaign_fingerprint;
+    let hot = Campaign::from_spec(SPEC).unwrap();
+    assert_eq!(hot.jobs(), 2);
+    for k in 0..8 {
+        let cold = Campaign::from_spec(&cold_spec(k)).unwrap();
+        assert_ne!(campaign_fingerprint(&cold), campaign_fingerprint(&hot));
+    }
+}
