@@ -47,6 +47,12 @@ pub struct SimArena {
     /// via [`Tracer::with_arena`](nosq_trace::Tracer::with_arena).
     pub trace: LastWriterMap,
     pub(crate) core: CoreBuffers,
+    /// Per-lane buffer partitions for fused replay
+    /// ([`LaneSet`](crate::LaneSet)): lane `i` of a fused run takes
+    /// `lanes[i]`, so N lockstep simulators recycle N disjoint buffer
+    /// sets from one arena. Grown on demand; solo sessions never touch
+    /// it.
+    pub(crate) lanes: Vec<CoreBuffers>,
 }
 
 impl SimArena {
@@ -110,7 +116,7 @@ impl CoreBuffers {
 /// The pipeline stores each dynamic instruction exactly once, here, and
 /// passes 4-byte indices through the fetch buffer, ROB and replay
 /// queues instead of ~150-byte `DynInst` copies.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub(crate) struct InstPool {
     slots: Vec<DynInst>,
     free: Vec<u32>,
@@ -185,6 +191,7 @@ impl std::ops::Index<u32> for InstPool {
 /// (large) ROB entry each cycle. The ring grows by doubling when full
 /// (positions are preserved), and [`clear`](Ring::clear) keeps the
 /// allocation for the next session.
+#[derive(Clone)]
 pub(crate) struct Ring<T> {
     buf: Vec<Option<T>>,
     head: u64,

@@ -107,6 +107,7 @@ pub mod observer;
 pub mod pipeline;
 pub mod predictor;
 pub mod report;
+pub mod sample;
 pub mod ser;
 pub mod srq;
 
@@ -116,11 +117,12 @@ pub use observer::{
     BypassEvent, CommitEvent, CommittedLoadKind, CycleEvent, LoadCommitEvent, ReexecEvent,
     SimObserver, SquashCause, SquashEvent,
 };
-pub use pipeline::{simulate, Simulator, StopCondition};
+pub use pipeline::{simulate, LaneSet, SimCheckpoint, Simulator, StopCondition};
 pub use predictor::{BypassingPredictor, PathHistory, Prediction, PredictorConfig};
 #[allow(deprecated)]
 pub use report::SimResult;
 pub use report::{
     geometric_mean, FrontendMetrics, MemoryMetrics, SimReport, StallMetrics, VerificationMetrics,
 };
+pub use sample::{sampled_replay, sampled_replay_with_arena, SamplePlan, SampledReport};
 pub use srq::{StoreInfo, StoreRegisterQueue};

@@ -26,10 +26,13 @@
 //! [`SimArena`] / [`Simulator::with_arena`] — reuse never changes a
 //! report byte, only where the memory comes from.
 
+mod lanes;
 pub(crate) mod nodes;
 
 #[cfg(test)]
 mod tests;
+
+pub use lanes::LaneSet;
 
 use nosq_isa::exec::load_extend;
 use nosq_isa::{Inst, InstClass, MemWidth, Memory, Program, Reg};
@@ -113,7 +116,7 @@ impl LoadPlan {
 /// One ROB entry. The dynamic instruction itself lives in the
 /// [`InstPool`] slab; the entry carries its 4-byte index (plus a cached
 /// class, the one field the per-cycle loops touch constantly).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Entry {
     uid: u64,
     /// Index of this entry's [`DynInst`] in the instruction pool.
@@ -220,26 +223,82 @@ enum InstSource<'p> {
     },
 }
 
-impl InstSource<'_> {
+impl<'p> InstSource<'p> {
+    /// Pulls the next instruction as a slab index. Live tracing copies
+    /// the record into the pool; a replayed instruction's index *is*
+    /// its trace position, so replay never copies a `DynInst` at all.
     #[inline]
-    fn next(&mut self) -> Option<DynInst> {
+    fn next_index(&mut self, slab: &mut InstSlab<'p>) -> Option<u32> {
         match self {
-            InstSource::Live(t) => t.next(),
-            InstSource::Replay { insts, next, limit } => {
+            InstSource::Live(t) => {
+                let d = t.next()?;
+                match slab {
+                    InstSlab::Pool(pool) => Some(pool.alloc(d)),
+                    InstSlab::Trace { .. } => unreachable!("live source pairs with a pool slab"),
+                }
+            }
+            InstSource::Replay { next, limit, .. } => {
                 if *next >= *limit {
                     return None;
                 }
-                let d = insts[*next];
+                let idx = *next as u32;
                 *next += 1;
-                Some(d)
+                Some(idx)
             }
+        }
+    }
+}
+
+/// Backing storage for in-flight [`DynInst`]s, addressed by the 4-byte
+/// indices that travel through the fetch buffer, ROB, and replay queue.
+///
+/// Live tracing copies each instruction into a recycled
+/// [`InstPool`](crate::arena) slab and recycles slots at retire; replay
+/// addresses the recorded trace directly (the index is the trace
+/// position), with the arena's pool riding along idle so
+/// [`Simulator::finish`] can hand it back.
+enum InstSlab<'p> {
+    Pool(InstPool),
+    Trace {
+        insts: &'p [DynInst],
+        pool: InstPool,
+    },
+}
+
+impl InstSlab<'_> {
+    /// Returns a pool slot to the free list (a no-op for trace-backed
+    /// storage, whose slots are the immutable trace itself).
+    #[inline]
+    fn release(&mut self, idx: u32) {
+        if let InstSlab::Pool(pool) = self {
+            pool.release(idx);
+        }
+    }
+
+    /// Extracts the recyclable pool for the arena hand-back.
+    fn take_pool(&mut self) -> InstPool {
+        match self {
+            InstSlab::Pool(pool) => std::mem::take(pool),
+            InstSlab::Trace { pool, .. } => std::mem::take(pool),
+        }
+    }
+}
+
+impl std::ops::Index<u32> for InstSlab<'_> {
+    type Output = DynInst;
+
+    #[inline]
+    fn index(&self, idx: u32) -> &DynInst {
+        match self {
+            InstSlab::Pool(pool) => &pool[idx],
+            InstSlab::Trace { insts, .. } => &insts[idx as usize],
         }
     }
 }
 
 /// A fetched-but-not-dispatched instruction (pool index + front-end
 /// snapshots).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct Fetched {
     inst: u32,
     uid: u64,
@@ -286,6 +345,59 @@ impl std::fmt::Debug for StopCondition<'_> {
     }
 }
 
+/// A self-contained snapshot of a replay session's complete
+/// microarchitectural and architectural state, taken with
+/// [`Simulator::checkpoint`] and turned back into a running session by
+/// [`Simulator::resume`] / [`Simulator::resume_with_arena`].
+///
+/// Restoration is bit-identical: resuming a checkpoint and running to
+/// completion produces the same [`SimReport`] as the uninterrupted
+/// session (pinned by `tests/it_checkpoint.rs`). Checkpoints exist only
+/// for *replay* sessions — the in-flight instruction window is captured
+/// as 4-byte trace indices, so a checkpoint must be resumed against the
+/// same recorded trace (same workload, same budget) it was taken from.
+/// Live-tracer sessions, whose functional front-end state lives outside
+/// the simulator, cannot be snapshotted.
+pub struct SimCheckpoint {
+    cfg: SimConfig,
+    clock: u64,
+    next_uid: u64,
+    stream_next: usize,
+    stream_limit: usize,
+    stream_done: bool,
+    pending: Ring<u32>,
+    fetch_buffer: Ring<Fetched>,
+    rob: Ring<Entry>,
+    backend_exits: Ring<u64>,
+    iq_ready: Vec<ReadyCand>,
+    wheel: std::collections::BinaryHeap<WheelEntry>,
+    waiters: Vec<Waiter>,
+    waiter_free: Vec<u32>,
+    node_waiters: Vec<u32>,
+    iq_count: usize,
+    lq_used: usize,
+    sq_used: usize,
+    regs: RegState,
+    timing_mem: Memory,
+    hierarchy: MemoryHierarchy,
+    bpred: HybridPredictor,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    path: PathHistory,
+    fetch_stall_until: u64,
+    fetch_stalled_on: Option<u64>,
+    halt_fetched: bool,
+    ssn: SsnCounters,
+    srq: StoreRegisterQueue,
+    tssbf: Tssbf,
+    predictor: BypassingPredictor,
+    storesets: StoreSets,
+    draining_for_wrap: bool,
+    fault_bypass_seen: u64,
+    stats: SimReport,
+    done: bool,
+}
+
 /// The simulator for one (program, configuration) pair.
 ///
 /// A `Simulator` is a *session*: construct it with [`Simulator::new`]
@@ -307,7 +419,7 @@ pub struct Simulator<'p> {
     stream: InstSource<'p>,
     stream_done: bool,
     /// In-flight dynamic instructions, stored once, addressed by index.
-    insts: InstPool,
+    insts: InstSlab<'p>,
     /// Squash-replay queue (pool indices, program order).
     pending: Ring<u32>,
     fetch_buffer: Ring<Fetched>,
@@ -358,6 +470,11 @@ pub struct Simulator<'p> {
     stats: SimReport,
     observers: Vec<Box<dyn SimObserver + 'p>>,
     done: bool,
+    /// Batch mode ([`LaneSet`](crate::LaneSet) / sampling windows):
+    /// permits `run_until` to jump over provably idle cycle spans. Off
+    /// for interactive sessions, whose per-cycle observer and predicate
+    /// contracts require visiting every cycle.
+    batch: bool,
     mispredict_pcs: std::collections::HashMap<u64, u64>,
     /// Where to return the recyclable buffers at `finish`.
     arena_core: Option<&'p mut CoreBuffers>,
@@ -384,7 +501,7 @@ impl<'p> Simulator<'p> {
         cfg: SimConfig,
         arena: &'p mut SimArena,
     ) -> Simulator<'p> {
-        let SimArena { trace, core } = arena;
+        let SimArena { trace, core, .. } = arena;
         let stream = InstSource::Live(Box::new(Tracer::with_arena(program, cfg.max_insts, trace)));
         Simulator::build(program, cfg, stream, Some(core))
     }
@@ -429,11 +546,74 @@ impl<'p> Simulator<'p> {
             trace.max_insts(),
             cfg.max_insts
         );
+        let limit = trace.len().min(cfg.max_insts as usize);
+        assert!(
+            limit <= u32::MAX as usize,
+            "replay indices are 4 bytes; budget {limit} does not fit"
+        );
         InstSource::Replay {
             insts: trace.insts(),
             next: 0,
-            limit: trace.len().min(cfg.max_insts as usize),
+            limit,
         }
+    }
+
+    /// Builds a simulator over the half-open trace window
+    /// `[offset, offset + len)` for sampled simulation
+    /// ([`sample`](crate::sample)). `mem` must be the functional memory
+    /// image with every store older than `offset` already applied (the
+    /// fast-forward), so loads that read pre-window stores observe the
+    /// exact architectural values. The SSN counters are seeded with the
+    /// absolute store count at the window start, keeping SSN arithmetic
+    /// — bypass distances, rollback targets, wrap boundaries — identical
+    /// to a full run's. Long-history microarchitectural state (caches,
+    /// branch structures, the bypassing predictor, the T-SSBF) is
+    /// injected from `warm`, the functional warmer's image of that
+    /// state at `offset`; any residual divergence from a full run is
+    /// the sampling estimator's documented bias, and every SVW filter
+    /// fails *conservative* on a not-warmed entry (forced
+    /// re-execution), so the window is still value-verified end to end.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn replay_window(
+        program: &'p Program,
+        cfg: SimConfig,
+        trace: &'p TraceBuffer,
+        offset: usize,
+        len: usize,
+        mem: Memory,
+        warm: &crate::sample::WarmState,
+        core: Option<&'p mut CoreBuffers>,
+    ) -> Simulator<'p> {
+        let insts = trace.insts();
+        assert!(len >= 1, "sample window must contain an instruction");
+        let end = offset.checked_add(len).expect("window end overflows");
+        assert!(
+            end <= insts.len(),
+            "window [{offset}, {end}) exceeds trace length {}",
+            insts.len()
+        );
+        assert!(
+            end <= u32::MAX as usize,
+            "replay indices are 4 bytes; window end {end} does not fit"
+        );
+        let stream = InstSource::Replay {
+            insts,
+            next: offset,
+            limit: end,
+        };
+        let mut sim = Simulator::build(program, cfg, stream, core);
+        sim.cycle_cap = 1_000_000 + (len as u64).saturating_mul(300);
+        sim.timing_mem = mem;
+        sim.ssn = SsnCounters::seeded(sim.cfg.machine.ssn_bits, insts[offset].stores_before);
+        sim.hierarchy = warm.hierarchy.clone();
+        sim.bpred = warm.bpred.clone();
+        sim.btb = warm.btb.clone();
+        sim.ras = warm.ras.clone();
+        sim.path = warm.path;
+        sim.predictor = warm.predictor.clone();
+        sim.tssbf = warm.tssbf.clone();
+        sim.batch = true;
+        sim
     }
 
     fn build(
@@ -464,6 +644,13 @@ impl<'p> Simulator<'p> {
             srq,
         } = bufs;
         rob.reserve(m.rob_size);
+        let insts = match &stream {
+            InstSource::Live(_) => InstSlab::Pool(insts),
+            InstSource::Replay { insts: trace, .. } => InstSlab::Trace {
+                insts: trace,
+                pool: insts,
+            },
+        };
         Simulator {
             clock: 0,
             cycle_cap: 1_000_000 + cfg.max_insts.saturating_mul(300),
@@ -511,6 +698,7 @@ impl<'p> Simulator<'p> {
             observers: Vec::new(),
             cfg,
             done: false,
+            batch: false,
             mispredict_pcs: std::collections::HashMap::new(),
             arena_core,
         }
@@ -579,6 +767,14 @@ impl<'p> Simulator<'p> {
     /// Steps until `stop` is satisfied or the program completes,
     /// whichever comes first. Returns `true` if the program completed.
     pub fn run_until(&mut self, mut stop: StopCondition) -> bool {
+        // Idle-cycle skipping is sound only when nobody can observe the
+        // skipped cycles: batch sessions without observers, advancing
+        // toward a completion or committed-instruction target (idle
+        // cycles commit nothing, so an `Insts` target cannot be
+        // overshot; `Cycles` and `Predicate` inspect every cycle).
+        let may_skip = self.batch
+            && self.observers.is_empty()
+            && matches!(stop, StopCondition::Done | StopCondition::Insts(_));
         loop {
             let met = match &mut stop {
                 StopCondition::Done => false, // only completion stops it
@@ -589,8 +785,207 @@ impl<'p> Simulator<'p> {
             if met || self.done {
                 return self.done;
             }
+            if may_skip {
+                if let Some(target) = self.idle_skip_target() {
+                    self.clock = target;
+                }
+            }
             self.step();
         }
+    }
+
+    /// If every pipeline stage is provably a no-op until some known
+    /// future cycle, returns the last idle cycle (jump the clock there
+    /// and step once to land exactly on the first non-idle cycle).
+    ///
+    /// The conditions mirror the stages back to front. Nothing can
+    /// *issue* (the ready list is empty; blocked loads and wrap drains
+    /// keep their candidates in it, so both force a `None` here), hence
+    /// nothing can *commit* before the ROB head's known completion,
+    /// *dispatch* before the fetch front matures or a backend exit
+    /// frees ROB occupancy — dispatch-stall counters only tick once the
+    /// front is mature, and a mature front's event is already in the
+    /// past, vetoing the skip — and *fetch* before `fetch_stall_until`
+    /// (irrelevant while fetch is blocked on a mispredicted branch, a
+    /// fetched halt, or an exhausted stream). Every event that could
+    /// end the idle span has a known cycle; the earliest one bounds the
+    /// jump, so the skipped cycles are exactly the ones a stepped run
+    /// would have executed as no-ops. Deadlocks still hit the cycle cap:
+    /// with no future event scheduled this returns `None` and stepping
+    /// proceeds to the cap as before.
+    fn idle_skip_target(&self) -> Option<u64> {
+        if !self.iq_ready.is_empty() || self.draining_for_wrap || self.ssn.wrap_pending() {
+            return None;
+        }
+        let mut next = u64::MAX;
+        if let Some(&t) = self.backend_exits.front() {
+            next = next.min(t);
+        }
+        if let Some(e) = self.rob.front() {
+            if e.complete_cycle != u64::MAX {
+                next = next.min(e.complete_cycle);
+            }
+        }
+        if let Some(w) = self.wheel.peek() {
+            next = next.min(w.ready);
+        }
+        if let Some(f) = self.fetch_buffer.front() {
+            next = next.min(f.fetch_cycle + self.cfg.machine.front_depth);
+        }
+        let fetch_blocked = self.halt_fetched
+            || self.fetch_stalled_on.is_some()
+            || (self.stream_done && self.pending.is_empty());
+        if !fetch_blocked {
+            next = next.min(self.fetch_stall_until);
+        }
+        (next != u64::MAX && next > self.clock + 1).then(|| next - 1)
+    }
+
+    /// Snapshots the session's complete state into a [`SimCheckpoint`].
+    /// The session itself is untouched and can keep running.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a live-tracer session (only replay sessions are
+    /// snapshottable; see [`SimCheckpoint`]) or when observers are
+    /// attached (observer state is caller-owned and cannot be
+    /// captured).
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        let InstSource::Replay { next, limit, .. } = &self.stream else {
+            panic!("checkpoint requires a replay session; live tracer state is not snapshottable");
+        };
+        assert!(
+            self.observers.is_empty(),
+            "checkpoint with attached observers is not supported"
+        );
+        debug_assert!(self.scratch.is_empty(), "scratch is empty between steps");
+        SimCheckpoint {
+            cfg: self.cfg.clone(),
+            clock: self.clock,
+            next_uid: self.next_uid,
+            stream_next: *next,
+            stream_limit: *limit,
+            stream_done: self.stream_done,
+            pending: self.pending.clone(),
+            fetch_buffer: self.fetch_buffer.clone(),
+            rob: self.rob.clone(),
+            backend_exits: self.backend_exits.clone(),
+            iq_ready: self.iq_ready.clone(),
+            wheel: self.wheel.clone(),
+            waiters: self.waiters.clone(),
+            waiter_free: self.waiter_free.clone(),
+            node_waiters: self.node_waiters.clone(),
+            iq_count: self.iq_count,
+            lq_used: self.lq_used,
+            sq_used: self.sq_used,
+            regs: self.regs.clone(),
+            timing_mem: self.timing_mem.clone(),
+            hierarchy: self.hierarchy.clone(),
+            bpred: self.bpred.clone(),
+            btb: self.btb.clone(),
+            ras: self.ras.clone(),
+            path: self.path,
+            fetch_stall_until: self.fetch_stall_until,
+            fetch_stalled_on: self.fetch_stalled_on,
+            halt_fetched: self.halt_fetched,
+            ssn: self.ssn.clone(),
+            srq: self.srq.clone(),
+            tssbf: self.tssbf.clone(),
+            predictor: self.predictor.clone(),
+            storesets: self.storesets.clone(),
+            draining_for_wrap: self.draining_for_wrap,
+            fault_bypass_seen: self.fault_bypass_seen,
+            stats: self.stats,
+            done: self.done,
+        }
+    }
+
+    /// Rebuilds a running replay session from a checkpoint, with
+    /// session-owned buffers. `trace` must be the recorded trace the
+    /// checkpointed session was replaying (same workload, same
+    /// recording budget); continuing the resumed session reproduces the
+    /// uninterrupted run bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` does not match the checkpoint's recorded
+    /// replay extent.
+    pub fn resume(
+        program: &'p Program,
+        trace: &'p TraceBuffer,
+        ckpt: &SimCheckpoint,
+    ) -> Simulator<'p> {
+        Simulator::resume_inner(program, trace, ckpt, None)
+    }
+
+    /// [`Simulator::resume`] with arena-recycled buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` does not match the checkpoint's recorded
+    /// replay extent.
+    pub fn resume_with_arena(
+        program: &'p Program,
+        trace: &'p TraceBuffer,
+        ckpt: &SimCheckpoint,
+        arena: &'p mut SimArena,
+    ) -> Simulator<'p> {
+        Simulator::resume_inner(program, trace, ckpt, Some(&mut arena.core))
+    }
+
+    fn resume_inner(
+        program: &'p Program,
+        trace: &'p TraceBuffer,
+        ckpt: &SimCheckpoint,
+        core: Option<&'p mut CoreBuffers>,
+    ) -> Simulator<'p> {
+        let stream = Simulator::replay_source(&ckpt.cfg, trace);
+        let InstSource::Replay { limit, .. } = &stream else {
+            unreachable!("replay_source builds a replay stream");
+        };
+        assert_eq!(
+            *limit, ckpt.stream_limit,
+            "checkpoint was taken against a different trace extent"
+        );
+        let mut sim = Simulator::build(program, ckpt.cfg.clone(), stream, core);
+        if let InstSource::Replay { next, .. } = &mut sim.stream {
+            *next = ckpt.stream_next;
+        }
+        sim.clock = ckpt.clock;
+        sim.next_uid = ckpt.next_uid;
+        sim.stream_done = ckpt.stream_done;
+        sim.pending = ckpt.pending.clone();
+        sim.fetch_buffer = ckpt.fetch_buffer.clone();
+        sim.rob = ckpt.rob.clone();
+        sim.backend_exits = ckpt.backend_exits.clone();
+        sim.iq_ready = ckpt.iq_ready.clone();
+        sim.wheel = ckpt.wheel.clone();
+        sim.waiters = ckpt.waiters.clone();
+        sim.waiter_free = ckpt.waiter_free.clone();
+        sim.node_waiters = ckpt.node_waiters.clone();
+        sim.iq_count = ckpt.iq_count;
+        sim.lq_used = ckpt.lq_used;
+        sim.sq_used = ckpt.sq_used;
+        sim.regs = ckpt.regs.clone();
+        sim.timing_mem = ckpt.timing_mem.clone();
+        sim.hierarchy = ckpt.hierarchy.clone();
+        sim.bpred = ckpt.bpred.clone();
+        sim.btb = ckpt.btb.clone();
+        sim.ras = ckpt.ras.clone();
+        sim.path = ckpt.path;
+        sim.fetch_stall_until = ckpt.fetch_stall_until;
+        sim.fetch_stalled_on = ckpt.fetch_stalled_on;
+        sim.halt_fetched = ckpt.halt_fetched;
+        sim.ssn = ckpt.ssn.clone();
+        sim.srq = ckpt.srq.clone();
+        sim.tssbf = ckpt.tssbf.clone();
+        sim.predictor = ckpt.predictor.clone();
+        sim.storesets = ckpt.storesets.clone();
+        sim.draining_for_wrap = ckpt.draining_for_wrap;
+        sim.fault_bypass_seen = ckpt.fault_bypass_seen;
+        sim.stats = ckpt.stats;
+        sim.done = ckpt.done;
+        sim
     }
 
     /// Closes the session and returns the report for everything
@@ -616,7 +1011,7 @@ impl<'p> Simulator<'p> {
     fn release_buffers(&mut self) {
         if let Some(core) = self.arena_core.take() {
             *core = CoreBuffers {
-                insts: std::mem::take(&mut self.insts),
+                insts: self.insts.take_pool(),
                 rob: std::mem::take(&mut self.rob),
                 fetch: std::mem::take(&mut self.fetch_buffer),
                 exits: std::mem::take(&mut self.backend_exits),
@@ -1891,8 +2286,8 @@ impl<'p> Simulator<'p> {
         while budget > 0 {
             let inst_idx = match self.pending.pop_front() {
                 Some(i) => i,
-                None => match self.stream.next() {
-                    Some(d) => self.insts.alloc(d),
+                None => match self.stream.next_index(&mut self.insts) {
+                    Some(i) => i,
                     None => {
                         self.stream_done = true;
                         break;

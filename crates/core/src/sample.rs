@@ -1,0 +1,404 @@
+//! Checkpointed sampling: estimate a full run's performance from
+//! periodic measured windows.
+//!
+//! Cycle-level simulation costs ~100× the functional tracer; sampling
+//! buys that factor back for long workloads by running the detailed
+//! pipeline only over short, evenly spaced *windows* of the dynamic
+//! stream and **fast-forwarding** between them at functional speed.
+//! The fast-forward is *functional warm-up via the tracer path*: a
+//! single pass over the recorded trace that applies each committed
+//! store's effect to an architectural memory image **and** trains the
+//! long-history microarchitectural state — branch predictor, BTB,
+//! RAS, caches/TLB, the T-SSBF, and above all the bypassing
+//! predictor — from the same per-instruction records the pipeline
+//! would see, without simulating any timing. Positioning a window at
+//! trace offset *k* therefore costs a few table updates per skipped
+//! instruction rather than a simulated cycle, and the window opens
+//! with the slow-learning state (bypass confidence takes ~100k
+//! instructions to train) already in steady state. Without that
+//! warming, a window placed after the predictors' training phase
+//! measures the *untrained* machine and the estimate lands 30–50%
+//! low.
+//!
+//! Each window then replays a [`DETAIL_WARMUP`]-instruction detailed
+//! warming prefix followed by the measured `interval`, all with the
+//! full timing model; statistics count only the measured part. The
+//! memory image makes loads of pre-window stores exact, and the SSN
+//! counters are seeded with the absolute store count at the window
+//! start so bypass distances, squash rollbacks, and wrap boundaries
+//! all use the same arithmetic as a full run. State the warmer does
+//! not model (ROB/queue occupancy, store-set tables, in-flight
+//! timing) settles during the detailed prefix; what remains is the
+//! estimator's bias. The SVW filters fail *conservative* on any
+//! not-warmed entry (forced re-execution), so windows remain
+//! value-verified end to end — sampling trades accuracy of the
+//! *estimate*, never correctness of the model.
+//!
+//! ```
+//! use nosq_core::sample::{sampled_replay, SamplePlan};
+//! use nosq_core::{SimConfig, Simulator};
+//! use nosq_trace::{synthesize, Profile, TraceBuffer};
+//!
+//! let program = synthesize(Profile::by_name("gzip").unwrap(), 42);
+//! let trace = TraceBuffer::record(&program, 20_000);
+//! let cfg = SimConfig::nosq(20_000);
+//!
+//! let plan = SamplePlan::parse("2000:1000:4").unwrap();
+//! let est = sampled_replay(&program, cfg.clone(), &trace, &plan);
+//! let full = Simulator::replay(&program, cfg, &trace).run();
+//!
+//! assert_eq!(est.windows, 4);
+//! let err = (est.ipc() - full.ipc()).abs() / full.ipc();
+//! assert!(err.is_finite());
+//! ```
+
+use nosq_isa::{Inst, InstClass, Memory, Program};
+use nosq_trace::{Coverage, DynInst, TraceBuffer};
+use nosq_uarch::branch::{Btb, HybridPredictor, ReturnAddressStack};
+use nosq_uarch::{MemoryHierarchy, Ssn, Tlb, Tssbf};
+
+use crate::arena::SimArena;
+use crate::config::SimConfig;
+use crate::pipeline::{Simulator, StopCondition};
+use crate::predictor::{BypassingPredictor, PathHistory};
+
+/// Detailed warming prefix simulated (but not measured) at the head of
+/// every window: the window replays `DETAIL_WARMUP + interval`
+/// instructions through the full timing model, and statistics count
+/// only the final `interval`. This is the SMARTS recipe — the prefix
+/// washes out pipeline fill and the hottest cache/predictor state, the
+/// dominant cold-start transients; what it cannot wash out (deep L2
+/// sets, large predictor tables) is the estimator's residual bias.
+pub const DETAIL_WARMUP: u64 = 2_000;
+
+/// A periodic sampling schedule over a recorded trace: skip `warmup`
+/// instructions functionally, then measure `count` windows of
+/// `interval` instructions spread evenly over the remainder.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SamplePlan {
+    /// Instructions to fast-forward before the first window.
+    pub warmup: u64,
+    /// Instructions per measured window (≥ 1).
+    pub interval: u64,
+    /// Number of measured windows (≥ 1).
+    pub count: u64,
+}
+
+impl SamplePlan {
+    /// Parses the CLI syntax `WARMUP:INTERVAL:COUNT` (three decimal
+    /// integers; `interval` and `count` must be ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the shape or a field is
+    /// invalid — callers surface it as a usage error.
+    pub fn parse(s: &str) -> Result<SamplePlan, String> {
+        let mut it = s.split(':');
+        let (Some(w), Some(i), Some(c), None) = (it.next(), it.next(), it.next(), it.next()) else {
+            return Err(format!("expected WARMUP:INTERVAL:COUNT, got '{s}'"));
+        };
+        let field = |name: &str, v: &str| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} '{v}' is not a non-negative integer"))
+        };
+        let plan = SamplePlan {
+            warmup: field("warmup", w)?,
+            interval: field("interval", i)?,
+            count: field("count", c)?,
+        };
+        if plan.interval == 0 {
+            return Err("interval must be at least 1".to_string());
+        }
+        if plan.count == 0 {
+            return Err("count must be at least 1".to_string());
+        }
+        Ok(plan)
+    }
+}
+
+impl std::str::FromStr for SamplePlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SamplePlan, String> {
+        SamplePlan::parse(s)
+    }
+}
+
+/// What a sampled run measured, and the estimate it supports.
+///
+/// `measured_*` sum over the windows that actually ran (a window is
+/// skipped only when the warm-up or an earlier window already consumed
+/// the whole trace, so `windows` can be below the plan's `count`).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SampledReport {
+    /// Windows that ran.
+    pub windows: u64,
+    /// Instructions committed inside measured windows.
+    pub measured_insts: u64,
+    /// Cycles spent inside measured windows.
+    pub measured_cycles: u64,
+    /// Instructions in the full run being estimated (trace length
+    /// clamped to the configuration's budget).
+    pub total_insts: u64,
+}
+
+impl SampledReport {
+    /// The sampled IPC estimate (NaN if no window ran).
+    pub fn ipc(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            f64::NAN
+        } else {
+            self.measured_insts as f64 / self.measured_cycles as f64
+        }
+    }
+
+    /// Estimated cycles for the full run: `total_insts` at the sampled
+    /// IPC (NaN if no window ran).
+    pub fn est_cycles(&self) -> f64 {
+        self.total_insts as f64 / self.ipc()
+    }
+}
+
+/// Runs `plan` over a recorded trace with session-owned buffers and
+/// returns the sampled estimate. See the [module docs](self) for the
+/// estimator's construction and bias.
+///
+/// # Panics
+///
+/// Panics if the window replay violates a pipeline invariant (debug
+/// builds assert, among others, that seeded SSNs track the trace's
+/// absolute store counts).
+pub fn sampled_replay(
+    program: &Program,
+    cfg: SimConfig,
+    trace: &TraceBuffer,
+    plan: &SamplePlan,
+) -> SampledReport {
+    let mut arena = SimArena::new();
+    sampled_replay_with_arena(program, cfg, trace, plan, &mut arena)
+}
+
+/// [`sampled_replay`] with arena-recycled buffers — every window reuses
+/// the arena's core allocation, so a sampled sweep allocates like a
+/// single session.
+pub fn sampled_replay_with_arena(
+    program: &Program,
+    cfg: SimConfig,
+    trace: &TraceBuffer,
+    plan: &SamplePlan,
+    arena: &mut SimArena,
+) -> SampledReport {
+    let insts = trace.insts();
+    let total = (insts.len() as u64).min(cfg.max_insts);
+    let span = total.saturating_sub(plan.warmup);
+    // Each window's full extent includes its detailed-warming prefix.
+    let extent = DETAIL_WARMUP + plan.interval;
+    // Spread the windows evenly over the post-warm-up span, but never
+    // closer than one window extent apart: windows must not overlap,
+    // so the functional cursor only ever moves forward.
+    let period = (span / plan.count).max(extent);
+    let mut mem = program.initial_memory();
+    let mut warm = WarmState::new(&cfg);
+    let mut cursor = 0u64;
+    let mut report = SampledReport {
+        total_insts: total,
+        ..SampledReport::default()
+    };
+    for w in 0..plan.count {
+        let start = plan.warmup.saturating_add(w.saturating_mul(period));
+        if start >= total {
+            break;
+        }
+        let len = extent.min(total - start);
+        // A truncated tail window keeps at least one measured
+        // instruction; the warming prefix shrinks before the
+        // measurement does.
+        let detail = DETAIL_WARMUP.min(len - 1);
+        warm.fast_forward(&mut mem, &insts[cursor as usize..start as usize]);
+        cursor = start;
+        let mut sim = Simulator::replay_window(
+            program,
+            cfg.clone(),
+            trace,
+            start as usize,
+            len as usize,
+            mem.clone(),
+            &warm,
+            Some(&mut arena.core),
+        );
+        sim.run_until(StopCondition::Insts(detail));
+        let (warm_insts, warm_cycles) = (sim.stats().insts, sim.stats().cycles);
+        sim.run_until(StopCondition::Done);
+        let window = sim.finish();
+        debug_assert_eq!(window.insts, len, "window committed its whole extent");
+        report.windows += 1;
+        report.measured_insts += window.insts - warm_insts;
+        report.measured_cycles += window.cycles - warm_cycles;
+    }
+    report
+}
+
+/// Long-history microarchitectural state carried across the functional
+/// fast-forward and injected into each window at its head (see
+/// [`Simulator::replay_window`]).
+///
+/// The warmer mirrors the pipeline's *committed-path* updates — the
+/// same table writes the fetch and commit stages perform, driven from
+/// the trace's per-instruction records instead of simulated execution.
+/// It deliberately models only state whose training horizon exceeds a
+/// window's detailed prefix: predictors, caches, and the T-SSBF.
+/// Occupancy-like state (ROB, queues, in-flight stores) refills within
+/// a few hundred cycles and is left to [`DETAIL_WARMUP`].
+pub(crate) struct WarmState {
+    pub(crate) hierarchy: MemoryHierarchy,
+    pub(crate) bpred: HybridPredictor,
+    pub(crate) btb: Btb,
+    pub(crate) ras: ReturnAddressStack,
+    pub(crate) path: PathHistory,
+    pub(crate) predictor: BypassingPredictor,
+    pub(crate) tssbf: Tssbf,
+}
+
+impl WarmState {
+    /// Cold state sized exactly as [`Simulator`]'s own construction
+    /// sizes it, so injection swaps equals for equals.
+    fn new(cfg: &SimConfig) -> WarmState {
+        let m = &cfg.machine;
+        WarmState {
+            hierarchy: MemoryHierarchy::new(
+                m.l1d,
+                m.l2,
+                Tlb::new(m.dtlb_entries, m.dtlb_ways),
+                m.mem_latency,
+                m.tlb_miss_penalty,
+            ),
+            bpred: HybridPredictor::new(m.bpred),
+            btb: Btb::new(m.btb_entries, m.btb_ways),
+            ras: ReturnAddressStack::new(m.ras_depth),
+            path: PathHistory::new(),
+            predictor: BypassingPredictor::new(cfg.predictor),
+            tssbf: Tssbf::new(128, 4),
+        }
+    }
+
+    /// The functional fast-forward: applies each committed store's
+    /// memory effect exactly as the pipeline's commit stage would, and
+    /// trains every warmed structure from the trace records.
+    fn fast_forward(&mut self, mem: &mut Memory, insts: &[DynInst]) {
+        for d in insts {
+            self.observe(d, mem);
+        }
+    }
+
+    fn observe(&mut self, d: &DynInst, mem: &mut Memory) {
+        let pc = d.rec.pc;
+        match d.class {
+            InstClass::Load => {
+                // Predict/train *before* any history update, matching
+                // the dispatch-time path snapshot a real load sees.
+                self.train_load(d);
+                self.hierarchy.load_latency(d.rec.addr);
+            }
+            InstClass::Store => {
+                let width = d.rec.inst.mem_width().expect("store width").bytes();
+                mem.write(d.rec.addr, width, d.rec.store_mem_bits);
+                self.hierarchy.store_commit(d.rec.addr);
+                // Committed stores are 1-based in SSN space: the store
+                // after `stores_before` older ones is `stores_before+1`.
+                self.tssbf
+                    .record_store(d.rec.addr, width as u8, Ssn(d.stores_before + 1));
+            }
+            _ => {}
+        }
+        match d.rec.inst {
+            Inst::Branch { .. } => {
+                self.bpred.update(pc, d.rec.taken);
+                self.path.push_branch(d.rec.taken);
+                if d.rec.taken {
+                    self.btb.update(pc, d.rec.next_pc);
+                }
+            }
+            Inst::Call { .. } => {
+                self.ras.push(pc + nosq_isa::INST_BYTES);
+                self.path.push_call(pc);
+                self.btb.update(pc, d.rec.next_pc);
+            }
+            Inst::Ret { .. } => {
+                self.ras.pop();
+            }
+            Inst::Jump { .. } => {
+                self.btb.update(pc, d.rec.next_pc);
+            }
+            _ => {}
+        }
+    }
+
+    /// Trains the bypassing predictor the way commit-time verification
+    /// would. The trace's dependence oracle stands in for the SVW: a
+    /// full-coverage producer within the 6-bit distance field is the
+    /// "actual" a mispredicted load would learn; a load whose producer
+    /// is out of range (or absent) verifies clean through the cache.
+    fn train_load(&mut self, d: &DynInst) {
+        let pred = self.predictor.predict(d.rec.pc, &self.path);
+        let truth = d.mem_dep.and_then(|dep| {
+            (dep.store_distance <= 63).then(|| {
+                let shift = if dep.coverage == Coverage::Full {
+                    dep.shift
+                } else {
+                    0
+                };
+                (dep.store_distance as u16, shift)
+            })
+        });
+        match (pred, truth) {
+            (Some(p), Some(t)) if (p.dist, p.shift) == t => {
+                self.predictor.train_correct(d.rec.pc, &self.path);
+            }
+            (pred, Some(t)) => {
+                let had_path = pred.map(|p| p.path_sensitive).unwrap_or(false);
+                self.predictor
+                    .train_mispredict(d.rec.pc, &self.path, had_path, Some(t));
+            }
+            (Some(_), None) => {
+                // Predicted store is long committed: the pipeline falls
+                // back to a normal cache access and verifies clean.
+                self.predictor.train_correct(d.rec.pc, &self.path);
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_canonical_shape() {
+        assert_eq!(
+            SamplePlan::parse("1000:500:10"),
+            Ok(SamplePlan {
+                warmup: 1000,
+                interval: 500,
+                count: 10
+            })
+        );
+        assert_eq!(
+            "0:1:1".parse(),
+            Ok(SamplePlan {
+                warmup: 0,
+                interval: 1,
+                count: 1
+            })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        for bad in [
+            "", "5", "1:2", "1:2:3:4", "a:2:3", "1:-2:3", "1:0:3", "1:2:0",
+        ] {
+            assert!(SamplePlan::parse(bad).is_err(), "accepted '{bad}'");
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! nosq run <spec-file> [--threads N] [--out DIR] [--max-insts N] [--progress]
+//!                      [--fused] [--sample WARMUP:INTERVAL:COUNT]
 //! nosq table5          [--threads N] [--out DIR] [--max-insts N]
 //! nosq smoke           [--threads N] [--out DIR]
 //! nosq audit           [--small] [--break-predictor N] [--threads N] [--out DIR] [--max-insts N]
@@ -64,6 +65,12 @@ OPTIONS:
     --out DIR            artifact directory (default: $NOSQ_ARTIFACT_DIR or ./nosq-artifacts)
     --max-insts N        override the per-job dynamic-instruction budget
     --progress           live progress line on stderr
+    --fused              fuse each profile's configuration block into one
+                         lockstep multi-lane replay (identical reports, one
+                         trace pass per profile instead of one per job)
+    --sample W:I:C       (run) sampled estimate instead of full simulation:
+                         fast-forward W instructions, then measure C windows
+                         of I instructions spread over the rest
     --small              (audit) single-cell gzip x nosq grid, small budget
     --break-predictor N  (audit) corrupt every Nth bypass and hide it from
                          verification; exits 0 only if the auditor catches it
@@ -102,6 +109,8 @@ struct Options {
     out: PathBuf,
     max_insts: Option<u64>,
     progress: bool,
+    fused: bool,
+    sample: Option<nosq_core::SamplePlan>,
     small: bool,
     break_predictor: Option<u64>,
     allow: Option<PathBuf>,
@@ -190,6 +199,8 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
             .unwrap_or_else(|| PathBuf::from("nosq-artifacts")),
         max_insts: None,
         progress: false,
+        fused: false,
+        sample: None,
         small: false,
         break_predictor: None,
         allow: None,
@@ -229,6 +240,13 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
                 options.max_insts = Some(v);
             }
             "--progress" => options.progress = true,
+            "--fused" => options.fused = true,
+            "--sample" => {
+                let v = value_of("--sample")?;
+                let plan =
+                    nosq_core::SamplePlan::parse(&v).map_err(|e| format!("`--sample` {e}"))?;
+                options.sample = Some(plan);
+            }
             "--small" => options.small = true,
             "--break-predictor" => {
                 let v: u64 = value_of("--break-predictor")?
@@ -288,6 +306,9 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
             _ => positional.push(arg.clone()),
         }
     }
+    if options.fused && options.sample.is_some() {
+        return Err("`--fused` and `--sample` are mutually exclusive".to_owned());
+    }
     Ok((positional, options))
 }
 
@@ -295,6 +316,7 @@ fn run_options(options: &Options) -> RunOptions {
     RunOptions {
         threads: options.threads,
         progress: options.progress,
+        fused: options.fused,
         ..RunOptions::default()
     }
 }
@@ -403,10 +425,80 @@ fn cmd_run(spec_path: &str, options: &Options) -> ExitCode {
             Err(e) => return fail(e),
         };
     }
+    if let Some(plan) = &options.sample {
+        return execute_sampled(&campaign, plan, options);
+    }
     match execute(&campaign, options) {
         Ok(_) => ExitCode::SUCCESS,
         Err(code) => code,
     }
+}
+
+/// `nosq run --sample`: replace each grid job's full simulation with
+/// the checkpointed-sampling estimator — fast-forward functionally,
+/// measure periodic windows, extrapolate. Prints the estimate table;
+/// no byte-stable campaign artifacts are written (an estimate is not a
+/// [`nosq_core::SimReport`], and must never be mistaken for one).
+fn execute_sampled(
+    campaign: &Campaign,
+    plan: &nosq_core::SamplePlan,
+    options: &Options,
+) -> ExitCode {
+    use nosq_core::{sampled_replay_with_arena, SimArena};
+    use nosq_trace::TraceBuffer;
+
+    let programs = nosq_lab::synthesize_programs(campaign, options.threads);
+    let started = std::time::Instant::now();
+    let mut arena = SimArena::new();
+    println!(
+        "{:<10} {:<20} {:>7} {:>12} {:>12} {:>9} {:>14}",
+        "profile", "config", "windows", "measured", "total", "est IPC", "est cycles"
+    );
+    for (p, profile) in campaign.profiles.iter().enumerate() {
+        let budget = campaign
+            .configs
+            .iter()
+            .map(|c| c.config.max_insts)
+            .max()
+            .unwrap_or(0);
+        let trace = TraceBuffer::record_with_arena(&programs[p], budget, &mut arena.trace);
+        for named in &campaign.configs {
+            let est = sampled_replay_with_arena(
+                &programs[p],
+                named.config.clone(),
+                &trace,
+                plan,
+                &mut arena,
+            );
+            if est.windows == 0 {
+                return fail(format!(
+                    "sample plan measured no windows for {} × {} (warmup {} covers the whole \
+                     {}-instruction run)",
+                    profile.name, named.name, plan.warmup, est.total_insts
+                ));
+            }
+            println!(
+                "{:<10} {:<20} {:>7} {:>12} {:>12} {:>9.3} {:>14.0}",
+                profile.name,
+                named.name,
+                est.windows,
+                est.measured_insts,
+                est.total_insts,
+                est.ipc(),
+                est.est_cycles(),
+            );
+        }
+    }
+    println!(
+        "\nsampled campaign `{}`: {} jobs estimated in {:.2?} (plan {}:{}:{})",
+        campaign.name,
+        campaign.jobs(),
+        started.elapsed(),
+        plan.warmup,
+        plan.interval,
+        plan.count,
+    );
+    ExitCode::SUCCESS
 }
 
 /// Re-applies a CLI `--max-insts` override to every configuration.

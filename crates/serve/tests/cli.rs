@@ -87,6 +87,78 @@ fn missing_positional_arguments_exit_2() {
 }
 
 #[test]
+fn malformed_sample_plans_exit_2() {
+    // Shape, field, and range errors are all usage errors: usage text
+    // on stderr, exit 2, nothing on stdout.
+    for bad in ["1000", "1:2", "1:2:3:4", "a:2:3", "1:0:3", "1:2:0"] {
+        let out = nosq(&["run", "spec.json", "--sample", bad]);
+        assert_eq!(code(&out), 2, "--sample {bad}");
+        assert!(stdout(&out).is_empty(), "usage errors must not use stdout");
+        let err = stderr(&out);
+        assert!(err.contains("--sample"), "{err}");
+        assert!(err.contains("USAGE:"), "{err}");
+    }
+    let out = nosq(&["run", "spec.json", "--sample"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("`--sample` needs a value"));
+}
+
+#[test]
+fn fused_and_sample_are_mutually_exclusive() {
+    let out = nosq(&["run", "spec.json", "--fused", "--sample", "100:50:2"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("mutually exclusive"));
+}
+
+#[test]
+fn fused_and_sampled_runs_succeed_on_a_real_spec() {
+    let dir = std::env::temp_dir().join(format!("nosq-cli-fused-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let spec = dir.join("campaign.json");
+    std::fs::write(
+        &spec,
+        r#"{
+            "name": "cli-fused",
+            "configs": ["nosq", "baseline-storesets"],
+            "profiles": ["gzip"],
+            "max_insts": 2000
+        }"#,
+    )
+    .expect("write spec");
+    let spec = spec.to_str().expect("utf-8 temp path");
+    let out_dir = dir.join("artifacts");
+    let out_flag = out_dir.to_str().expect("utf-8 temp path");
+
+    let solo = nosq(&["run", spec, "--out", out_flag]);
+    assert_eq!(code(&solo), 0, "{}", stderr(&solo));
+    let fused = nosq(&["run", spec, "--out", out_flag, "--fused"]);
+    assert_eq!(code(&fused), 0, "{}", stderr(&fused));
+    // Fused execution reproduces the solo geomean lines byte for byte
+    // (only timing lines may differ).
+    let geomean = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("nosq ") || l.starts_with("baseline-storesets "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(geomean(&stdout(&solo)), geomean(&stdout(&fused)));
+
+    let sampled = nosq(&["run", spec, "--sample", "500:250:3"]);
+    assert_eq!(code(&sampled), 0, "{}", stderr(&sampled));
+    let text = stdout(&sampled);
+    assert!(text.contains("est IPC"), "{text}");
+    assert!(text.contains("sampled campaign `cli-fused`"), "{text}");
+
+    // A warm-up past the end of the run measures nothing: runtime
+    // error, exit 1.
+    let empty = nosq(&["run", spec, "--sample", "999999:250:3"]);
+    assert_eq!(code(&empty), 1);
+    assert!(stderr(&empty).contains("measured no windows"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn runtime_failures_exit_1_not_2() {
     // An unreadable spec is a runtime error, not a usage error.
     let out = nosq(&["submit", "/nonexistent/campaign.spec"]);

@@ -64,6 +64,27 @@ impl SsnCounters {
         }
     }
 
+    /// Creates counters seeded mid-stream: both `SSNrename` and
+    /// `SSNcommit` start at `start` (the number of stores already
+    /// committed before this point), as if the machine had renamed and
+    /// committed exactly that many stores. Used by sampled simulation
+    /// to start a measured window at an arbitrary trace offset while
+    /// keeping absolute SSN arithmetic — distances, wrap boundaries —
+    /// identical to a full run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    pub fn seeded(bits: u32, start: u64) -> SsnCounters {
+        assert!((1..=63).contains(&bits), "ssn width {bits} out of range");
+        SsnCounters {
+            rename: Ssn(start),
+            commit: Ssn(start),
+            bits,
+            wraps: 0,
+        }
+    }
+
     /// SSN of the most recently renamed store.
     pub fn rename(&self) -> Ssn {
         self.rename
