@@ -347,6 +347,41 @@ impl<T> Ring<T> {
     }
 }
 
+// Encoded as `head` + the resident elements front-to-back; decode
+// rebuilds the smallest power-of-two buffer and re-places each element
+// at its absolute position, so positions — which the issue stage's
+// candidate lists reference — survive the roundtrip exactly.
+impl<T: nosq_wire::Wire> nosq_wire::Wire for Ring<T> {
+    fn enc(&self, e: &mut nosq_wire::Enc) {
+        e.put_u64(self.head);
+        e.put_u64(self.len as u64);
+        for i in 0..self.len {
+            self.buf[self.slot_of(self.head.wrapping_add(i as u64))]
+                .as_ref()
+                .expect("resident ring slot")
+                .enc(e);
+        }
+    }
+
+    fn dec(d: &mut nosq_wire::Dec) -> Result<Self, nosq_wire::WireError> {
+        let head = d.take_u64()?;
+        let len = usize::try_from(d.take_u64()?)
+            .map_err(|_| nosq_wire::WireError::Invalid("ring len"))?;
+        if len > d.remaining() {
+            // Every element consumes at least one byte.
+            return Err(nosq_wire::WireError::Invalid("ring len"));
+        }
+        let cap = len.next_power_of_two().max(8);
+        let mut buf: Vec<Option<T>> = Vec::with_capacity(cap);
+        buf.resize_with(cap, || None);
+        for i in 0..len {
+            let slot = (head.wrapping_add(i as u64) as usize) & (cap - 1);
+            buf[slot] = Some(T::dec(d)?);
+        }
+        Ok(Ring { buf, head, len })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

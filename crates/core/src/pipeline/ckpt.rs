@@ -1,0 +1,243 @@
+//! Durable on-disk encoding of [`SimCheckpoint`].
+//!
+//! A checkpoint serializes to a versioned, checksummed
+//! [`envelope`](nosq_wire::envelope) whose payload is the deterministic
+//! wire encoding of every field except the [`SimConfig`]. The
+//! configuration is not stored: it is *identified* — the envelope's
+//! fingerprint is an FNV-1a hash of the config's `Debug` rendering, and
+//! [`SimCheckpoint::from_bytes`] requires the caller to supply the same
+//! configuration the checkpoint was taken under. Opening a checkpoint
+//! against a different configuration fails cleanly instead of resuming
+//! a subtly different machine.
+//!
+//! Decoding validates everything: magic, version, exact length,
+//! whole-buffer checksum, config fingerprint, then every field's own
+//! range checks (register indices, instruction classes, saturating
+//! counters, ring lengths). Any truncation or bit-flip yields a
+//! [`CkptError`], never a panic and never a silently wrong state —
+//! `tests/it_ckptio.rs` proves this exhaustively for every byte
+//! boundary and a corruption sweep.
+
+use super::*;
+
+use nosq_wire::envelope::{self, EnvelopeError};
+use nosq_wire::{Dec, Enc, Wire, WireError};
+
+impl Wire for LoadMode {
+    fn enc(&self, e: &mut Enc) {
+        match self {
+            LoadMode::Normal => e.put_u8(0),
+            LoadMode::Delayed => e.put_u8(1),
+            LoadMode::Bypassed { partial } => {
+                e.put_u8(2);
+                partial.enc(e);
+            }
+        }
+    }
+
+    fn dec(d: &mut Dec) -> Result<Self, WireError> {
+        match d.take_u8()? {
+            0 => Ok(LoadMode::Normal),
+            1 => Ok(LoadMode::Delayed),
+            2 => Ok(LoadMode::Bypassed {
+                partial: bool::dec(d)?,
+            }),
+            _ => Err(WireError::Invalid("load mode")),
+        }
+    }
+}
+
+nosq_wire::wire_struct!(LoadState {
+    mode,
+    wait_exec,
+    wait_commit,
+    ssn_nvul,
+    ssn_byp,
+    exec_value,
+    pred,
+    oracle,
+    injected
+});
+nosq_wire::wire_struct!(Entry {
+    uid,
+    inst,
+    class,
+    path_snap,
+    bpred_snap,
+    ras_snap,
+    map_reg,
+    map_node,
+    prev_node,
+    srcs,
+    issued,
+    complete_cycle,
+    mispredicted_branch,
+    ssn,
+    load,
+    holds_lq,
+    holds_sq,
+    store_data_ref
+});
+nosq_wire::wire_struct!(ReadyCand { pos, class });
+nosq_wire::wire_struct!(WheelEntry { ready, pos, class });
+nosq_wire::wire_struct!(Waiter {
+    pos,
+    class,
+    srcs,
+    next
+});
+nosq_wire::wire_struct!(Fetched {
+    inst,
+    uid,
+    fetch_cycle,
+    path_snap,
+    bpred_snap,
+    ras_snap,
+    mispredicted_branch
+});
+
+/// Why a serialized checkpoint could not be opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The container itself is damaged or mismatched (truncation,
+    /// corruption, wrong version, wrong configuration).
+    Envelope(EnvelopeError),
+    /// The payload passed the checksum but a field failed its own
+    /// validation — possible only across an encoding change, since the
+    /// checksum already rules out transmission damage.
+    Payload(WireError),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Envelope(e) => write!(f, "checkpoint envelope: {e}"),
+            CkptError::Payload(e) => write!(f, "checkpoint payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<EnvelopeError> for CkptError {
+    fn from(e: EnvelopeError) -> CkptError {
+        CkptError::Envelope(e)
+    }
+}
+
+impl From<WireError> for CkptError {
+    fn from(e: WireError) -> CkptError {
+        CkptError::Payload(e)
+    }
+}
+
+impl SimCheckpoint {
+    /// The fingerprint identifying a [`SimConfig`] on disk. Derived from
+    /// the config's `Debug` rendering, so *any* configuration difference
+    /// — field value, field added in a later release — changes it.
+    pub fn config_fingerprint(cfg: &SimConfig) -> u64 {
+        nosq_wire::fnv1a(format!("{cfg:?}").as_bytes())
+    }
+
+    /// Serializes the checkpoint into a self-validating envelope.
+    ///
+    /// The bytes are canonical: two checkpoints of identical simulator
+    /// state encode identically, so byte equality of `to_bytes` output
+    /// is state equality.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        self.clock.enc(&mut e);
+        self.next_uid.enc(&mut e);
+        self.stream_next.enc(&mut e);
+        self.stream_limit.enc(&mut e);
+        self.stream_done.enc(&mut e);
+        self.pending.enc(&mut e);
+        self.fetch_buffer.enc(&mut e);
+        self.rob.enc(&mut e);
+        self.backend_exits.enc(&mut e);
+        self.iq_ready.enc(&mut e);
+        self.wheel.enc(&mut e);
+        self.waiters.enc(&mut e);
+        self.waiter_free.enc(&mut e);
+        self.node_waiters.enc(&mut e);
+        self.iq_count.enc(&mut e);
+        self.lq_used.enc(&mut e);
+        self.sq_used.enc(&mut e);
+        self.regs.enc(&mut e);
+        self.timing_mem.enc(&mut e);
+        self.hierarchy.enc(&mut e);
+        self.bpred.enc(&mut e);
+        self.btb.enc(&mut e);
+        self.ras.enc(&mut e);
+        self.path.enc(&mut e);
+        self.fetch_stall_until.enc(&mut e);
+        self.fetch_stalled_on.enc(&mut e);
+        self.halt_fetched.enc(&mut e);
+        self.ssn.enc(&mut e);
+        self.srq.enc(&mut e);
+        self.tssbf.enc(&mut e);
+        self.predictor.enc(&mut e);
+        self.storesets.enc(&mut e);
+        self.draining_for_wrap.enc(&mut e);
+        self.fault_bypass_seen.enc(&mut e);
+        self.stats.enc(&mut e);
+        self.done.enc(&mut e);
+        envelope::seal(
+            SimCheckpoint::config_fingerprint(&self.cfg),
+            &e.into_bytes(),
+        )
+    }
+
+    /// Deserializes a checkpoint sealed by [`SimCheckpoint::to_bytes`].
+    ///
+    /// `cfg` must be the configuration the checkpoint was taken under
+    /// (enforced via [`SimCheckpoint::config_fingerprint`]). Rejects any
+    /// truncated, corrupted, version-mismatched, or config-mismatched
+    /// input with a [`CkptError`]; a successful decode reconstructs the
+    /// snapshot bit-identically.
+    pub fn from_bytes(bytes: &[u8], cfg: &SimConfig) -> Result<SimCheckpoint, CkptError> {
+        let payload = envelope::open(bytes, SimCheckpoint::config_fingerprint(cfg))?;
+        let mut d = Dec::new(payload);
+        let ckpt = SimCheckpoint {
+            cfg: cfg.clone(),
+            clock: Wire::dec(&mut d)?,
+            next_uid: Wire::dec(&mut d)?,
+            stream_next: Wire::dec(&mut d)?,
+            stream_limit: Wire::dec(&mut d)?,
+            stream_done: Wire::dec(&mut d)?,
+            pending: Wire::dec(&mut d)?,
+            fetch_buffer: Wire::dec(&mut d)?,
+            rob: Wire::dec(&mut d)?,
+            backend_exits: Wire::dec(&mut d)?,
+            iq_ready: Wire::dec(&mut d)?,
+            wheel: Wire::dec(&mut d)?,
+            waiters: Wire::dec(&mut d)?,
+            waiter_free: Wire::dec(&mut d)?,
+            node_waiters: Wire::dec(&mut d)?,
+            iq_count: Wire::dec(&mut d)?,
+            lq_used: Wire::dec(&mut d)?,
+            sq_used: Wire::dec(&mut d)?,
+            regs: Wire::dec(&mut d)?,
+            timing_mem: Wire::dec(&mut d)?,
+            hierarchy: Wire::dec(&mut d)?,
+            bpred: Wire::dec(&mut d)?,
+            btb: Wire::dec(&mut d)?,
+            ras: Wire::dec(&mut d)?,
+            path: Wire::dec(&mut d)?,
+            fetch_stall_until: Wire::dec(&mut d)?,
+            fetch_stalled_on: Wire::dec(&mut d)?,
+            halt_fetched: Wire::dec(&mut d)?,
+            ssn: Wire::dec(&mut d)?,
+            srq: Wire::dec(&mut d)?,
+            tssbf: Wire::dec(&mut d)?,
+            predictor: Wire::dec(&mut d)?,
+            storesets: Wire::dec(&mut d)?,
+            draining_for_wrap: Wire::dec(&mut d)?,
+            fault_bypass_seen: Wire::dec(&mut d)?,
+            stats: Wire::dec(&mut d)?,
+            done: Wire::dec(&mut d)?,
+        };
+        d.finish()?;
+        Ok(ckpt)
+    }
+}

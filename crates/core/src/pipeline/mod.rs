@@ -26,12 +26,14 @@
 //! [`SimArena`] / [`Simulator::with_arena`] — reuse never changes a
 //! report byte, only where the memory comes from.
 
+mod ckpt;
 mod lanes;
 pub(crate) mod nodes;
 
 #[cfg(test)]
 mod tests;
 
+pub use ckpt::CkptError;
 pub use lanes::LaneSet;
 
 use nosq_isa::exec::load_extend;

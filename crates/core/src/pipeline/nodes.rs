@@ -132,6 +132,18 @@ impl RegState {
     }
 }
 
+nosq_wire::wire_struct!(Node {
+    ready_for_issue,
+    refs
+});
+nosq_wire::wire_struct!(RegState {
+    nodes,
+    free,
+    rat,
+    allocated,
+    limit
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -224,6 +224,29 @@ impl BypassingPredictor {
     }
 }
 
+nosq_wire::wire_struct!(PredictorConfig {
+    entries_per_table,
+    ways,
+    history_bits,
+    unbounded,
+    conf_max,
+    conf_init,
+    conf_threshold,
+    conf_up,
+    conf_down
+});
+nosq_wire::wire_struct!(Prediction {
+    dist,
+    shift,
+    confident,
+    path_sensitive
+});
+nosq_wire::wire_struct!(BypassingPredictor {
+    cfg,
+    pc_table,
+    path_table
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,8 @@ impl PathHistory {
     }
 }
 
+nosq_wire::wire_struct!(PathHistory { bits });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -194,6 +194,24 @@ impl BypassTable {
     }
 }
 
+nosq_wire::wire_struct!(BypassEntry {
+    tag,
+    dist,
+    shift,
+    conf,
+    lru
+});
+nosq_wire::wire_struct!(BypassTable {
+    flat,
+    unbounded_sets,
+    set_mask,
+    set_bits,
+    ways,
+    unbounded,
+    tick,
+    conf_init
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -306,6 +306,39 @@ impl SimReport {
     }
 }
 
+nosq_wire::wire_struct!(FrontendMetrics { branch_mispredicts });
+nosq_wire::wire_struct!(MemoryMetrics {
+    loads,
+    stores,
+    bypassed_loads,
+    delayed_loads,
+    shift_mask_uops,
+    sq_forwards,
+    ooo_dcache_reads,
+    comm_loads,
+    partial_comm_loads
+});
+nosq_wire::wire_struct!(VerificationMetrics {
+    bypass_mispredicts,
+    ordering_squashes,
+    backend_dcache_reads,
+    reexec_filtered,
+    ssn_wrap_drains
+});
+nosq_wire::wire_struct!(StallMetrics {
+    sq_dispatch_stalls,
+    iq_dispatch_stalls,
+    reg_dispatch_stalls
+});
+nosq_wire::wire_struct!(SimReport {
+    cycles,
+    insts,
+    frontend,
+    memory,
+    verification,
+    stalls
+});
+
 /// Geometric mean of a slice of positive values (used for the per-suite
 /// means in Figures 2-3).
 pub fn geometric_mean(values: &[f64]) -> f64 {

@@ -130,6 +130,19 @@ impl StoreRegisterQueue {
     }
 }
 
+nosq_wire::wire_struct!(StoreInfo {
+    ssn,
+    pc,
+    addr,
+    width,
+    float32,
+    data_value,
+    dtag_node,
+    exec_cycle,
+    commit_visible
+});
+nosq_wire::wire_struct!(StoreRegisterQueue { ring });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -72,6 +72,19 @@ impl Reg {
     }
 }
 
+impl nosq_wire::Wire for Reg {
+    fn enc(&self, e: &mut nosq_wire::Enc) {
+        e.put_u8(self.0);
+    }
+    fn dec(d: &mut nosq_wire::Dec) -> Result<Self, nosq_wire::WireError> {
+        let index = d.take_u8()?;
+        if (index as usize) >= Reg::COUNT {
+            return Err(nosq_wire::WireError::Invalid("register index"));
+        }
+        Ok(Reg(index))
+    }
+}
+
 impl fmt::Debug for Reg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)
@@ -335,6 +348,30 @@ pub enum InstClass {
     Store,
     /// Pipeline terminator.
     Halt,
+}
+
+impl nosq_wire::Wire for InstClass {
+    fn enc(&self, e: &mut nosq_wire::Enc) {
+        e.put_u8(match self {
+            InstClass::SimpleInt => 0,
+            InstClass::Complex => 1,
+            InstClass::Branch => 2,
+            InstClass::Load => 3,
+            InstClass::Store => 4,
+            InstClass::Halt => 5,
+        });
+    }
+    fn dec(d: &mut nosq_wire::Dec) -> Result<Self, nosq_wire::WireError> {
+        Ok(match d.take_u8()? {
+            0 => InstClass::SimpleInt,
+            1 => InstClass::Complex,
+            2 => InstClass::Branch,
+            3 => InstClass::Load,
+            4 => InstClass::Store,
+            5 => InstClass::Halt,
+            _ => return Err(nosq_wire::WireError::Invalid("instruction class")),
+        })
+    }
 }
 
 impl Inst {

@@ -192,6 +192,47 @@ impl Memory {
     }
 }
 
+// Canonical encoding: mapped pages sorted by page number, each as
+// `page_num` + raw bytes. Two memories holding the same bytes encode
+// identically regardless of the order their pages were mapped, so the
+// encoded form can stand in for equality in bit-identity pins.
+impl nosq_wire::Wire for Memory {
+    fn enc(&self, e: &mut nosq_wire::Enc) {
+        let mut mapped: Vec<(u64, u32)> = self
+            .index
+            .iter()
+            .filter(|(tag, _)| *tag != 0)
+            .map(|&(tag, page)| (tag - 1, page))
+            .collect();
+        mapped.sort_unstable_by_key(|&(page_num, _)| page_num);
+        e.put_u64(mapped.len() as u64);
+        for (page_num, page) in mapped {
+            e.put_u64(page_num);
+            e.put_bytes(&self.pages[page as usize][..]);
+        }
+    }
+
+    fn dec(d: &mut nosq_wire::Dec) -> Result<Self, nosq_wire::WireError> {
+        let count = d.take_u64()?;
+        if count > (d.remaining() / (8 + PAGE_SIZE)) as u64 {
+            return Err(nosq_wire::WireError::Invalid("memory page count"));
+        }
+        let mut mem = Memory::new();
+        for _ in 0..count {
+            let page_num = d.take_u64()?;
+            if page_num == u64::MAX {
+                // Tag arithmetic reserves page_num + 1; the top page is
+                // unreachable through the byte-addressed API anyway.
+                return Err(nosq_wire::WireError::Invalid("memory page number"));
+            }
+            let bytes = d.take(PAGE_SIZE)?;
+            let page = mem.map(page_num);
+            mem.pages[page].copy_from_slice(bytes);
+        }
+        Ok(mem)
+    }
+}
+
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Memory")

@@ -595,6 +595,188 @@ pub fn run_campaign_serial(
     }
 }
 
+/// Where to pick a campaign back up after a crash: the grid index of
+/// the first unfinished job, the reports of everything before it, and
+/// (when the crash hit mid-job) the interrupted job's simulator
+/// checkpoint.
+pub struct ResumeState {
+    /// Grid index of the first job to (re)run; jobs `0..job_index` are
+    /// in `completed`.
+    pub job_index: usize,
+    /// Reports of the already-finished jobs, in grid order.
+    pub completed: Vec<nosq_core::SimReport>,
+    /// Mid-job snapshot of job `job_index`, if one was taken; `None`
+    /// restarts that job from scratch.
+    pub checkpoint: Option<nosq_core::SimCheckpoint>,
+}
+
+/// One checkpoint emission from [`run_campaign_durable`]: everything a
+/// caller needs to persist to make the campaign resumable at this
+/// point.
+pub struct CkptEvent<'a> {
+    /// Grid index of the in-flight job (`completed.len() == job_index`).
+    pub job_index: usize,
+    /// Reports of the jobs finished so far, in grid order.
+    pub completed: &'a [SimReport],
+    /// The in-flight job's simulator snapshot; `None` at a job
+    /// boundary (the next job starts from scratch on resume).
+    pub state: Option<&'a nosq_core::SimCheckpoint>,
+}
+
+/// [`run_campaign_serial`] with crash-durable mid-job checkpoints: the
+/// serial grid loop, but every `ckpt_every_insts` committed
+/// instructions (and at every job boundary) it hands the caller a
+/// [`CkptEvent`] snapshot to persist, and it can pick a grid back up
+/// from a [`ResumeState`] — re-simulating only the interrupted job's
+/// tail, not the finished prefix.
+///
+/// Reports are bit-identical to [`run_campaign`] at any checkpoint
+/// cadence and any resume point: checkpoints snapshot a *replay*
+/// session (sessions, replay, and arenas never change results), and
+/// `tests/it_serve.rs` pins resumed-vs-uninterrupted byte identity.
+/// Two costs distinguish this from the plain serial path: the trace is
+/// *always* buffered for replay (snapshotting requires a replay
+/// session — budgets beyond the usual replay cap pay the memory), and
+/// observers are never attached (checkpointing a session with
+/// caller-owned observer state is not supported), so progress is
+/// published at chunk boundaries instead of per-chunk-cycle.
+///
+/// `ckpt_every_insts == 0` disables mid-job snapshots; the sink then
+/// sees only job-boundary events. The final boundary (all jobs done)
+/// is not emitted — the caller's completion record supersedes it.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != campaign.profiles.len()`, or if
+/// `resume` is inconsistent with the campaign grid (more completed
+/// reports than jobs, or `completed.len() != job_index`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_durable(
+    campaign: &Campaign,
+    programs: &[Program],
+    ctx: &mut WorkerContext,
+    progress: &ProgressCounters<StdSync>,
+    ckpt_every_insts: u64,
+    resume: Option<ResumeState>,
+    sink: &mut dyn FnMut(CkptEvent<'_>),
+) -> CampaignResult {
+    assert_eq!(
+        programs.len(),
+        campaign.profiles.len(),
+        "one program per profile"
+    );
+    let n_configs = campaign.configs.len();
+    let jobs = campaign.jobs();
+    let started = Instant::now();
+    let (start_job, mut reports, mut checkpoint) = match resume {
+        Some(r) => {
+            assert!(r.job_index <= jobs, "resume point outside the grid");
+            assert_eq!(
+                r.completed.len(),
+                r.job_index,
+                "resume reports must cover exactly the jobs before the resume point"
+            );
+            (r.job_index, r.completed, r.checkpoint)
+        }
+        None => (0, Vec::new(), None),
+    };
+    let mut timings = Vec::with_capacity(jobs);
+    for (i, report) in reports.iter().enumerate() {
+        // Pre-completed jobs surface in progress (so a `wait`ing client
+        // sees the whole grid) but cost zero wall-clock in timings.
+        progress.add_insts(report.insts);
+        progress.job_done();
+        timings.push(JobTiming {
+            profile: i / n_configs,
+            config: i % n_configs,
+            trace_secs: 0.0,
+            sim_secs: 0.0,
+            insts: report.insts,
+            cycles: report.cycles,
+        });
+    }
+
+    for i in start_job..jobs {
+        let (p, c) = (i / n_configs, i % n_configs);
+        let program = &programs[p];
+        let cfg = campaign.configs[c].config.clone();
+        // Snapshotting requires a replay session, so the trace is
+        // always buffered here (no REPLAY_BUDGET_CAP opt-out).
+        let key = (campaign.profiles[p].name, campaign.seed, cfg.max_insts);
+        let mut trace_secs = 0.0;
+        if ctx.trace.as_ref().map(|(k, _)| *k) != Some(key) {
+            let t0 = Instant::now();
+            let trace =
+                TraceBuffer::record_with_arena(program, cfg.max_insts, &mut ctx.arena.trace);
+            trace_secs = t0.elapsed().as_secs_f64();
+            ctx.trace = Some((key, trace));
+        }
+
+        let t0 = Instant::now();
+        let report = {
+            let (_, trace) = ctx.trace.as_ref().expect("trace recorded above");
+            let mut sim = match checkpoint.take() {
+                Some(ck) => Simulator::resume_with_arena(program, trace, &ck, &mut ctx.arena),
+                None => Simulator::replay_with_arena(program, cfg, trace, &mut ctx.arena),
+            };
+            let mut published = sim.stats().insts;
+            while !sim.is_done() {
+                if ckpt_every_insts == 0 {
+                    let target = sim.stats().cycles + 8_192;
+                    sim.run_until(StopCondition::Cycles(target));
+                } else {
+                    let target = sim.stats().insts + ckpt_every_insts;
+                    sim.run_until(StopCondition::Insts(target));
+                }
+                let insts = sim.stats().insts;
+                if insts > published {
+                    progress.add_insts(insts - published);
+                    published = insts;
+                }
+                if ckpt_every_insts != 0 && !sim.is_done() {
+                    let snap = sim.checkpoint();
+                    sink(CkptEvent {
+                        job_index: i,
+                        completed: &reports,
+                        state: Some(&snap),
+                    });
+                }
+            }
+            let report = sim.finish();
+            if report.insts > published {
+                progress.add_insts(report.insts - published);
+            }
+            report
+        };
+        let sim_secs = t0.elapsed().as_secs_f64();
+        progress.job_done();
+        timings.push(JobTiming {
+            profile: p,
+            config: c,
+            trace_secs,
+            sim_secs,
+            insts: report.insts,
+            cycles: report.cycles,
+        });
+        reports.push(report);
+        if i + 1 < jobs {
+            sink(CkptEvent {
+                job_index: i + 1,
+                completed: &reports,
+                state: None,
+            });
+        }
+    }
+
+    CampaignResult {
+        campaign: campaign.clone(),
+        reports,
+        threads: 1,
+        elapsed: started.elapsed(),
+        timings,
+    }
+}
+
 fn print_progress(name: &str, progress: &ProgressCounters<StdSync>, jobs: usize, started: Instant) {
     let (done, insts) = progress.snapshot();
     let secs = started.elapsed().as_secs_f64();

@@ -19,6 +19,14 @@
 //!   cannot model-check them; only the facade module and the checker's
 //!   own scheduler may touch the real things.
 //!
+//! One extra family is scoped to `crates/serve/` alone: raw file-write
+//! and fsync constructs (`OpenOptions`, `fs::write`, `sync_data`, …).
+//! The service layer's crash-safety argument holds only if every byte
+//! it persists flows through the `DurableIo` facade in `durable.rs` —
+//! where the deterministic fault injector can tear, fail, or crash it —
+//! so a write that bypasses the facade is untested-by-construction and
+//! the lint refuses it.
+//!
 //! The allowlist lives at the repository root (`lint.allow`): one
 //! `path pattern` pair per line, `#` comments. An entry permits a
 //! pattern in exactly one file; stale entries (nothing left to permit)
@@ -46,6 +54,25 @@ pub fn patterns() -> &'static [&'static str] {
         concat!("std::", "net"),
     ]
 }
+
+/// Raw file-write / fsync constructs forbidden under `crates/serve/`
+/// only: the service layer must route all persistence through the
+/// `DurableIo` facade so the fault-injection suite exercises every
+/// write path. Built with `concat!` for the same self-exemption reason
+/// as [`patterns`].
+pub fn serve_durable_patterns() -> &'static [&'static str] {
+    &[
+        concat!("Open", "Options"),
+        concat!("File::", "create"),
+        concat!("fs::", "write"),
+        concat!("sync_", "data"),
+        concat!("sync_", "all"),
+        concat!("set_", "len"),
+    ]
+}
+
+/// The directory prefix the durable-I/O pattern family applies to.
+const SERVE_SCOPE: &str = "crates/serve/";
 
 /// One forbidden-construct occurrence outside the allowlist.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -204,12 +231,16 @@ pub fn lint_tree(root: &Path, allow: &Allowlist) -> Result<LintResult, String> {
         let text =
             fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
         result.files_scanned += 1;
+        let mut active: Vec<&'static str> = patterns().to_vec();
+        if rel.starts_with(SERVE_SCOPE) {
+            active.extend_from_slice(serve_durable_patterns());
+        }
         for (line_idx, raw) in text.lines().enumerate() {
             // Strip line comments so prose does not match; `//` inside
             // a string literal conservatively truncates the line, which
             // can only under-match.
             let code = raw.split("//").next().unwrap_or("");
-            for &pattern in patterns() {
+            for &pattern in &active {
                 if !code.contains(pattern) {
                     continue;
                 }
@@ -347,6 +378,49 @@ mod tests {
     }
 
     #[test]
+    fn raw_file_io_is_flagged_only_inside_the_service_layer() {
+        let root = scratch("durable");
+        let oo = concat!("Open", "Options");
+        let sync = concat!("sync_", "data");
+        // The same construct: forbidden under crates/serve/, out of
+        // scope everywhere else (other crates have their own story —
+        // the lab's artifact writer is not part of the serve crash
+        // argument).
+        write(
+            &root,
+            "crates/serve/src/bad.rs",
+            &format!("use std::fs::{oo};\nfn f(x: &std::fs::File) {{ x.{sync}(); }}\n"),
+        );
+        write(
+            &root,
+            "crates/lab/src/fine.rs",
+            &format!("use std::fs::{oo};\n"),
+        );
+        let result = lint_tree(&root, &Allowlist::default()).unwrap();
+        let hits: Vec<(&str, &str)> = result
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.pattern))
+            .collect();
+        assert_eq!(
+            hits,
+            vec![
+                ("crates/serve/src/bad.rs", oo),
+                ("crates/serve/src/bad.rs", sync)
+            ]
+        );
+
+        let allow = Allowlist::parse(&format!(
+            "crates/serve/src/bad.rs {oo}\ncrates/serve/src/bad.rs {sync}\n"
+        ))
+        .unwrap();
+        let allowed = lint_tree(&root, &allow).unwrap();
+        assert!(allowed.is_clean());
+        assert!(allowed.stale_allows.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn serve_allowances_are_live() {
         // The service layer's socket/thread/clock allowances must stay
         // attached to code that actually uses them — if a refactor
@@ -368,6 +442,10 @@ mod tests {
                 "crates/serve/src/signal.rs",
                 concat!("std::sync", "::atomic"),
             ),
+            // The DurableIo facade is the one sanctioned home of raw
+            // file opens and fsyncs in the service layer.
+            ("crates/serve/src/durable.rs", concat!("Open", "Options")),
+            ("crates/serve/src/durable.rs", concat!("sync_", "data")),
         ] {
             assert!(
                 allow.permits(file, pattern),

@@ -4,6 +4,8 @@
 //! ```text
 //! nosq run <spec-file> [--threads N] [--out DIR] [--max-insts N] [--progress]
 //!                      [--fused] [--sample WARMUP:INTERVAL:COUNT]
+//!                      [--journal FILE] [--ckpt-every N]
+//! nosq run --resume <journal> [--out DIR]
 //! nosq table5          [--threads N] [--out DIR] [--max-insts N]
 //! nosq smoke           [--threads N] [--out DIR]
 //! nosq audit           [--small] [--break-predictor N] [--threads N] [--out DIR] [--max-insts N]
@@ -27,15 +29,18 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use nosq_check::sync::StdSync;
 use nosq_lab::lint::{lint_tree, Allowlist};
 use nosq_lab::reports::{table5, table5_json, Table5Row};
 use nosq_lab::{
-    artifacts, audit_json, check_json, json, run_audit, run_campaign, run_checks, timing_artifact,
-    write_artifacts, Artifact, AuditOptions, BoundPreset, Campaign, CheckOptions, Preset,
-    RunOptions,
+    artifacts, audit_json, check_json, json, run_audit, run_campaign, run_campaign_durable,
+    run_checks, synthesize_programs, timing_artifact, write_artifacts, Artifact, AuditOptions,
+    BoundPreset, Campaign, CampaignResult, CheckOptions, Preset, ProgressCounters, RunOptions,
+    WorkerContext,
 };
 use nosq_serve::{
-    loadgen_json, run_loadgen, signal, LoadgenOptions, ServeClient, ServeOptions, Server,
+    campaign_fingerprint, fingerprint_hex, loadgen_json, resume_state, run_loadgen, signal,
+    CheckpointEntry, Journal, LoadgenOptions, ServeClient, ServeOptions, Server,
 };
 use nosq_trace::{Profile, Suite};
 
@@ -44,6 +49,7 @@ nosq — NoSQ experiment-campaign runner
 
 USAGE:
     nosq run <spec-file> [OPTIONS]   run a campaign from a spec file
+    nosq run --resume <journal>      finish half-done campaigns from a journal
     nosq table5 [OPTIONS]            regenerate paper Table 5 (47 benchmarks)
     nosq smoke [OPTIONS]             sub-second self-check campaign
     nosq audit [OPTIONS]             prove every speculative bypass against the
@@ -71,6 +77,12 @@ OPTIONS:
     --sample W:I:C       (run) sampled estimate instead of full simulation:
                          fast-forward W instructions, then measure C windows
                          of I instructions spread over the rest
+    --resume FILE        (run) recover a crash-safe journal: write artifacts of
+                         every completed campaign, resume every half-finished
+                         one from its latest valid checkpoint
+    --ckpt-every N       (run --journal / serve) mid-job checkpoint cadence in
+                         committed instructions (default 50000; 0 = job
+                         boundaries only)
     --small              (audit) single-cell gzip x nosq grid, small budget
     --break-predictor N  (audit) corrupt every Nth bypass and hide it from
                          verification; exits 0 only if the auditor catches it
@@ -85,8 +97,9 @@ OPTIONS:
                          (default 127.0.0.1:7433; serve accepts :0 for an
                          ephemeral port, printed on startup)
     --workers N          (serve) worker pool size (default: one per CPU, max 8)
-    --journal FILE       (serve) crash-safe result journal path
-                         (default: <out>/serve.journal)
+    --journal FILE       (run/serve) crash-safe journal path: completed results
+                         plus mid-job checkpoints, resumable after kill -9
+                         (serve default: <out>/serve.journal)
     --cache-cap N        (serve) LRU result-cache capacity (default 64)
     --clients N          (loadgen) concurrent clients (default 8)
     --requests N         (loadgen) requests per client (default 4)
@@ -121,6 +134,8 @@ struct Options {
     addr: String,
     workers: usize,
     journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    ckpt_every: u64,
     cache_cap: usize,
     clients: usize,
     requests: usize,
@@ -157,8 +172,12 @@ fn main() -> ExitCode {
         }
         "list" => cmd_list(positional.first().map(String::as_str)),
         "run" => match positional.as_slice() {
+            [] if options.resume.is_some() => cmd_resume(&options),
+            [_] if options.resume.is_some() => {
+                usage_error("`--resume` takes the journal in place of a spec file")
+            }
             [spec] => cmd_run(spec, &options),
-            _ => usage_error("`nosq run` takes exactly one spec file"),
+            _ => usage_error("`nosq run` takes exactly one spec file (or `--resume <journal>`)"),
         },
         cmd @ ("table5" | "smoke") if !positional.is_empty() => {
             usage_error(format!("`nosq {cmd}` takes no positional arguments"))
@@ -211,6 +230,8 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
         addr: "127.0.0.1:7433".to_owned(),
         workers: 0,
         journal: None,
+        resume: None,
+        ckpt_every: 50_000,
         cache_cap: 64,
         clients: 8,
         requests: 4,
@@ -273,6 +294,13 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
                     .map_err(|_| "`--workers` expects an integer".to_owned())?;
             }
             "--journal" => options.journal = Some(PathBuf::from(value_of("--journal")?)),
+            "--resume" => options.resume = Some(PathBuf::from(value_of("--resume")?)),
+            "--ckpt-every" => {
+                options.ckpt_every = value_of("--ckpt-every")?
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| "`--ckpt-every` expects an instruction count".to_owned())?;
+            }
             "--cache-cap" => {
                 options.cache_cap = value_of("--cache-cap")?
                     .parse()
@@ -308,6 +336,16 @@ fn parse_options(args: &[String]) -> Result<(Vec<String>, Options), String> {
     }
     if options.fused && options.sample.is_some() {
         return Err("`--fused` and `--sample` are mutually exclusive".to_owned());
+    }
+    // Checkpointing snapshots the serial replay loop; the fused
+    // multi-lane engine and the sampling estimator have no snapshot
+    // form, so a durable run (or a journal resume) excludes both.
+    if (options.journal.is_some() || options.resume.is_some())
+        && (options.fused || options.sample.is_some())
+    {
+        return Err(
+            "`--journal`/`--resume` are incompatible with `--fused` and `--sample`".to_owned(),
+        );
     }
     Ok((positional, options))
 }
@@ -355,11 +393,21 @@ fn list_presets() {
 /// of `nosq run`, shared by `nosq smoke`.
 fn execute(campaign: &Campaign, options: &Options) -> Result<Vec<Artifact>, ExitCode> {
     let result = run_campaign(campaign, &run_options(options));
-    let files = artifacts(&result);
+    write_and_report(campaign, &result, options)
+}
+
+/// The artifact-writing + summary-printing tail of a campaign run,
+/// shared by the plain, durable, and resumed paths.
+fn write_and_report(
+    campaign: &Campaign,
+    result: &CampaignResult,
+    options: &Options,
+) -> Result<Vec<Artifact>, ExitCode> {
+    let files = artifacts(result);
     // The timing artifact is written alongside but kept out of `files`:
     // it is deliberately nondeterministic (wall-clock), while `files`
     // must be byte-identical across re-runs and thread counts.
-    let timing = timing_artifact(&result);
+    let timing = timing_artifact(result);
     let mut paths = write_artifacts(&options.out, &files).map_err(|e| {
         fail(format!(
             "writing artifacts to {}: {e}",
@@ -428,10 +476,222 @@ fn cmd_run(spec_path: &str, options: &Options) -> ExitCode {
     if let Some(plan) = &options.sample {
         return execute_sampled(&campaign, plan, options);
     }
+    if options.journal.is_some() {
+        // Checkpoint records embed the spec verbatim so the journal is
+        // self-contained for recovery; a CLI-side rebudget would make
+        // the executed campaign diverge from the recorded text.
+        if options.max_insts.is_some() {
+            return fail(
+                "`--journal` records the spec verbatim for recovery; \
+                 set max_insts in the spec instead of `--max-insts`",
+            );
+        }
+        return run_durable(&campaign, &text, options);
+    }
     match execute(&campaign, options) {
         Ok(_) => ExitCode::SUCCESS,
         Err(code) => code,
     }
+}
+
+/// `nosq run --journal`: the one-shot runner with the daemon's crash
+/// durability — completed results and mid-job checkpoints land in the
+/// journal (fsync'd before anything is reported), and a re-run against
+/// the same journal resumes instead of restarting.
+fn run_durable(campaign: &Campaign, spec: &str, options: &Options) -> ExitCode {
+    let path = options.journal.clone().expect("caller checked --journal");
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                return fail(format!("creating {}: {e}", parent.display()));
+            }
+        }
+    }
+    let (mut journal, recovered) = match Journal::open(&path) {
+        Ok(opened) => opened,
+        Err(e) => return fail(format!("opening journal {}: {e}", path.display())),
+    };
+    if journal.truncated_bytes() > 0 {
+        eprintln!(
+            "nosq: warning: journal recovery discarded {} torn byte(s)",
+            journal.truncated_bytes()
+        );
+    }
+    let fingerprint = campaign_fingerprint(campaign);
+    if let Some(entry) = recovered
+        .completed
+        .iter()
+        .find(|e| e.fingerprint == fingerprint)
+    {
+        println!(
+            "journal already holds completed results for `{}` ({}); \
+             writing them without re-simulating",
+            entry.name,
+            fingerprint_hex(fingerprint)
+        );
+        return match write_artifacts(&options.out, entry.artifacts.as_slice()) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(format!("writing artifacts: {e}")),
+        };
+    }
+    let resume = recovered
+        .partial
+        .iter()
+        .find(|e| e.fingerprint == fingerprint)
+        .and_then(|entry| resume_state(campaign, entry));
+    if let Some(r) = &resume {
+        println!(
+            "resuming `{}` from checkpoint: {}/{} jobs already complete{}",
+            campaign.name,
+            r.job_index,
+            campaign.jobs(),
+            if r.checkpoint.is_some() {
+                ", mid-job state restored"
+            } else {
+                ""
+            }
+        );
+    }
+    match run_durable_campaign(campaign, spec, &mut journal, resume, options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
+/// Runs one campaign under checkpoint durability against an open
+/// journal: mid-job [`CheckpointEntry`] records at the configured
+/// cadence, then the completion record (fsync'd) *before* success is
+/// reported — the same ordering contract as the daemon.
+fn run_durable_campaign(
+    campaign: &Campaign,
+    spec: &str,
+    journal: &mut Journal,
+    resume: Option<nosq_lab::ResumeState>,
+    options: &Options,
+) -> Result<(), ExitCode> {
+    let fingerprint = campaign_fingerprint(campaign);
+    let programs = synthesize_programs(campaign, options.threads);
+    let mut ctx = WorkerContext::new();
+    let progress: ProgressCounters<StdSync> = ProgressCounters::new();
+    let mut sink = |ev: nosq_lab::CkptEvent<'_>| {
+        let entry = CheckpointEntry {
+            fingerprint,
+            name: campaign.name.clone(),
+            spec: spec.to_owned(),
+            job_index: ev.job_index as u64,
+            completed: ev.completed.to_vec(),
+            state: ev.state.map(nosq_core::SimCheckpoint::to_bytes),
+        };
+        if let Err(e) = journal.append_checkpoint(&entry) {
+            eprintln!(
+                "nosq: warning: checkpoint append failed for {}: {e}",
+                fingerprint_hex(fingerprint)
+            );
+        }
+    };
+    let result = run_campaign_durable(
+        campaign,
+        &programs,
+        &mut ctx,
+        &progress,
+        options.ckpt_every,
+        resume,
+        &mut sink,
+    );
+    let files = artifacts(&result);
+    if let Err(e) = journal.append(fingerprint, &campaign.name, &files) {
+        return Err(fail(format!("journaling completed campaign: {e}")));
+    }
+    write_and_report(campaign, &result, options)?;
+    Ok(())
+}
+
+/// `nosq run --resume <journal>`: recovery without a spec file. Every
+/// completed campaign's artifacts are re-written from the journal;
+/// every half-finished campaign is rebuilt from its journaled spec and
+/// finished from its latest valid checkpoint.
+fn cmd_resume(options: &Options) -> ExitCode {
+    let path = options.resume.clone().expect("dispatch checked --resume");
+    let (mut journal, recovered) = match Journal::open(&path) {
+        Ok(opened) => opened,
+        Err(e) => return fail(format!("opening journal {}: {e}", path.display())),
+    };
+    if journal.truncated_bytes() > 0 {
+        eprintln!(
+            "nosq: warning: journal recovery discarded {} torn byte(s)",
+            journal.truncated_bytes()
+        );
+    }
+    if recovered.completed.is_empty() && recovered.partial.is_empty() {
+        return fail(format!("{}: nothing to recover", path.display()));
+    }
+    for entry in &recovered.completed {
+        println!(
+            "recovered completed campaign `{}` ({})",
+            entry.name,
+            fingerprint_hex(entry.fingerprint)
+        );
+        match write_artifacts(&options.out, entry.artifacts.as_slice()) {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("wrote {}", p.display());
+                }
+            }
+            Err(e) => return fail(format!("writing artifacts: {e}")),
+        }
+    }
+    for entry in &recovered.partial {
+        let campaign = match Campaign::from_spec(&entry.spec) {
+            Ok(c) => c,
+            Err(e) => {
+                return fail(format!(
+                    "journaled spec for {} no longer parses: {e}",
+                    fingerprint_hex(entry.fingerprint)
+                ))
+            }
+        };
+        let resume = if campaign_fingerprint(&campaign) == entry.fingerprint {
+            resume_state(&campaign, entry)
+        } else {
+            eprintln!(
+                "nosq: warning: checkpoint {} does not match its own spec (recorded under \
+                 different overrides?); rerunning `{}` from scratch",
+                fingerprint_hex(entry.fingerprint),
+                campaign.name
+            );
+            None
+        };
+        match &resume {
+            Some(r) => println!(
+                "resuming `{}` ({}): {}/{} jobs already complete{}",
+                campaign.name,
+                fingerprint_hex(entry.fingerprint),
+                r.job_index,
+                campaign.jobs(),
+                if r.checkpoint.is_some() {
+                    ", mid-job state restored"
+                } else {
+                    ""
+                }
+            ),
+            None => println!(
+                "rerunning `{}` ({}) from scratch",
+                campaign.name,
+                fingerprint_hex(entry.fingerprint)
+            ),
+        }
+        if let Err(code) =
+            run_durable_campaign(&campaign, &entry.spec, &mut journal, resume, options)
+        {
+            return code;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `nosq run --sample`: replace each grid job's full simulation with
@@ -888,6 +1148,7 @@ fn cmd_serve(options: &Options) -> ExitCode {
         workers: options.workers,
         journal: Some(journal.clone()),
         cache_capacity: options.cache_cap,
+        ckpt_every_insts: options.ckpt_every,
         watch_signals: true,
         ..ServeOptions::default()
     }) {

@@ -17,11 +17,34 @@ use crate::protocol::{artifacts_from_json, request_line, Request};
 /// A client-side failure: transport, protocol, or a daemon-reported
 /// error message.
 #[derive(Debug)]
-pub struct ClientError(pub String);
+pub struct ClientError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Set when the daemon sent a structured `busy` backpressure
+    /// response: retry after roughly this many milliseconds.
+    pub retry_ms: Option<u64>,
+}
+
+impl ClientError {
+    /// A plain (non-retryable) error.
+    pub fn new(msg: impl Into<String>) -> ClientError {
+        ClientError {
+            msg: msg.into(),
+            retry_ms: None,
+        }
+    }
+
+    /// Whether this is the daemon's structured backpressure response —
+    /// the request was well-formed and can simply be retried after
+    /// [`retry_ms`](ClientError::retry_ms).
+    pub fn busy(&self) -> bool {
+        self.retry_ms.is_some()
+    }
+}
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.msg)
     }
 }
 
@@ -29,7 +52,7 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
-        ClientError(format!("connection error: {e}"))
+        ClientError::new(format!("connection error: {e}"))
     }
 }
 
@@ -65,7 +88,7 @@ impl ServeClient {
     /// Connects to `addr` (e.g. `127.0.0.1:7433`).
     pub fn connect(addr: &str) -> Result<ServeClient, ClientError> {
         let stream = TcpStream::connect(addr)
-            .map_err(|e| ClientError(format!("connecting to {addr}: {e}")))?;
+            .map_err(|e| ClientError::new(format!("connecting to {addr}: {e}")))?;
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(ServeClient {
@@ -84,16 +107,26 @@ impl ServeClient {
         let mut line = String::new();
         let n = self.reader.read_line(&mut line)?;
         if n == 0 {
-            return Err(ClientError("daemon closed the connection".into()));
+            return Err(ClientError::new("daemon closed the connection"));
         }
         let doc = json::parse(line.trim_end())
-            .map_err(|e| ClientError(format!("malformed response: {e}")))?;
+            .map_err(|e| ClientError::new(format!("malformed response: {e}")))?;
         if doc.get("ok") == Some(&Json::Bool(false)) {
             let msg = doc
                 .get("error")
                 .and_then(Json::as_str)
                 .unwrap_or("unspecified daemon error");
-            return Err(ClientError(format!("daemon error: {msg}")));
+            // The structured backpressure response is retryable; carry
+            // the daemon's hint so callers can back off sensibly.
+            let retry_ms = if doc.get("busy") == Some(&Json::Bool(true)) {
+                Some(doc.get("retry_ms").and_then(Json::as_u64).unwrap_or(100))
+            } else {
+                None
+            };
+            return Err(ClientError {
+                msg: format!("daemon error: {msg}"),
+                retry_ms,
+            });
         }
         Ok(doc)
     }
@@ -108,7 +141,7 @@ impl ServeClient {
             doc.get(name)
                 .and_then(Json::as_str)
                 .map(str::to_owned)
-                .ok_or_else(|| ClientError(format!("submit reply missing `{name}`")))
+                .ok_or_else(|| ClientError::new(format!("submit reply missing `{name}`")))
         };
         Ok(SubmitReply {
             job: field("job")?,
@@ -142,7 +175,7 @@ impl ServeClient {
                         .and_then(Json::as_str)
                         .unwrap_or_default()
                         .to_owned();
-                    let artifacts = artifacts_from_json(&doc).map_err(ClientError)?;
+                    let artifacts = artifacts_from_json(&doc).map_err(ClientError::new)?;
                     return Ok(JobOutcome {
                         name,
                         artifacts,
@@ -151,7 +184,9 @@ impl ServeClient {
                     });
                 }
                 other => {
-                    return Err(ClientError(format!("unexpected wait event: {other:?}")));
+                    return Err(ClientError::new(format!(
+                        "unexpected wait event: {other:?}"
+                    )));
                 }
             }
         }

@@ -1,0 +1,499 @@
+//! The durable-I/O seam: every file write and fsync in the service
+//! layer goes through [`DurableIo`], so the journal's crash-safety
+//! argument can be *tested* instead of trusted.
+//!
+//! Two implementations:
+//!
+//! * [`OsIo`] — the real thing, a thin wrapper over `std::fs`. This
+//!   module is the **only** place in `crates/serve` allowed to touch
+//!   raw file APIs (`nosq lint` enforces it).
+//! * [`FaultIo`] — a deterministic, seeded, in-memory filesystem model
+//!   with scheduled faults: torn writes, short writes, `ENOSPC`, fsync
+//!   failures, and whole-process crashes. Its state lives behind an
+//!   [`Arc`], so it survives a simulated "reboot" — tests crash the
+//!   journal at op *k*, reboot, reopen, and assert the recovery
+//!   invariant from the durable-queue literature (ROADMAP refs): a
+//!   record is observed fully applied or not at all, and everything
+//!   acknowledged *after* an fsync is never lost.
+//!
+//! The fault model is conservative in the direction that matters: on a
+//! crash, data beyond the last successful `sync_data` survives only as
+//! a *seeded-arbitrary prefix* (the page cache may have written back
+//! any amount of the tail, in order), and a failed fsync never marks
+//! its bytes durable — the classic fsync-gate failure mode.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// One open durable file. Append-only plus truncate — exactly the
+/// operations a recovery-truncating journal needs, nothing more.
+pub trait DurableFile: Send {
+    /// Reads the entire file from the start into `buf`.
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize>;
+    /// Appends `bytes` at the end of the file.
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Forces appended data to stable storage. Only data covered by a
+    /// *successful* `sync_data` is guaranteed to survive a crash.
+    fn sync_data(&mut self) -> std::io::Result<()>;
+    /// Truncates the file to `len` bytes.
+    fn truncate(&mut self, len: u64) -> std::io::Result<()>;
+}
+
+/// A factory of [`DurableFile`]s — the seam the journal is written
+/// against.
+pub trait DurableIo: Send {
+    /// Opens (creating if absent) the file at `path` for durable
+    /// append access.
+    fn open(&mut self, path: &Path) -> std::io::Result<Box<dyn DurableFile>>;
+}
+
+/// The production implementation: real files, real fsync.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OsIo;
+
+struct OsFile(File);
+
+impl DurableIo for OsIo {
+    fn open(&mut self, path: &Path) -> std::io::Result<Box<dyn DurableFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(Box::new(OsFile(file)))
+    }
+}
+
+impl DurableFile for OsFile {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        self.0.seek(SeekFrom::Start(0))?;
+        self.0.read_to_end(buf)
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.0.seek(SeekFrom::End(0))?;
+        self.0.write_all(bytes)
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+        self.0.set_len(len)?;
+        self.0.seek(SeekFrom::End(0))?;
+        Ok(())
+    }
+}
+
+/// What a scheduled fault does when its operation comes up.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// On an append: a seeded-arbitrary prefix of the bytes lands in
+    /// the (unsynced) file, then the process dies — the canonical torn
+    /// write. On a sync: the sync fails and the process dies.
+    TornWrite,
+    /// On an append: a prefix lands, the call returns `WriteZero`, the
+    /// process lives. On a sync: the sync fails, the process lives.
+    ShortWrite,
+    /// On an append: nothing lands, the call returns `StorageFull`. On
+    /// a sync: the sync fails (nothing becomes durable).
+    Enospc,
+    /// On a sync: the sync fails and *none* of the pending bytes become
+    /// durable (the fsync-gate failure). On an append: behaves like
+    /// [`FaultKind::Enospc`].
+    SyncFail,
+    /// The process dies before the operation does anything.
+    Crash,
+}
+
+/// A fault scheduled at a specific operation index. Appends, syncs,
+/// and truncates each consume one index, in call order — a schedule is
+/// therefore a deterministic crash *point*, reproducible run to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// The 0-based operation index the fault fires at.
+    pub at_op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+#[derive(Default)]
+struct FileModel {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (covered by a successful
+    /// `sync_data`).
+    durable_len: usize,
+}
+
+struct FaultState {
+    files: BTreeMap<PathBuf, FileModel>,
+    faults: Vec<Fault>,
+    op: u64,
+    crashed: bool,
+    rng: u64,
+}
+
+impl FaultState {
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64* — deterministic, seed-stable, no external deps.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn take_fault(&mut self) -> Option<FaultKind> {
+        let op = self.op;
+        self.op += 1;
+        self.faults.iter().find(|f| f.at_op == op).map(|f| f.kind)
+    }
+}
+
+fn crash_error() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::BrokenPipe, "simulated crash")
+}
+
+/// The seeded fault-injection [`DurableIo`]. Cloning shares the
+/// underlying "disk", so a clone opened after [`FaultIo::reboot`] sees
+/// exactly what survived the crash.
+#[derive(Clone)]
+pub struct FaultIo {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultIo {
+    /// A fault-free in-memory filesystem with the given RNG seed (the
+    /// seed decides how much of an unsynced tail survives each crash
+    /// and where torn writes tear).
+    pub fn new(seed: u64) -> FaultIo {
+        FaultIo {
+            state: Arc::new(Mutex::new(FaultState {
+                files: BTreeMap::new(),
+                faults: Vec::new(),
+                op: 0,
+                crashed: false,
+                rng: seed | 1,
+            })),
+        }
+    }
+
+    /// Schedules `kind` to fire at operation `at_op` (builder-style).
+    pub fn with_fault(self, at_op: u64, kind: FaultKind) -> FaultIo {
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .faults
+            .push(Fault { at_op, kind });
+        self
+    }
+
+    /// Whether a crash fault has fired (every operation now fails
+    /// until [`FaultIo::reboot`]).
+    pub fn crashed(&self) -> bool {
+        self.state.lock().expect("fault state poisoned").crashed
+    }
+
+    /// Operations performed so far (append + sync + truncate).
+    pub fn ops(&self) -> u64 {
+        self.state.lock().expect("fault state poisoned").op
+    }
+
+    /// Simulates the machine coming back up after a crash: for every
+    /// file, the durable prefix survives intact and a seeded-arbitrary
+    /// prefix of the unsynced tail survives with it (the page cache
+    /// wrote back *some* of it, in order — never out of order, never
+    /// bytes that were never written). Clears the crash flag and the
+    /// remaining fault schedule.
+    pub fn reboot(&self) {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        let mut keeps = Vec::new();
+        for model in st.files.values() {
+            keeps.push(model.data.len() - model.durable_len);
+        }
+        let keeps: Vec<usize> = keeps
+            .into_iter()
+            .map(|tail| {
+                if tail == 0 {
+                    0
+                } else {
+                    (st.next_rand() as usize) % (tail + 1)
+                }
+            })
+            .collect();
+        for (model, keep) in st.files.values_mut().zip(keeps) {
+            let survive = model.durable_len + keep;
+            model.data.truncate(survive);
+            // What survived the reboot is on stable storage now.
+            model.durable_len = model.data.len();
+        }
+        st.crashed = false;
+        st.faults.clear();
+    }
+
+    /// The current full contents of `path` (test inspection).
+    pub fn contents(&self, path: &Path) -> Vec<u8> {
+        self.state
+            .lock()
+            .expect("fault state poisoned")
+            .files
+            .get(path)
+            .map(|m| m.data.clone())
+            .unwrap_or_default()
+    }
+}
+
+impl DurableIo for FaultIo {
+    fn open(&mut self, path: &Path) -> std::io::Result<Box<dyn DurableFile>> {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        if st.crashed {
+            return Err(crash_error());
+        }
+        st.files.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            path: path.to_path_buf(),
+        }))
+    }
+}
+
+struct FaultFile {
+    state: Arc<Mutex<FaultState>>,
+    path: PathBuf,
+}
+
+impl DurableFile for FaultFile {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        let st = self.state.lock().expect("fault state poisoned");
+        if st.crashed {
+            return Err(crash_error());
+        }
+        let data = &st.files.get(&self.path).expect("file opened").data;
+        buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        if st.crashed {
+            return Err(crash_error());
+        }
+        match st.take_fault() {
+            None => {
+                let model = st.files.get_mut(&self.path).expect("file opened");
+                model.data.extend_from_slice(bytes);
+                Ok(())
+            }
+            Some(FaultKind::TornWrite) => {
+                let tear = if bytes.is_empty() {
+                    0
+                } else {
+                    (st.next_rand() as usize) % bytes.len()
+                };
+                let model = st.files.get_mut(&self.path).expect("file opened");
+                model.data.extend_from_slice(&bytes[..tear]);
+                st.crashed = true;
+                Err(crash_error())
+            }
+            Some(FaultKind::ShortWrite) => {
+                let short = if bytes.is_empty() {
+                    0
+                } else {
+                    (st.next_rand() as usize) % bytes.len()
+                };
+                let model = st.files.get_mut(&self.path).expect("file opened");
+                model.data.extend_from_slice(&bytes[..short]);
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "simulated short write",
+                ))
+            }
+            Some(FaultKind::Enospc) | Some(FaultKind::SyncFail) => Err(std::io::Error::new(
+                std::io::ErrorKind::StorageFull,
+                "simulated ENOSPC",
+            )),
+            Some(FaultKind::Crash) => {
+                st.crashed = true;
+                Err(crash_error())
+            }
+        }
+    }
+
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        if st.crashed {
+            return Err(crash_error());
+        }
+        match st.take_fault() {
+            None => {
+                let model = st.files.get_mut(&self.path).expect("file opened");
+                model.durable_len = model.data.len();
+                Ok(())
+            }
+            Some(FaultKind::TornWrite) | Some(FaultKind::Crash) => {
+                // The sync fails AND the process dies; durable_len is
+                // untouched — unsynced bytes stay at the crash's mercy.
+                st.crashed = true;
+                Err(crash_error())
+            }
+            Some(_) => Err(std::io::Error::other("simulated fsync failure")),
+        }
+    }
+
+    fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+        let mut st = self.state.lock().expect("fault state poisoned");
+        if st.crashed {
+            return Err(crash_error());
+        }
+        match st.take_fault() {
+            Some(FaultKind::TornWrite) | Some(FaultKind::Crash) => {
+                st.crashed = true;
+                return Err(crash_error());
+            }
+            Some(_) => return Err(std::io::Error::other("simulated truncate failure")),
+            None => {}
+        }
+        let model = st.files.get_mut(&self.path).expect("file opened");
+        model.data.truncate(len as usize);
+        model.durable_len = model.durable_len.min(len as usize);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path() -> PathBuf {
+        PathBuf::from("/virtual/journal")
+    }
+
+    fn exercise_basics(io: &mut dyn DurableIo, target: &Path) {
+        let mut f = io.open(target).unwrap();
+        f.append(b"hello ").unwrap();
+        f.append(b"world").unwrap();
+        f.sync_data().unwrap();
+        f.truncate(5).unwrap();
+        f.append(b"!").unwrap();
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"hello!");
+    }
+
+    #[test]
+    fn os_and_fault_io_agree_on_the_basics() {
+        let dir = std::env::temp_dir().join(format!("nosq-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let real_path = dir.join("basics.bin");
+        let _ = std::fs::remove_file(&real_path);
+        exercise_basics(&mut OsIo, &real_path);
+        exercise_basics(&mut FaultIo::new(1), &path());
+        let _ = std::fs::remove_file(&real_path);
+    }
+
+    #[test]
+    fn synced_bytes_survive_any_crash() {
+        let io = FaultIo::new(42).with_fault(3, FaultKind::Crash);
+        let mut handle = io.clone();
+        let mut f = handle.open(&path()).unwrap();
+        f.append(b"durable").unwrap(); // op 0
+        f.sync_data().unwrap(); // op 1
+        f.append(b" lost?").unwrap(); // op 2
+        assert!(f.sync_data().is_err()); // op 3: crash
+        assert!(io.crashed());
+        assert!(f.append(b"after").is_err(), "dead process cannot write");
+
+        io.reboot();
+        let survived = io.contents(&path());
+        assert!(survived.starts_with(b"durable"), "synced prefix survives");
+        assert!(
+            survived.len() <= b"durable lost?".len(),
+            "nothing invents bytes"
+        );
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_prefix() {
+        for seed in 1..20u64 {
+            let io = FaultIo::new(seed).with_fault(0, FaultKind::TornWrite);
+            let mut handle = io.clone();
+            let mut f = handle.open(&path()).unwrap();
+            assert!(f.append(b"0123456789").is_err());
+            assert!(io.crashed());
+            io.reboot();
+            let survived = io.contents(&path());
+            assert!(survived.len() < 10, "a torn write is never complete");
+            assert_eq!(&b"0123456789"[..survived.len()], &survived[..]);
+        }
+    }
+
+    #[test]
+    fn failed_fsync_makes_nothing_durable() {
+        // Op 1's fsync fails, op 2's does too (crashing the process);
+        // because the first failure left durable_len at 0, the crash
+        // may claw back everything.
+        let io = FaultIo::new(7)
+            .with_fault(1, FaultKind::SyncFail)
+            .with_fault(2, FaultKind::Crash);
+        let mut handle = io.clone();
+        let mut f = handle.open(&path()).unwrap();
+        f.append(b"pending").unwrap(); // op 0
+        assert!(f.sync_data().is_err()); // op 1: fsync fails
+        assert!(f.sync_data().is_err()); // op 2: crash
+        io.reboot();
+        let survived = io.contents(&path());
+        assert!(
+            survived.len() <= b"pending".len() && b"pending".starts_with(&survived[..]),
+            "bytes behind a failed fsync have no durability guarantee"
+        );
+    }
+
+    #[test]
+    fn enospc_writes_nothing() {
+        let io = FaultIo::new(3).with_fault(0, FaultKind::Enospc);
+        let mut handle = io.clone();
+        let mut f = handle.open(&path()).unwrap();
+        let err = f.append(b"data").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        assert!(io.contents(&path()).is_empty());
+        assert!(!io.crashed(), "ENOSPC is an error, not a crash");
+        // The process lives: later writes work.
+        f.append(b"ok").unwrap();
+        f.sync_data().unwrap();
+        assert_eq!(io.contents(&path()), b"ok");
+    }
+
+    #[test]
+    fn short_write_is_an_error_with_a_prefix() {
+        let io = FaultIo::new(11).with_fault(0, FaultKind::ShortWrite);
+        let mut handle = io.clone();
+        let mut f = handle.open(&path()).unwrap();
+        assert!(f.append(b"0123456789").is_err());
+        assert!(!io.crashed());
+        let data = io.contents(&path());
+        assert!(data.len() < 10);
+        assert_eq!(&b"0123456789"[..data.len()], &data[..]);
+    }
+
+    #[test]
+    fn reboot_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<u8> {
+            let io = FaultIo::new(seed).with_fault(2, FaultKind::Crash);
+            let mut handle = io.clone();
+            let mut f = handle.open(&path()).unwrap();
+            f.append(b"abc").unwrap();
+            f.sync_data().unwrap();
+            let _ = f.append(b"defghij"); // op 2: the scheduled crash
+            let _ = f.sync_data();
+            io.reboot();
+            io.contents(&path())
+        };
+        assert_eq!(run(5), run(5), "same seed, same surviving bytes");
+    }
+}

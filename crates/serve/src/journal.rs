@@ -1,4 +1,5 @@
-//! The crash-safe append-only result journal.
+//! The crash-safe append-only journal: completed campaigns *and*
+//! mid-job checkpoints.
 //!
 //! Every completed campaign is appended as one self-verifying record
 //! and fsync'd before the daemon reports the job done, so a daemon
@@ -9,6 +10,23 @@
 //! is replayed, or is discarded along with everything after it (a torn
 //! tail can only be the one in-flight append, never a completed
 //! record — completion is reported only after `sync_data` returns).
+//! The seeded [`FaultIo`](crate::durable::FaultIo) harness drives this
+//! invariant through torn writes, short writes, `ENOSPC`, fsync
+//! failures, and crash-point schedules in the tests below.
+//!
+//! Between completions, a running job periodically appends
+//! **checkpoint records**: the job's position in its campaign grid,
+//! the reports of the jobs already finished, and a sealed
+//! [`SimCheckpoint`](nosq_core::SimCheckpoint) of the in-flight
+//! simulation. Recovery hands back the *latest valid* checkpoint per
+//! campaign (superseded checkpoints and checkpoints of campaigns that
+//! later completed are dropped), so a killed daemon — or a killed
+//! `nosq run --journal` — resumes a half-finished campaign from its
+//! last checkpoint and re-simulates only the tail. Checkpoint records
+//! are never compacted: the journal is append-only by design, and a
+//! campaign's obsolete checkpoints cost disk, not correctness. All
+//! file writes and fsyncs go through the [`DurableIo`] seam — this
+//! module never touches `std::fs` outside its tests.
 //!
 //! # On-disk format
 //!
@@ -18,22 +36,27 @@
 //!   u32 LE payload length  |  u64 LE FNV-1a of payload  |  payload
 //! ```
 //!
-//! The payload is one JSON object `{"job": "<16-hex>", "name": …,
-//! "artifacts": [{"file_name", "contents"}, …]}` — the same artifact
-//! encoding the wire protocol's `done` event uses, parsed by the same
-//! [`protocol::artifacts_from_json`](crate::protocol::artifacts_from_json).
-//! Recovery truncates the file back to the last valid record, so a
-//! torn tail is also *physically* removed and the next append starts
-//! from a clean boundary.
+//! A completed-campaign payload is one JSON object `{"job": "<16-hex>",
+//! "name": …, "artifacts": [{"file_name", "contents"}, …]}` — the same
+//! artifact encoding the wire protocol's `done` event uses. A
+//! checkpoint payload is `{"ckpt": "<16-hex>", "name": …, "spec": …,
+//! "job_index": n, "completed": "<hex>", "state": "<hex>"}`, where
+//! `completed` is the wire encoding of the finished jobs' reports and
+//! `state` (absent at a job boundary) is the sealed simulator
+//! checkpoint — itself independently versioned, checksummed, and
+//! config-fingerprinted. Recovery truncates the file back to the last
+//! valid record, so a torn tail is also *physically* removed and the
+//! next append starts from a clean boundary.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use nosq_core::ser::{JsonArray, JsonObject};
+use nosq_core::SimReport;
 use nosq_lab::{json, Artifact};
 
+use crate::durable::{DurableFile, DurableIo, OsIo};
 use crate::fingerprint::{fnv1a, parse_fingerprint};
 use crate::protocol::artifacts_from_json;
 
@@ -43,7 +66,7 @@ const VERSION: u32 = 1;
 /// treated as corruption, not an allocation request.
 const MAX_RECORD: u32 = 256 * 1024 * 1024;
 
-/// One recovered journal entry.
+/// One recovered completed-campaign entry.
 #[derive(Clone, Debug)]
 pub struct JournalEntry {
     /// The campaign fingerprint (also the wire job id).
@@ -54,31 +77,76 @@ pub struct JournalEntry {
     pub artifacts: Arc<Vec<Artifact>>,
 }
 
-/// The append-only journal: an open file plus what recovery salvaged.
-#[derive(Debug)]
+/// One mid-campaign checkpoint: everything needed to resume a
+/// half-finished campaign without re-simulating its finished prefix.
+#[derive(Clone, Debug)]
+pub struct CheckpointEntry {
+    /// The campaign fingerprint (also the wire job id).
+    pub fingerprint: u64,
+    /// The campaign name (diagnostic only).
+    pub name: String,
+    /// The campaign spec, verbatim — recovery rebuilds the campaign
+    /// from this text, so the journal is self-contained.
+    pub spec: String,
+    /// Grid index of the in-flight job (jobs `0..job_index` are in
+    /// `completed`).
+    pub job_index: u64,
+    /// Reports of the already-finished grid jobs, in grid order.
+    pub completed: Vec<SimReport>,
+    /// The sealed [`SimCheckpoint`](nosq_core::SimCheckpoint) bytes of
+    /// the in-flight job, `None` at a job boundary (the next job
+    /// simply starts from scratch).
+    pub state: Option<Vec<u8>>,
+}
+
+/// What recovery salvaged from a journal.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Completed campaigns, in append order.
+    pub completed: Vec<JournalEntry>,
+    /// The latest valid checkpoint of each campaign that never
+    /// completed, ordered by fingerprint.
+    pub partial: Vec<CheckpointEntry>,
+}
+
+/// The append-only journal: an open durable file plus recovery stats.
 pub struct Journal {
-    file: File,
+    file: Box<dyn DurableFile>,
     path: PathBuf,
     records: u64,
     /// Bytes discarded by recovery (0 on a clean open).
     truncated: u64,
 }
 
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("records", &self.records)
+            .field("truncated", &self.truncated)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Journal {
-    /// Opens (or creates) the journal at `path`, validating every
-    /// record and truncating the file back to the last intact one.
-    /// Returns the journal and the recovered entries in append order.
-    pub fn open(path: &Path) -> std::io::Result<(Journal, Vec<JournalEntry>)> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
+    /// Opens (or creates) the journal at `path` on the real
+    /// filesystem; see [`Journal::open_with`].
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Recovered)> {
+        Journal::open_with(&mut OsIo, path)
+    }
+
+    /// Opens (or creates) the journal at `path` through `io`,
+    /// validating every record and truncating the file back to the
+    /// last intact one. Returns the journal and what recovery
+    /// salvaged.
+    pub fn open_with(io: &mut dyn DurableIo, path: &Path) -> std::io::Result<(Journal, Recovered)> {
+        let mut file = io.open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
-        let mut entries = Vec::new();
+        let mut recovered = Recovered::default();
+        let mut partials: BTreeMap<u64, CheckpointEntry> = BTreeMap::new();
+        let mut records = 0u64;
         let mut valid_end = 0usize;
         if bytes.len() >= MAGIC.len() + 4 {
             if &bytes[..8] != MAGIC
@@ -91,8 +159,19 @@ impl Journal {
             }
             valid_end = 12;
             let mut pos = 12usize;
-            while let Some((entry, next)) = read_record(&bytes, pos) {
-                entries.push(entry);
+            while let Some((record, next)) = read_record(&bytes, pos) {
+                match record {
+                    Record::Completed(entry) => {
+                        // A completed campaign supersedes every
+                        // checkpoint it ever wrote.
+                        partials.remove(&entry.fingerprint);
+                        recovered.completed.push(entry);
+                    }
+                    Record::Checkpoint(entry) => {
+                        partials.insert(entry.fingerprint, entry);
+                    }
+                }
+                records += 1;
                 valid_end = next;
                 pos = next;
             }
@@ -103,21 +182,21 @@ impl Journal {
 
         if valid_end == 0 {
             // Fresh or unusable header: rewrite from scratch.
-            file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(MAGIC)?;
-            file.write_all(&VERSION.to_le_bytes())?;
+            file.truncate(0)?;
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            file.append(&header)?;
             file.sync_data()?;
         } else if valid_end < bytes.len() {
             // Torn tail: physically discard it so the next append
             // starts at a record boundary.
-            file.set_len(valid_end as u64)?;
+            file.truncate(valid_end as u64)?;
             file.sync_data()?;
         }
-        file.seek(SeekFrom::End(0))?;
 
+        recovered.partial = partials.into_values().collect();
         let truncated = bytes.len().saturating_sub(valid_end.max(12)) as u64;
-        let records = entries.len() as u64;
         Ok((
             Journal {
                 file,
@@ -125,8 +204,23 @@ impl Journal {
                 records,
                 truncated,
             },
-            entries,
+            recovered,
         ))
+    }
+
+    /// Appends one record (length + checksum + payload) and fsyncs.
+    fn append_record(&mut self, payload: &str) -> std::io::Result<()> {
+        let bytes = payload.as_bytes();
+        let mut record = Vec::with_capacity(12 + bytes.len());
+        record.extend_from_slice(
+            &(u32::try_from(bytes.len()).expect("record < 4 GiB")).to_le_bytes(),
+        );
+        record.extend_from_slice(&fnv1a(bytes).to_le_bytes());
+        record.extend_from_slice(bytes);
+        self.file.append(&record)?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
     }
 
     /// Appends one completed campaign and fsyncs. Only after this
@@ -138,18 +232,17 @@ impl Journal {
         name: &str,
         artifacts: &[Artifact],
     ) -> std::io::Result<()> {
-        let payload = record_payload(fingerprint, name, artifacts);
-        let bytes = payload.as_bytes();
-        self.file
-            .write_all(&(u32::try_from(bytes.len()).expect("record < 4 GiB")).to_le_bytes())?;
-        self.file.write_all(&fnv1a(bytes).to_le_bytes())?;
-        self.file.write_all(bytes)?;
-        self.file.sync_data()?;
-        self.records += 1;
-        Ok(())
+        self.append_record(&record_payload(fingerprint, name, artifacts))
     }
 
-    /// Records appended plus records recovered.
+    /// Appends one mid-campaign checkpoint and fsyncs. A later
+    /// checkpoint or a completed record for the same campaign
+    /// supersedes it at recovery.
+    pub fn append_checkpoint(&mut self, entry: &CheckpointEntry) -> std::io::Result<()> {
+        self.append_record(&checkpoint_payload(entry))
+    }
+
+    /// Records appended plus records recovered (checkpoints included).
     pub fn records(&self) -> u64 {
         self.records
     }
@@ -180,9 +273,95 @@ fn record_payload(fingerprint: u64, name: &str, artifacts: &[Artifact]) -> Strin
     obj.finish()
 }
 
+fn checkpoint_payload(entry: &CheckpointEntry) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_str(
+        "ckpt",
+        &crate::fingerprint::fingerprint_hex(entry.fingerprint),
+    )
+    .field_str("name", &entry.name)
+    .field_str("spec", &entry.spec)
+    .field_u64("job_index", entry.job_index)
+    .field_str(
+        "completed",
+        &bytes_to_hex(&nosq_wire::to_bytes(&entry.completed)),
+    );
+    if let Some(state) = &entry.state {
+        obj.field_str("state", &bytes_to_hex(state));
+    }
+    obj.finish()
+}
+
+fn bytes_to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_to_bytes(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(hex.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+/// Turns a recovered [`CheckpointEntry`] into an executor
+/// [`ResumeState`](nosq_lab::ResumeState), decoding the sealed
+/// simulator snapshot under the in-flight job's configuration. Any
+/// inconsistency — grid mismatch, undecodable state — degrades to
+/// re-running from the nearest safe point (the job boundary, or a
+/// fresh run) with a warning: recovery may lose work, never
+/// correctness.
+pub fn resume_state(
+    campaign: &nosq_lab::Campaign,
+    entry: &CheckpointEntry,
+) -> Option<nosq_lab::ResumeState> {
+    let id = crate::fingerprint::fingerprint_hex(entry.fingerprint);
+    let job_index = entry.job_index as usize;
+    if job_index > campaign.jobs() || entry.completed.len() != job_index {
+        eprintln!("nosq: warning: checkpoint for {id} does not fit the grid; rerunning");
+        return None;
+    }
+    let n_configs = campaign.configs.len();
+    let checkpoint = entry.state.as_deref().and_then(|bytes| {
+        if job_index >= campaign.jobs() {
+            return None;
+        }
+        let cfg = &campaign.configs[job_index % n_configs].config;
+        match nosq_core::SimCheckpoint::from_bytes(bytes, cfg) {
+            Ok(ck) => Some(ck),
+            Err(e) => {
+                // A corrupt snapshot is never resumed (and thus never
+                // influences produced bytes); the job restarts from its
+                // boundary instead.
+                eprintln!(
+                    "nosq: warning: checkpoint state for {id} rejected ({e}); \
+                     resuming from job boundary"
+                );
+                None
+            }
+        }
+    });
+    Some(nosq_lab::ResumeState {
+        job_index,
+        completed: entry.completed.clone(),
+        checkpoint,
+    })
+}
+
+enum Record {
+    Completed(JournalEntry),
+    Checkpoint(CheckpointEntry),
+}
+
 /// Validates and decodes the record starting at `pos`; `None` on a
 /// short, corrupt, or malformed record (recovery stops there).
-fn read_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
+fn read_record(bytes: &[u8], pos: usize) -> Option<(Record, usize)> {
     let header = bytes.get(pos..pos + 12)?;
     let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
     if len > MAX_RECORD {
@@ -195,22 +374,49 @@ fn read_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
     }
     let text = std::str::from_utf8(payload).ok()?;
     let doc = json::parse(text).ok()?;
+    let next = pos + 12 + len as usize;
+    if let Some(ckpt) = doc.get("ckpt") {
+        let fingerprint = parse_fingerprint(ckpt.as_str()?)?;
+        let name = doc.get("name")?.as_str()?.to_owned();
+        let spec = doc.get("spec")?.as_str()?.to_owned();
+        let job_index = doc.get("job_index")?.as_u64()?;
+        let completed_hex = doc.get("completed")?.as_str()?;
+        let completed: Vec<SimReport> =
+            nosq_wire::from_bytes(&hex_to_bytes(completed_hex)?).ok()?;
+        let state = match doc.get("state") {
+            Some(s) => Some(hex_to_bytes(s.as_str()?)?),
+            None => None,
+        };
+        return Some((
+            Record::Checkpoint(CheckpointEntry {
+                fingerprint,
+                name,
+                spec,
+                job_index,
+                completed,
+                state,
+            }),
+            next,
+        ));
+    }
     let fingerprint = parse_fingerprint(doc.get("job")?.as_str()?)?;
     let name = doc.get("name")?.as_str()?.to_owned();
     let artifacts = artifacts_from_json(&doc).ok()?;
     Some((
-        JournalEntry {
+        Record::Completed(JournalEntry {
             fingerprint,
             name,
             artifacts: Arc::new(artifacts),
-        },
-        pos + 12 + len as usize,
+        }),
+        next,
     ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durable::{FaultIo, FaultKind};
+    use std::fs::OpenOptions;
 
     fn scratch(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("nosq-journal-{}", std::process::id()));
@@ -233,12 +439,31 @@ mod tests {
         ]
     }
 
+    fn report(seed: u64) -> SimReport {
+        SimReport {
+            cycles: seed * 10,
+            insts: seed * 7,
+            ..SimReport::default()
+        }
+    }
+
+    fn ckpt_entry(fp: u64, job_index: u64, with_state: bool) -> CheckpointEntry {
+        CheckpointEntry {
+            fingerprint: fp,
+            name: format!("camp-{fp}"),
+            spec: format!("name = camp-{fp}\nconfigs = nosq\nprofiles = gzip\n"),
+            job_index,
+            completed: (0..job_index).map(report).collect(),
+            state: with_state.then(|| vec![0xab; 64]),
+        }
+    }
+
     #[test]
     fn roundtrips_across_reopen() {
         let path = scratch("roundtrip.journal");
         {
             let (mut j, recovered) = Journal::open(&path).unwrap();
-            assert!(recovered.is_empty());
+            assert!(recovered.completed.is_empty());
             j.append(7, "one", &artifacts("one")).unwrap();
             j.append(9, "two", &artifacts("two")).unwrap();
             assert_eq!(j.records(), 2);
@@ -246,10 +471,11 @@ mod tests {
         let (j, recovered) = Journal::open(&path).unwrap();
         assert_eq!(j.records(), 2);
         assert_eq!(j.truncated_bytes(), 0);
-        assert_eq!(recovered.len(), 2);
-        assert_eq!(recovered[0].fingerprint, 7);
-        assert_eq!(recovered[1].name, "two");
-        assert_eq!(*recovered[1].artifacts, artifacts("two"));
+        assert_eq!(recovered.completed.len(), 2);
+        assert_eq!(recovered.completed[0].fingerprint, 7);
+        assert_eq!(recovered.completed[1].name, "two");
+        assert_eq!(*recovered.completed[1].artifacts, artifacts("two"));
+        assert!(recovered.partial.is_empty());
         let _ = std::fs::remove_file(&path);
     }
 
@@ -269,8 +495,12 @@ mod tests {
         drop(file);
 
         let (mut j, recovered) = Journal::open(&path).unwrap();
-        assert_eq!(recovered.len(), 1, "only the intact record survives");
-        assert_eq!(recovered[0].name, "keep");
+        assert_eq!(
+            recovered.completed.len(),
+            1,
+            "only the intact record survives"
+        );
+        assert_eq!(recovered.completed[0].name, "keep");
         assert!(j.truncated_bytes() > 0);
         // The file was physically truncated back to a record boundary,
         // so appends keep working and survive another reopen.
@@ -278,7 +508,11 @@ mod tests {
         drop(j);
         let (_, again) = Journal::open(&path).unwrap();
         assert_eq!(
-            again.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            again
+                .completed
+                .iter()
+                .map(|e| e.name.as_str())
+                .collect::<Vec<_>>(),
             vec!["keep", "after"]
         );
         let _ = std::fs::remove_file(&path);
@@ -299,8 +533,8 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
 
         let (_, recovered) = Journal::open(&path).unwrap();
-        assert_eq!(recovered.len(), 1);
-        assert_eq!(recovered[0].name, "good");
+        assert_eq!(recovered.completed.len(), 1);
+        assert_eq!(recovered.completed[0].name, "good");
         let _ = std::fs::remove_file(&path);
     }
 
@@ -318,11 +552,140 @@ mod tests {
         let path = scratch("torn-header.journal");
         std::fs::write(&path, b"NOSQ").unwrap(); // crash before version
         let (mut j, recovered) = Journal::open(&path).unwrap();
-        assert!(recovered.is_empty());
+        assert!(recovered.completed.is_empty());
         j.append(5, "fresh", &artifacts("fresh")).unwrap();
         drop(j);
         let (_, again) = Journal::open(&path).unwrap();
-        assert_eq!(again.len(), 1);
+        assert_eq!(again.completed.len(), 1);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoints_roundtrip_and_supersede() {
+        let path = scratch("ckpt.journal");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append_checkpoint(&ckpt_entry(1, 0, true)).unwrap();
+            j.append_checkpoint(&ckpt_entry(1, 2, true)).unwrap(); // supersedes
+            j.append_checkpoint(&ckpt_entry(2, 1, false)).unwrap(); // boundary
+            j.append_checkpoint(&ckpt_entry(3, 1, true)).unwrap();
+            j.append(3, "camp-3", &artifacts("done")).unwrap(); // completes 3
+        }
+        let (_, recovered) = Journal::open(&path).unwrap();
+        assert_eq!(recovered.completed.len(), 1);
+        assert_eq!(recovered.partial.len(), 2, "campaign 3 completed");
+        let one = &recovered.partial[0];
+        assert_eq!((one.fingerprint, one.job_index), (1, 2));
+        assert_eq!(one.completed.len(), 2);
+        assert_eq!(one.completed[1], report(1));
+        assert_eq!(one.state.as_deref(), Some(&[0xab; 64][..]));
+        assert!(one.spec.contains("camp-1"));
+        let two = &recovered.partial[1];
+        assert_eq!((two.fingerprint, two.job_index), (2, 1));
+        assert!(two.state.is_none(), "boundary checkpoint has no state");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The durable-queue invariant under the full fault matrix: run a
+    /// scripted append sequence against every crash point and every
+    /// fault kind; after reboot + recovery, every *acknowledged*
+    /// append is present, the recovered records form a prefix of the
+    /// acknowledged sequence plus at most nothing — never a corrupt or
+    /// partially-applied record.
+    #[test]
+    fn recovery_is_prefix_or_nothing_under_every_fault() {
+        let kinds = [
+            FaultKind::TornWrite,
+            FaultKind::ShortWrite,
+            FaultKind::Enospc,
+            FaultKind::SyncFail,
+            FaultKind::Crash,
+        ];
+        let path = PathBuf::from("/virtual/fault.journal");
+        for seed in 1..=3u64 {
+            for at_op in 0..12u64 {
+                for kind in kinds {
+                    let io = FaultIo::new(seed).with_fault(at_op, kind);
+                    let mut handle = io.clone();
+                    let mut acked: Vec<u64> = Vec::new();
+                    // Open may itself hit the fault (header write ops).
+                    if let Ok((mut j, _)) = Journal::open_with(&mut handle, &path) {
+                        for fp in 1..=4u64 {
+                            let tag = format!("f{fp}");
+                            match j.append(fp, &tag, &artifacts(&tag)) {
+                                Ok(()) => acked.push(fp),
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    io.reboot();
+                    let mut handle = io.clone();
+                    let (_, recovered) =
+                        Journal::open_with(&mut handle, &path).expect("post-reboot open succeeds");
+                    let got: Vec<u64> = recovered.completed.iter().map(|e| e.fingerprint).collect();
+                    // Every acknowledged record survived...
+                    assert!(
+                        got.len() >= acked.len(),
+                        "seed {seed} op {at_op} {kind:?}: acked {acked:?} but recovered {got:?}"
+                    );
+                    assert_eq!(
+                        &got[..acked.len()],
+                        &acked[..],
+                        "seed {seed} op {at_op} {kind:?}"
+                    );
+                    // ...and anything beyond is a fully-applied record
+                    // from the failed append (a torn write that
+                    // happened to land completely), in sequence.
+                    let expect: Vec<u64> = (1..=got.len() as u64).collect();
+                    assert_eq!(got, expect, "seed {seed} op {at_op} {kind:?}");
+                    for e in &recovered.completed {
+                        assert_eq!(
+                            *e.artifacts,
+                            artifacts(&format!("f{}", e.fingerprint)),
+                            "recovered artifacts must be bit-exact"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same invariant for checkpoint records: recovery never hands
+    /// back a corrupt or partially-written checkpoint.
+    #[test]
+    fn checkpoint_recovery_survives_crash_points() {
+        let path = PathBuf::from("/virtual/ckpt-fault.journal");
+        for seed in 1..=3u64 {
+            for at_op in 2..10u64 {
+                let io = FaultIo::new(seed).with_fault(at_op, FaultKind::TornWrite);
+                let mut handle = io.clone();
+                let mut acked = 0u64;
+                if let Ok((mut j, _)) = Journal::open_with(&mut handle, &path) {
+                    for step in 1..=4u64 {
+                        match j.append_checkpoint(&ckpt_entry(9, step, true)) {
+                            Ok(()) => acked = step,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                io.reboot();
+                let mut handle = io.clone();
+                let (_, recovered) =
+                    Journal::open_with(&mut handle, &path).expect("post-reboot open succeeds");
+                match recovered.partial.first() {
+                    Some(entry) => {
+                        assert_eq!(entry.fingerprint, 9);
+                        assert!(
+                            entry.job_index >= acked,
+                            "seed {seed} op {at_op}: acked step {acked}, recovered {}",
+                            entry.job_index
+                        );
+                        assert_eq!(entry.completed.len() as u64, entry.job_index);
+                        assert_eq!(entry.state.as_deref(), Some(&[0xab; 64][..]));
+                    }
+                    None => assert_eq!(acked, 0, "acked checkpoints cannot vanish"),
+                }
+            }
+        }
     }
 }

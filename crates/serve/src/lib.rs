@@ -50,6 +50,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod durable;
 pub mod fingerprint;
 pub mod journal;
 pub mod loadgen;
@@ -59,7 +60,8 @@ pub mod signal;
 
 pub use cache::ResultCache;
 pub use client::{ClientError, JobOutcome, ServeClient, SubmitReply};
+pub use durable::{DurableFile, DurableIo, Fault, FaultIo, FaultKind, OsIo};
 pub use fingerprint::{campaign_fingerprint, fingerprint_hex, fnv1a, parse_fingerprint};
-pub use journal::{Journal, JournalEntry};
+pub use journal::{resume_state, CheckpointEntry, Journal, JournalEntry, Recovered};
 pub use loadgen::{loadgen_json, run_loadgen, LoadgenOptions, LoadgenReport};
 pub use server::{ServeOptions, ServeStats, Server};

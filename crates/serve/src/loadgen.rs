@@ -94,6 +94,9 @@ pub struct LoadgenReport {
     /// Artifact mismatches: daemon-vs-daemon or daemon-vs-local. Must
     /// be zero for a healthy daemon.
     pub divergence: usize,
+    /// Requests that hit the daemon's structured `busy` backpressure
+    /// at least once and succeeded after backing off.
+    pub busy_retries: u64,
 }
 
 struct Sample {
@@ -101,7 +104,27 @@ struct Sample {
     latency_ms: f64,
     cached: bool,
     artifacts: Vec<Artifact>,
+    busy_retries: u64,
 }
+
+/// Deterministic per-client jitter source (xorshift64*): backoff must
+/// not synchronize the fleet into retry stampedes, but the generator
+/// also must not pull in wall-clock entropy — reruns stay comparable.
+fn jitter_ms(state: &mut u64, cap: u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    if cap == 0 {
+        0
+    } else {
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d) % cap
+    }
+}
+
+/// How many times a busy response is retried before giving up.
+const MAX_BUSY_RETRIES: u32 = 8;
 
 /// The shared cache-hot campaign every client resubmits.
 fn hot_spec(max_insts: u64) -> String {
@@ -220,6 +243,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
         cache_hits: counter("cache_hits"),
         cache_misses: counter("cache_misses"),
         divergence,
+        busy_retries: samples.iter().map(|s| s.busy_retries).sum(),
     })
 }
 
@@ -245,15 +269,30 @@ fn client_schedule(
         } else {
             cold_spec(opts.max_insts, k, i)
         };
-        let outcome = client
-            .run_spec(&spec)
-            .map_err(|e| format!("client {k} request {i}: {e}"))?;
+        // Structured backpressure: a `busy` response is retried with
+        // exponential backoff plus deterministic jitter; anything else
+        // fails the run.
+        let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((k as u64) << 32) ^ i as u64;
+        let mut busy_retries = 0u64;
+        let outcome = loop {
+            match client.run_spec(&spec) {
+                Ok(outcome) => break outcome,
+                Err(e) if e.busy() && busy_retries < u64::from(MAX_BUSY_RETRIES) => {
+                    let base = e.retry_ms.unwrap_or(100) << busy_retries.min(6);
+                    let wait = base + jitter_ms(&mut rng, base.max(1));
+                    busy_retries += 1;
+                    std::thread::sleep(Duration::from_millis(wait));
+                }
+                Err(e) => return Err(format!("client {k} request {i}: {e}")),
+            }
+        };
         let latency_ms = (started.elapsed().saturating_sub(due)).as_secs_f64() * 1_000.0;
         samples.push(Sample {
             spec,
             latency_ms,
             cached: outcome.cached,
             artifacts: outcome.artifacts,
+            busy_retries,
         });
     }
     Ok(samples)
@@ -275,7 +314,8 @@ pub fn loadgen_json(report: &LoadgenReport) -> String {
         .field_u64("cached_responses", report.cached_responses as u64)
         .field_u64("cache_hits", report.cache_hits)
         .field_u64("cache_misses", report.cache_misses)
-        .field_u64("divergence", report.divergence as u64);
+        .field_u64("divergence", report.divergence as u64)
+        .field_u64("busy_retries", report.busy_retries);
     obj.finish()
 }
 
@@ -318,10 +358,24 @@ mod tests {
             cache_hits: 15,
             cache_misses: 17,
             divergence: 0,
+            busy_retries: 2,
         };
         let doc = nosq_lab::json::parse(&loadgen_json(&report)).unwrap();
         assert_eq!(doc.get("bench").unwrap().as_str(), Some("serve"));
         assert_eq!(doc.get("clients").unwrap().as_u64(), Some(8));
         assert_eq!(doc.get("divergence").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("busy_retries").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for cap in [1u64, 7, 100, 1000] {
+            let x = jitter_ms(&mut a, cap);
+            assert_eq!(x, jitter_ms(&mut b, cap), "same seed, same stream");
+            assert!(x < cap);
+        }
+        assert_eq!(jitter_ms(&mut a, 0), 0);
     }
 }

@@ -93,6 +93,47 @@ pub fn error_line(msg: &str) -> String {
     obj.finish()
 }
 
+/// The backpressure response: the queue is full *right now*, try again
+/// in roughly `retry_ms`. Structured (`"busy":true` + machine-readable
+/// delay) so clients can implement backoff instead of string-matching.
+pub fn busy_line(retry_ms: u64) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_bool("ok", false)
+        .field_str("error", "busy: queue full")
+        .field_bool("busy", true)
+        .field_u64("retry_ms", retry_ms);
+    obj.finish()
+}
+
+/// The structured `wait`-on-unknown-id error: the id was never
+/// submitted this daemon lifetime (or is malformed). Carries
+/// `"unknown_job":true` so clients distinguish it from transport
+/// errors.
+pub fn unknown_job_line(id: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_bool("ok", false)
+        .field_str(
+            "error",
+            &format!("unknown job `{id}`: not submitted this daemon lifetime"),
+        )
+        .field_bool("unknown_job", true);
+    obj.finish()
+}
+
+/// The structured cache-evicted error: the job completed, but its
+/// artifacts have been evicted from the LRU cache; resubmitting the
+/// spec recomputes (or journal-recovers) them.
+pub fn evicted_line(id: &str) -> String {
+    let mut obj = JsonObject::new();
+    obj.field_bool("ok", false)
+        .field_str(
+            "error",
+            &format!("job `{id}` completed but its artifacts were evicted; resubmit the spec"),
+        )
+        .field_bool("evicted", true);
+    obj.finish()
+}
+
 /// The `submit` success response.
 pub fn submit_line(job: &str, state: &str) -> String {
     let mut obj = JsonObject::new();
@@ -213,6 +254,25 @@ mod tests {
         assert_eq!(doc.get("name").unwrap().as_str(), Some("demo"));
         assert_eq!(doc.get("cached").unwrap(), &Json::Bool(false));
         assert_eq!(artifacts_from_json(&doc).unwrap(), artifacts);
+    }
+
+    #[test]
+    fn structured_error_lines_are_machine_readable() {
+        let b = json::parse(&busy_line(250)).unwrap();
+        assert_eq!(b.get("ok").unwrap(), &Json::Bool(false));
+        assert_eq!(b.get("busy").unwrap(), &Json::Bool(true));
+        assert_eq!(b.get("retry_ms").unwrap().as_u64(), Some(250));
+        let u = json::parse(&unknown_job_line("ff00")).unwrap();
+        assert_eq!(u.get("unknown_job").unwrap(), &Json::Bool(true));
+        assert!(u.get("error").unwrap().as_str().unwrap().contains("ff00"));
+        let e = json::parse(&evicted_line("ff00")).unwrap();
+        assert_eq!(e.get("evicted").unwrap(), &Json::Bool(true));
+        assert!(e
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("resubmit"));
     }
 
     #[test]

@@ -57,14 +57,17 @@ use std::time::Duration;
 
 use nosq_check::sync::StdSync;
 use nosq_lab::{
-    artifacts, run_campaign_serial, synthesize_programs, Campaign, InjectionQueue,
-    ProgressCounters, PushError, RunOptions, WorkerContext,
+    artifacts, run_campaign_durable, run_campaign_serial, synthesize_programs, Campaign,
+    CampaignResult, InjectionQueue, ProgressCounters, PushError, RunOptions, WorkerContext,
 };
 
 use crate::cache::ResultCache;
 use crate::fingerprint::{campaign_fingerprint, fingerprint_hex, parse_fingerprint};
-use crate::journal::Journal;
-use crate::protocol::{done_line, error_line, parse_request, progress_line, submit_line, Request};
+use crate::journal::{CheckpointEntry, Journal};
+use crate::protocol::{
+    busy_line, done_line, error_line, evicted_line, parse_request, progress_line, submit_line,
+    unknown_job_line, Request,
+};
 use crate::signal;
 
 /// Daemon configuration.
@@ -84,6 +87,17 @@ pub struct ServeOptions {
     /// Poll termination signals (the `nosq serve` binary installs
     /// handlers; in-process test servers leave this off).
     pub watch_signals: bool,
+    /// Mid-job checkpoint cadence in committed instructions (journaled
+    /// campaigns only); `0` checkpoints at job boundaries only.
+    pub ckpt_every_insts: u64,
+    /// How long a started-but-unfinished request line may stall before
+    /// the connection is dropped (the slow-loris defense); `0`
+    /// disables the limit. Idle connections that have sent nothing are
+    /// never timed out.
+    pub request_timeout_ms: u64,
+    /// Socket write timeout for responses (a stalled reader cannot pin
+    /// a handler thread forever); `0` disables the limit.
+    pub write_timeout_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -95,6 +109,9 @@ impl Default for ServeOptions {
             cache_capacity: 64,
             queue_capacity: 256,
             watch_signals: false,
+            ckpt_every_insts: 50_000,
+            request_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
         }
     }
 }
@@ -111,6 +128,9 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Completed results recovered from the journal at startup.
     pub recovered: u64,
+    /// Half-finished campaigns re-enqueued from journal checkpoints at
+    /// startup.
+    pub resumed: u64,
     /// Connections accepted.
     pub connections: u64,
 }
@@ -122,18 +142,28 @@ enum JobStatus {
     Done,
 }
 
+/// Per-job registry entry. Deliberately artifact-free: completed
+/// artifacts live in the LRU cache (and the journal) only, so a
+/// long-lived daemon's registry stays O(jobs seen), not O(bytes
+/// served). A `Done` job whose artifacts were evicted answers `wait`
+/// with a structured `evicted` error instead of pinning memory.
 struct JobState {
     name: String,
     total_jobs: usize,
     status: JobStatus,
     cached: bool,
     progress: Arc<ProgressCounters<StdSync>>,
-    artifacts: Option<Arc<Vec<nosq_lab::Artifact>>>,
 }
 
 struct QueuedJob {
     fingerprint: u64,
     campaign: Campaign,
+    /// The spec text, verbatim — embedded in checkpoint records so a
+    /// journal is self-contained for recovery.
+    spec: String,
+    /// Where to pick the campaign back up (journal recovery); `None`
+    /// for fresh submissions.
+    resume: Option<CheckpointEntry>,
 }
 
 #[derive(Default)]
@@ -153,6 +183,9 @@ struct Shared {
     cache: Mutex<ResultCache>,
     journal: Mutex<Option<Journal>>,
     watch_signals: bool,
+    ckpt_every_insts: u64,
+    request_timeout_ms: u64,
+    write_timeout_ms: u64,
 }
 
 impl Shared {
@@ -185,11 +218,13 @@ pub struct Server {
     opts: ServeOptions,
     shared: Shared,
     recovered: u64,
+    resumed: u64,
 }
 
 impl Server {
-    /// Binds the listener, opens the journal, and replays recovered
-    /// results into the cache. No thread is spawned yet.
+    /// Binds the listener, opens the journal, replays recovered results
+    /// into the cache, and re-enqueues half-finished campaigns from
+    /// their latest valid checkpoints. No thread is spawned yet.
     pub fn bind(opts: ServeOptions) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&opts.addr)?;
         let local_addr = listener.local_addr()?;
@@ -197,13 +232,15 @@ impl Server {
 
         let mut cache = ResultCache::new(opts.cache_capacity);
         let mut recovered = 0u64;
+        let mut partial = Vec::new();
         let journal = match &opts.journal {
             Some(path) => {
-                let (journal, entries) = Journal::open(path)?;
-                for entry in entries {
+                let (journal, salvaged) = Journal::open(path)?;
+                for entry in salvaged.completed {
                     cache.insert(entry.fingerprint, entry.artifacts);
                     recovered += 1;
                 }
+                partial = salvaged.partial;
                 Some(journal)
             }
             None => None,
@@ -216,13 +253,67 @@ impl Server {
             cache: Mutex::new(cache),
             journal: Mutex::new(journal),
             watch_signals: opts.watch_signals,
+            ckpt_every_insts: opts.ckpt_every_insts,
+            request_timeout_ms: opts.request_timeout_ms,
+            write_timeout_ms: opts.write_timeout_ms,
         };
+
+        // Re-enqueue half-finished campaigns. Checkpoint records embed
+        // the spec verbatim, so recovery needs nothing beyond the
+        // journal itself; a record that no longer parses (or whose
+        // fingerprint disagrees with its spec) is reported and skipped,
+        // never served.
+        let mut resumed = 0u64;
+        for entry in partial {
+            let id = fingerprint_hex(entry.fingerprint);
+            let campaign = match Campaign::from_spec(&entry.spec) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("nosq serve: warning: cannot resume {id}: bad spec: {e}");
+                    continue;
+                }
+            };
+            if campaign_fingerprint(&campaign) != entry.fingerprint {
+                eprintln!("nosq serve: warning: cannot resume {id}: spec/fingerprint mismatch");
+                continue;
+            }
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            reg.jobs.insert(
+                entry.fingerprint,
+                JobState {
+                    name: campaign.name.clone(),
+                    total_jobs: campaign.jobs(),
+                    status: JobStatus::Queued,
+                    cached: false,
+                    progress: Arc::new(ProgressCounters::new()),
+                },
+            );
+            let fingerprint = entry.fingerprint;
+            let spec = entry.spec.clone();
+            if shared
+                .queue
+                .try_push(QueuedJob {
+                    fingerprint,
+                    campaign,
+                    spec,
+                    resume: Some(entry),
+                })
+                .is_err()
+            {
+                reg.jobs.remove(&fingerprint);
+                eprintln!("nosq serve: warning: cannot resume {id}: queue full");
+                continue;
+            }
+            resumed += 1;
+        }
+
         Ok(Server {
             listener,
             local_addr,
             opts,
             shared,
             recovered,
+            resumed,
         })
     }
 
@@ -234,6 +325,12 @@ impl Server {
     /// Completed results recovered from the journal at bind time.
     pub fn recovered(&self) -> u64 {
         self.recovered
+    }
+
+    /// Half-finished campaigns re-enqueued from checkpoints at bind
+    /// time.
+    pub fn resumed(&self) -> u64 {
+        self.resumed
     }
 
     /// Runs the daemon to completion: accept loop plus worker pool,
@@ -283,6 +380,7 @@ impl Server {
             cache_hits: reg.cache_hits,
             cache_misses: reg.cache_misses,
             recovered: self.recovered,
+            resumed: self.resumed,
             connections: reg.connections,
         })
     }
@@ -314,12 +412,49 @@ fn run_one(shared: &Shared, job: QueuedJob, ctx: &mut WorkerContext) {
     };
     shared.cv.notify_all();
 
-    let opts = RunOptions {
-        threads: 1,
-        ..RunOptions::default()
-    };
     let programs = synthesize_programs(&job.campaign, 1);
-    let result = run_campaign_serial(&job.campaign, &programs, &opts, ctx, &progress);
+    let journaled = shared.journal.lock().expect("journal poisoned").is_some();
+    let result: CampaignResult = if journaled {
+        // The durable path: periodic mid-job checkpoints into the
+        // journal, and a resume point when recovery handed us one.
+        let resume = job
+            .resume
+            .as_ref()
+            .and_then(|entry| crate::journal::resume_state(&job.campaign, entry));
+        let mut sink = |ev: nosq_lab::CkptEvent<'_>| {
+            let entry = CheckpointEntry {
+                fingerprint: job.fingerprint,
+                name: job.campaign.name.clone(),
+                spec: job.spec.clone(),
+                job_index: ev.job_index as u64,
+                completed: ev.completed.to_vec(),
+                state: ev.state.map(nosq_core::SimCheckpoint::to_bytes),
+            };
+            if let Some(journal) = shared.journal.lock().expect("journal poisoned").as_mut() {
+                if let Err(e) = journal.append_checkpoint(&entry) {
+                    eprintln!(
+                        "nosq serve: warning: checkpoint append failed for {}: {e}",
+                        fingerprint_hex(job.fingerprint)
+                    );
+                }
+            }
+        };
+        run_campaign_durable(
+            &job.campaign,
+            &programs,
+            ctx,
+            &progress,
+            shared.ckpt_every_insts,
+            resume,
+            &mut sink,
+        )
+    } else {
+        let opts = RunOptions {
+            threads: 1,
+            ..RunOptions::default()
+        };
+        run_campaign_serial(&job.campaign, &programs, &opts, ctx, &progress)
+    };
     let files = Arc::new(artifacts(&result));
 
     // Journal first (fsync), then cache, then report done — a crash
@@ -346,18 +481,28 @@ fn run_one(shared: &Shared, job: QueuedJob, ctx: &mut WorkerContext) {
         .get_mut(&job.fingerprint)
         .expect("running job is registered");
     state.status = JobStatus::Done;
-    state.artifacts = Some(files);
     drop(reg);
     shared.cv.notify_all();
 }
 
 /// Reads one request line, tolerating read timeouts (which the handler
 /// uses to poll for drain). Returns `Ok(false)` on EOF or drain-exit.
+///
+/// The slow-loris defense lives here: once a request line has
+/// *started* (any byte received), the clock runs — a connection that
+/// stalls mid-line for `request_timeout_ms` gets `TimedOut` and the
+/// handler thread is freed. Idle connections that have sent nothing
+/// wait indefinitely (they cost one parked thread, not a wedged one,
+/// and drain-exit still reclaims them). Waiting is accumulated from
+/// the socket's 100 ms poll ticks rather than a wall clock, keeping
+/// the handler loop free of `Instant::now` (the determinism lint's
+/// domain) and the timeout exact in poll units.
 fn read_line_patient(
     shared: &Shared,
     reader: &mut BufReader<TcpStream>,
     line: &mut String,
 ) -> std::io::Result<bool> {
+    let mut stalled_ms: u64 = 0;
     loop {
         match reader.read_line(line) {
             Ok(0) => return Ok(false),
@@ -376,10 +521,21 @@ fn read_line_patient(
                         | std::io::ErrorKind::Interrupted
                 ) =>
             {
-                // Idle poll: once the daemon has fully drained, stop
-                // waiting on quiet clients so `run` can return.
-                if line.is_empty() && shared.finished() {
-                    return Ok(false);
+                if line.is_empty() {
+                    // Idle poll: once the daemon has fully drained,
+                    // stop waiting on quiet clients so `run` can
+                    // return.
+                    if shared.finished() {
+                        return Ok(false);
+                    }
+                } else {
+                    stalled_ms += READ_POLL_MS;
+                    if shared.request_timeout_ms != 0 && stalled_ms >= shared.request_timeout_ms {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "request line stalled",
+                        ));
+                    }
                 }
             }
             Err(e) => return Err(e),
@@ -387,21 +543,36 @@ fn read_line_patient(
     }
 }
 
+/// The socket read-poll tick; also the unit [`read_line_patient`]
+/// accumulates stall time in.
+const READ_POLL_MS: u64 = 100;
+
 fn handle_connection(shared: &Shared, stream: TcpStream) {
     // Errors on one connection only ever end that connection.
     let _ = serve_connection(shared, stream);
 }
 
 fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_read_timeout(Some(Duration::from_millis(READ_POLL_MS)))?;
+    if shared.write_timeout_ms != 0 {
+        stream.set_write_timeout(Some(Duration::from_millis(shared.write_timeout_ms)))?;
+    }
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
         line.clear();
-        if !read_line_patient(shared, &mut reader, &mut line)? {
-            return Ok(());
+        match read_line_patient(shared, &mut reader, &mut line) {
+            Ok(true) => {}
+            Ok(false) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                // Slow loris: tell the peer why (best effort) and free
+                // the thread.
+                let _ = writeln!(writer, "{}", error_line("request line timed out"));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
         }
         let request = match parse_request(line.trim_end()) {
             Ok(req) => req,
@@ -448,14 +619,25 @@ fn submit_response(shared: &Shared, spec: &str) -> String {
         return error_line("draining: not accepting new campaigns");
     }
     // Idempotent resubmission: same spec, same job id. A completed
-    // result re-served from the registry counts as a cache hit — the
-    // client gets its bytes with no new simulation — while an
-    // in-flight duplicate just shares the pending job.
+    // result still in the cache counts as a cache hit — the client
+    // gets its bytes with no new simulation — while an in-flight
+    // duplicate just shares the pending job. A completed job whose
+    // artifacts were since evicted falls through to a fresh enqueue
+    // (the resubmit *is* the documented recovery path for eviction).
     match reg.jobs.get(&fingerprint).map(|j| j.status.clone()) {
         Some(JobStatus::Done) => {
-            reg.cache_hits += 1;
-            reg.jobs.get_mut(&fingerprint).expect("job present").cached = true;
-            return submit_line(&id, "cached");
+            if shared
+                .cache
+                .lock()
+                .expect("cache poisoned")
+                .lookup(fingerprint)
+                .is_some()
+            {
+                reg.cache_hits += 1;
+                reg.jobs.get_mut(&fingerprint).expect("job present").cached = true;
+                return submit_line(&id, "cached");
+            }
+            reg.jobs.remove(&fingerprint);
         }
         Some(JobStatus::Running) => return submit_line(&id, "running"),
         Some(JobStatus::Queued) => return submit_line(&id, "queued"),
@@ -463,11 +645,12 @@ fn submit_response(shared: &Shared, spec: &str) -> String {
     }
     let total_jobs = campaign.jobs();
     let name = campaign.name.clone();
-    if let Some(files) = shared
+    if shared
         .cache
         .lock()
         .expect("cache poisoned")
         .lookup(fingerprint)
+        .is_some()
     {
         reg.cache_hits += 1;
         reg.jobs.insert(
@@ -478,7 +661,6 @@ fn submit_response(shared: &Shared, spec: &str) -> String {
                 status: JobStatus::Done,
                 cached: true,
                 progress: Arc::new(ProgressCounters::new()),
-                artifacts: Some(files),
             },
         );
         drop(reg);
@@ -494,19 +676,22 @@ fn submit_response(shared: &Shared, spec: &str) -> String {
             status: JobStatus::Queued,
             cached: false,
             progress: Arc::new(ProgressCounters::new()),
-            artifacts: None,
         },
     );
     match shared.queue.try_push(QueuedJob {
         fingerprint,
         campaign,
+        spec: spec.to_owned(),
+        resume: None,
     }) {
         Ok(()) => submit_line(&id, "queued"),
         Err(err) => {
             reg.jobs.remove(&fingerprint);
             reg.cache_misses -= 1;
             if matches!(err, PushError::Full(_)) {
-                error_line("queue full: retry later")
+                // Structured backpressure: the client backs off and
+                // retries instead of string-matching an error.
+                busy_line(BUSY_RETRY_MS)
             } else {
                 // Unreachable while the drain check above holds; kept
                 // as a real branch rather than a panic so a protocol
@@ -517,8 +702,15 @@ fn submit_response(shared: &Shared, spec: &str) -> String {
     }
 }
 
+/// Retry hint sent with [`busy_line`] responses: roughly how long one
+/// queued campaign takes to start draining under load.
+const BUSY_RETRY_MS: u64 = 100;
+
 /// Streams `progress` events until the job completes, then the `done`
-/// event with artifacts.
+/// event with artifacts (looked up in the cache — the registry holds
+/// none). `wait` never blocks on an id the daemon is not actually
+/// working on: an unknown id and an evicted result each get an
+/// immediate structured error.
 fn stream_wait(shared: &Shared, writer: &mut TcpStream, id: &str) -> std::io::Result<()> {
     let Some(fingerprint) = parse_fingerprint(id) else {
         writeln!(
@@ -531,7 +723,7 @@ fn stream_wait(shared: &Shared, writer: &mut TcpStream, id: &str) -> std::io::Re
     let mut last = (usize::MAX, u64::MAX);
     loop {
         enum Step {
-            Done(String, Arc<Vec<nosq_lab::Artifact>>, bool),
+            Done(String, bool),
             Progress(usize, usize, u64),
             Missing,
         }
@@ -542,8 +734,7 @@ fn stream_wait(shared: &Shared, writer: &mut TcpStream, id: &str) -> std::io::Re
                     break Step::Missing;
                 };
                 if job.status == JobStatus::Done {
-                    let files = job.artifacts.clone().expect("done job has artifacts");
-                    break Step::Done(job.name.clone(), files, job.cached);
+                    break Step::Done(job.name.clone(), job.cached);
                 }
                 let (done, insts) = job.progress.snapshot();
                 let total = job.total_jobs;
@@ -560,11 +751,19 @@ fn stream_wait(shared: &Shared, writer: &mut TcpStream, id: &str) -> std::io::Re
         };
         match step {
             Step::Missing => {
-                writeln!(writer, "{}", error_line(&format!("unknown job `{id}`")))?;
+                writeln!(writer, "{}", unknown_job_line(id))?;
                 return Ok(());
             }
-            Step::Done(name, files, cached) => {
-                writeln!(writer, "{}", done_line(id, &name, cached, &files))?;
+            Step::Done(name, cached) => {
+                let files = shared
+                    .cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .lookup(fingerprint);
+                match files {
+                    Some(files) => writeln!(writer, "{}", done_line(id, &name, cached, &files))?,
+                    None => writeln!(writer, "{}", evicted_line(id))?,
+                }
                 return Ok(());
             }
             Step::Progress(done, total, insts) => {

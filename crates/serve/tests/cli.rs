@@ -111,6 +111,27 @@ fn fused_and_sample_are_mutually_exclusive() {
 }
 
 #[test]
+fn durable_flag_contracts() {
+    // `--resume` replaces the spec file; both together is a usage error.
+    let out = nosq(&["run", "spec.json", "--resume", "j.journal"]);
+    assert_eq!(code(&out), 2);
+    assert!(stderr(&out).contains("in place of a spec file"));
+    // Checkpointing snapshots the serial replay loop, so a durable run
+    // excludes the fused and sampled engines.
+    for extra in [&["--fused"][..], &["--sample", "100:50:2"]] {
+        let mut args = vec!["run", "spec.json", "--journal", "j.journal"];
+        args.extend_from_slice(extra);
+        let out = nosq(&args);
+        assert_eq!(code(&out), 2, "{extra:?}");
+        assert!(stderr(&out).contains("incompatible"), "{extra:?}");
+    }
+    // An unopenable journal is a runtime failure, not a usage error.
+    let out = nosq(&["run", "--resume", "/nonexistent/dir/nosq.journal"]);
+    assert_eq!(code(&out), 1);
+    assert!(stderr(&out).contains("nosq: error:"));
+}
+
+#[test]
 fn fused_and_sampled_runs_succeed_on_a_real_spec() {
     let dir = std::env::temp_dir().join(format!("nosq-cli-fused-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp dir");

@@ -33,6 +33,8 @@ impl Bimodal {
     }
 }
 
+nosq_wire::wire_struct!(Bimodal { table });
+
 #[cfg(test)]
 mod tests {
     use super::*;

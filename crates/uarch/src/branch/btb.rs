@@ -84,6 +84,19 @@ impl Btb {
     }
 }
 
+nosq_wire::wire_struct!(BtbEntry {
+    pc,
+    target,
+    valid,
+    lru
+});
+nosq_wire::wire_struct!(Btb {
+    entries,
+    set_mask,
+    ways,
+    tick
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

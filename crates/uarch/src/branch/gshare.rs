@@ -54,6 +54,12 @@ impl GShare {
     }
 }
 
+nosq_wire::wire_struct!(GShare {
+    table,
+    history,
+    history_bits
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

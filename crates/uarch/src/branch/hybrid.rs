@@ -97,6 +97,12 @@ impl HybridPredictor {
     }
 }
 
+nosq_wire::wire_struct!(HybridPredictor {
+    bimodal,
+    gshare,
+    chooser
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

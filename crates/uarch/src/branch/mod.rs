@@ -39,6 +39,19 @@ impl Counter2 {
     }
 }
 
+impl nosq_wire::Wire for Counter2 {
+    fn enc(&self, e: &mut nosq_wire::Enc) {
+        e.put_u8(self.0);
+    }
+    fn dec(d: &mut nosq_wire::Dec) -> Result<Self, nosq_wire::WireError> {
+        let v = d.take_u8()?;
+        if v > 3 {
+            return Err(nosq_wire::WireError::Invalid("2-bit counter"));
+        }
+        Ok(Counter2(v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

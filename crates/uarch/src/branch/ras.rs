@@ -63,6 +63,12 @@ impl ReturnAddressStack {
     }
 }
 
+nosq_wire::wire_struct!(ReturnAddressStack {
+    entries,
+    top,
+    depth
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -200,6 +200,31 @@ impl MemoryHierarchy {
     }
 }
 
+nosq_wire::wire_struct!(CacheConfig {
+    size_bytes,
+    line_bytes,
+    ways,
+    hit_latency
+});
+nosq_wire::wire_struct!(Line { tag, valid, lru });
+nosq_wire::wire_struct!(Cache {
+    cfg,
+    lines,
+    set_mask,
+    ways,
+    line_shift,
+    tick,
+    accesses,
+    misses
+});
+nosq_wire::wire_struct!(MemoryHierarchy {
+    l1d,
+    l2,
+    dtlb,
+    mem_latency,
+    tlb_miss_penalty
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -144,6 +144,22 @@ impl SsnCounters {
     }
 }
 
+impl nosq_wire::Wire for Ssn {
+    fn enc(&self, e: &mut nosq_wire::Enc) {
+        e.put_u64(self.0);
+    }
+    fn dec(d: &mut nosq_wire::Dec) -> Result<Self, nosq_wire::WireError> {
+        Ok(Ssn(d.take_u64()?))
+    }
+}
+
+nosq_wire::wire_struct!(SsnCounters {
+    rename,
+    commit,
+    bits,
+    wraps
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,8 @@ impl StoreSets {
     }
 }
 
+nosq_wire::wire_struct!(StoreSets { ssit, lfst });
+
 #[cfg(test)]
 mod tests {
     use super::*;

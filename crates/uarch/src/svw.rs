@@ -260,6 +260,20 @@ impl Tssbf {
     }
 }
 
+nosq_wire::wire_struct!(TssbfEntry {
+    line,
+    ssn,
+    offset,
+    size
+});
+nosq_wire::wire_struct!(Tssbf {
+    entries,
+    set_len,
+    evicted,
+    set_mask,
+    ways
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,16 @@ impl Tlb {
     }
 }
 
+nosq_wire::wire_struct!(TlbEntry { vpn, valid, lru });
+nosq_wire::wire_struct!(Tlb {
+    entries,
+    set_mask,
+    ways,
+    tick,
+    accesses,
+    misses
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -174,7 +174,9 @@ fn killed_daemon_resumes_from_a_torn_journal() {
     let mut client = connect(addr);
     let status = client.status().expect("status");
     let num = |n: &str| status.get(n).and_then(Json::as_u64).unwrap_or(u64::MAX);
-    assert_eq!(num("journal_records"), 1);
+    // Two valid records survive: the job-boundary checkpoint appended
+    // mid-campaign and the completion record that supersedes it.
+    assert_eq!(num("journal_records"), 2);
     assert!(
         num("journal_truncated_bytes") > 0,
         "recovery must report the discarded tail"
@@ -240,6 +242,206 @@ fn cache_accounting_adds_up() {
     let stats = handle.join().expect("join server");
     assert_eq!(stats.cache_hits, 1);
     assert_eq!(stats.cache_misses, 2);
+}
+
+/// Runs [`SPEC`] through the durable runner and captures the first
+/// mid-job checkpoint event as the journal record a crashed process
+/// would have fsynced — the raw material for the resume tests.
+fn mid_job_entry(campaign: &Campaign) -> nosq_serve::CheckpointEntry {
+    use nosq_check::sync::StdSync;
+    use nosq_lab::{run_campaign_durable, synthesize_programs, ProgressCounters, WorkerContext};
+
+    let fingerprint = nosq_serve::campaign_fingerprint(campaign);
+    let programs = synthesize_programs(campaign, 1);
+    let mut captured: Option<nosq_serve::CheckpointEntry> = None;
+    let mut ctx = WorkerContext::new();
+    let progress: ProgressCounters<StdSync> = ProgressCounters::new();
+    let mut sink = |ev: nosq_lab::CkptEvent<'_>| {
+        if captured.is_none() && ev.state.is_some() {
+            captured = Some(nosq_serve::CheckpointEntry {
+                fingerprint,
+                name: campaign.name.clone(),
+                spec: SPEC.to_owned(),
+                job_index: ev.job_index as u64,
+                completed: ev.completed.to_vec(),
+                state: ev.state.map(nosq_core::SimCheckpoint::to_bytes),
+            });
+        }
+    };
+    let full = run_campaign_durable(
+        campaign, &programs, &mut ctx, &progress, 400, None, &mut sink,
+    );
+    assert_eq!(
+        artifacts(&full),
+        local_artifacts(SPEC),
+        "the durable runner must match run_campaign bit-for-bit"
+    );
+    captured.expect("a 1500-inst job checkpoints at cadence 400")
+}
+
+/// The tentpole's core claim at the library level: finishing a
+/// campaign from a mid-job checkpoint record produces artifacts
+/// byte-identical to the uninterrupted run — re-simulating only the
+/// interrupted job's tail, never serving partially-applied state.
+#[test]
+fn checkpoint_resume_is_bit_identical_to_uninterrupted() {
+    use nosq_check::sync::StdSync;
+    use nosq_lab::{run_campaign_durable, synthesize_programs, ProgressCounters, WorkerContext};
+
+    let campaign = Campaign::from_spec(SPEC).unwrap();
+    let entry = mid_job_entry(&campaign);
+
+    // Resume from the captured record alone, exactly as recovery does.
+    let resume = nosq_serve::resume_state(&campaign, &entry).expect("checkpoint decodes");
+    assert!(resume.checkpoint.is_some(), "mid-job state must restore");
+    let programs = synthesize_programs(&campaign, 1);
+    let mut ctx = WorkerContext::new();
+    let progress: ProgressCounters<StdSync> = ProgressCounters::new();
+    let resumed = run_campaign_durable(
+        &campaign,
+        &programs,
+        &mut ctx,
+        &progress,
+        0,
+        Some(resume),
+        &mut |_| {},
+    );
+    assert_eq!(
+        artifacts(&resumed),
+        local_artifacts(SPEC),
+        "resumed artifacts must be byte-identical to the uninterrupted run"
+    );
+}
+
+/// A daemon started on a journal holding only a mid-job checkpoint
+/// (the kill -9 mid-campaign case) re-enqueues the half-finished job,
+/// finishes it from the checkpoint, and serves the same bytes a fresh
+/// simulation would — then the completion record supersedes the
+/// checkpoint for the next lifetime.
+#[test]
+fn daemon_resumes_half_finished_jobs_from_the_journal() {
+    let dir = scratch("partial");
+    let journal_path = dir.join("serve.journal");
+    let campaign = Campaign::from_spec(SPEC).unwrap();
+    let entry = mid_job_entry(&campaign);
+    {
+        let (mut journal, recovered) = nosq_serve::Journal::open(&journal_path).unwrap();
+        assert!(recovered.completed.is_empty());
+        journal.append_checkpoint(&entry).unwrap();
+    }
+
+    let (addr, handle) = start(Some(journal_path.clone()));
+    let mut client = connect(addr);
+    let job = nosq_serve::fingerprint_hex(entry.fingerprint);
+    let outcome = client.wait(&job).expect("half-finished job completes");
+    assert_eq!(outcome.artifacts, local_artifacts(SPEC));
+    client.shutdown().expect("shutdown");
+    let stats = handle.join().expect("join server");
+    assert_eq!(stats.resumed, 1, "the checkpoint must re-enqueue its job");
+    assert_eq!(stats.jobs_run, 1);
+
+    let (_, recovered) = nosq_serve::Journal::open(&journal_path).unwrap();
+    assert_eq!(recovered.completed.len(), 1);
+    assert!(
+        recovered.partial.is_empty(),
+        "the completion record must supersede the checkpoint"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `wait` on ids the daemon cannot serve answers with *structured*
+/// errors — `unknown_job` for never-submitted ids, `evicted` for
+/// completed jobs whose artifacts fell out of the LRU — and
+/// resubmitting an evicted spec recomputes it (the documented
+/// recovery path). No wait may hang.
+#[test]
+fn wait_errors_are_structured_not_hangs() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_capacity: 1,
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = connect(addr);
+    let reply = client.submit(SPEC).expect("submit");
+    let job = reply.job.clone();
+    client.wait(&job).expect("first wait");
+    // Capacity 1: the cold campaign's completion evicts the hot one.
+    client.run_spec(&cold_spec(7)).expect("cold spec");
+
+    let raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut writer = raw;
+    let mut ask = |line: String| -> Json {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        nosq_lab::json::parse(reply.trim_end()).expect("structured reply")
+    };
+
+    let doc = ask(format!("{{\"cmd\":\"wait\",\"job\":\"{job}\"}}"));
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(doc.get("evicted"), Some(&Json::Bool(true)), "{doc:?}");
+
+    let doc = ask("{\"cmd\":\"wait\",\"job\":\"00000000deadbeef\"}".to_owned());
+    assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(doc.get("unknown_job"), Some(&Json::Bool(true)), "{doc:?}");
+
+    // Resubmitting the evicted spec recomputes; bytes stay identical.
+    let again = client.run_spec(SPEC).expect("resubmit evicted spec");
+    assert!(!again.cached, "evicted results must recompute, not hang");
+    assert_eq!(again.artifacts, local_artifacts(SPEC));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join server");
+}
+
+/// The slow-loris defense: a connection that starts a request line and
+/// stalls is told so and dropped within the configured window, leaving
+/// the daemon fully responsive — it cannot pin a handler thread.
+#[test]
+fn half_written_requests_time_out_and_free_the_worker() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let server = Server::bind(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        request_timeout_ms: 400,
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.write_all(b"{\"cmd\":\"stat").expect("half a request");
+    raw.flush().unwrap();
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("server reply");
+    assert!(n > 0, "the stalled connection must be told, not just cut");
+    assert!(line.contains("timed out"), "{line}");
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("read EOF"),
+        0,
+        "the connection must be closed after the timeout"
+    );
+
+    // The daemon is still fully alive for well-behaved clients.
+    let mut client = connect(addr);
+    client.ping().expect("ping after loris");
+    let outcome = client.run_spec(SPEC).expect("run after loris");
+    assert_eq!(outcome.artifacts, local_artifacts(SPEC));
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join server");
 }
 
 /// Keep the test specs honest: both forms must parse, and the cold
